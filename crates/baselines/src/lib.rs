@@ -1,0 +1,32 @@
+//! `ultra-baselines` — all compared methods of the main experiment
+//! (Table 2), re-implemented from scratch.
+//!
+//! Three method families, matching Section 6.1:
+//!
+//! * **Probability-based**: [`SetExpan`] (context feature selection +
+//!   rank ensemble, Shen et al. 2017) and [`CaSE`] (lexical features +
+//!   distributed representations, Yu et al. 2019);
+//! * **Retrieval-based**: [`CgExpan`] (class-name-guided expansion, Zhang
+//!   et al. 2020) and [`ProbExpan`] (probability-distribution entity
+//!   representations, Li et al. 2022) — the latter with the optional
+//!   negative-seed re-ranking bolt-on evaluated in Table 5;
+//! * **Generation-based**: [`Gpt4Baseline`], driving the simulated GPT-4
+//!   oracle (see `ultra_data::oracle` for the simulation argument).
+//!
+//! None of the baselines except the Table 5 ProbExpan variant consume
+//! negative seeds — the paper's point is precisely that pre-existing
+//! methods cannot express them.
+
+pub mod case;
+pub mod cgexpan;
+pub mod gpt4;
+pub mod probexpan;
+pub mod profiles;
+pub mod setexpan;
+
+pub use case::CaSE;
+pub use cgexpan::CgExpan;
+pub use gpt4::Gpt4Baseline;
+pub use probexpan::ProbExpan;
+pub use profiles::ContextProfiles;
+pub use setexpan::SetExpan;

@@ -1,0 +1,38 @@
+//! Figure 8 — LLM family and size scaling: the BLOOM/LLaMA ladder mapped
+//! to n-gram order (size) and smoothing family (family). Expectation:
+//! larger is better within a family; LLaMA (absolute discounting) beats
+//! BLOOM (Witten-Bell) at equal size.
+
+use std::collections::BTreeMap;
+use ultra_bench::{dump_json, world_from_env, Suite};
+use ultra_eval::{evaluate_method, MetricReport, TableWriter};
+use ultra_genexpan::{GenExpan, GenExpanConfig};
+use ultra_lm::ModelSpec;
+
+fn main() {
+    let suite = Suite::new(world_from_env());
+    let mut t = TableWriter::new(vec!["Backbone", "PosMAP", "NegMAP", "CombMAP", "CombAvg"]);
+    let mut json: BTreeMap<String, MetricReport> = BTreeMap::new();
+    for spec in ModelSpec::figure8_ladder() {
+        let name = spec.name;
+        let model = GenExpan::train(
+            &suite.world,
+            GenExpanConfig {
+                model: spec,
+                ..GenExpanConfig::default()
+            },
+        );
+        let r = evaluate_method(&suite.world, |u, q| model.expand(&suite.world, u, q));
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", r.avg_pos_map()),
+            format!("{:.2}", r.avg_neg_map()),
+            format!("{:.2}", r.avg_comb_map()),
+            format!("{:.2}", r.avg_comb()),
+        ]);
+        json.insert(name.to_string(), r);
+    }
+    println!("\nFigure 8 — GenExpan backbone families and sizes");
+    println!("{}", t.render());
+    dump_json("fig8", &json);
+}

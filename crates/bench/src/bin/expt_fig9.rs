@@ -1,0 +1,75 @@
+//! Figure 9 — case study: ranked GenExpan outputs (plain, +RA, +CoT) with
+//! the paper's markers: `+++` positive target, `---` negative target,
+//! `!!!` irrelevant same-fine-class entity.
+
+use ultra_bench::{methods, world_from_env, Suite};
+use ultra_core::{Query, RankedList, UltraClass};
+use ultra_data::World;
+use ultra_genexpan::{CotConfig, GenRaSource};
+
+fn tag(world: &World, u: &UltraClass, e: ultra_core::EntityId) -> &'static str {
+    if e.index() >= world.num_entities() {
+        return "???"; // hallucination
+    }
+    if u.pos_targets.contains(&e) {
+        "+++"
+    } else if u.neg_targets.contains(&e) {
+        "---"
+    } else if world.entity(e).class == Some(u.fine) {
+        "!!!"
+    } else {
+        "   "
+    }
+}
+
+fn show(world: &World, u: &UltraClass, q: &Query, title: &str, list: &RankedList) {
+    println!("\n  {title}");
+    for (i, e) in list.entities().take(12).enumerate() {
+        let name = if e.index() < world.num_entities() {
+            world.entity(e).name.clone()
+        } else {
+            "<hallucination>".to_string()
+        };
+        println!("    {:2}  {} {}", i + 1, tag(world, u, e), name);
+    }
+    let _ = q;
+}
+
+fn main() {
+    let mut suite = Suite::new(world_from_env());
+    let gen = suite.genexpan();
+    let ra = methods::genexpan_with(&mut suite, |g| g.config.ra = GenRaSource::Introduction);
+    let cot = methods::genexpan_with(&mut suite, |g| g.config.cot = CotConfig::default_cot());
+    let world = &suite.world;
+
+    println!("\nFigure 9 — Case studies (+++ positive target, --- negative target, !!! same fine class)");
+    // Show-case the two classes the paper uses: China cities and Countries.
+    for class_name in ["China cities", "Countries"] {
+        let Some(u) = world.ultra_classes.iter().find(|u| {
+            world.classes[u.fine.index()].name == class_name
+        }) else {
+            continue;
+        };
+        let q = &u.queries[0];
+        println!("\n== {} ==", world.describe_ultra(u));
+        println!(
+            "  positive seeds: {}",
+            q.pos_seeds
+                .iter()
+                .map(|&e| world.entity(e).name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  negative seeds: {}",
+            q.neg_seeds
+                .iter()
+                .map(|&e| world.entity(e).name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        show(world, u, q, "GenExpan", &gen.expand(world, u, q));
+        show(world, u, q, "GenExpan + RA", &ra.expand(world, u, q));
+        show(world, u, q, "GenExpan + CoT", &cot.expand(world, u, q));
+    }
+}

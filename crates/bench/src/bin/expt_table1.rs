@@ -1,0 +1,92 @@
+//! Table 1 — comparison of ESE datasets. The four prior datasets' numbers
+//! are the paper's; the UltraWiki column is recomputed from the generated
+//! world.
+
+use ultra_bench::{dump_json, world_from_env};
+use ultra_data::WorldStats;
+use ultra_eval::TableWriter;
+
+fn main() {
+    let world = world_from_env();
+    let stats = WorldStats::compute(&world);
+
+    let mut t = TableWriter::new(vec![
+        "", "Wiki", "APR", "CoNLL", "ONs", "UltraWiki (generated)",
+    ]);
+    t.row(vec![
+        "# Semantic Classes".to_string(),
+        "8".into(),
+        "3".into(),
+        "4".into(),
+        "8".into(),
+        stats.num_ultra_classes.to_string(),
+    ]);
+    t.row(vec![
+        "Semantic granularity".to_string(),
+        "Fine".into(),
+        "Fine".into(),
+        "Coarse".into(),
+        "Coarse".into(),
+        "Ultra-Fine".into(),
+    ]);
+    t.row(vec![
+        "# Queries per Class".to_string(),
+        "5".into(),
+        "5".into(),
+        "1".into(),
+        "1".into(),
+        world.config.queries_per_class.to_string(),
+    ]);
+    t.row(vec![
+        "# Pos Seeds per Query".to_string(),
+        "3".into(),
+        "3".into(),
+        "10".into(),
+        "10".into(),
+        format!("{}-{}", world.config.seeds_min, world.config.seeds_max),
+    ]);
+    t.row(vec![
+        "# Neg Seeds per Query".to_string(),
+        "N/A".into(),
+        "N/A".into(),
+        "N/A".into(),
+        "N/A".into(),
+        format!("{}-{}", world.config.seeds_min, world.config.seeds_max),
+    ]);
+    t.row(vec![
+        "# Candidate Entities".to_string(),
+        "33K".into(),
+        "76K".into(),
+        "6K".into(),
+        "20K".into(),
+        format!("{:.1}K", stats.num_entities as f64 / 1000.0),
+    ]);
+    t.row(vec![
+        "# Sentences of Corpus".to_string(),
+        "973K".into(),
+        "1043K".into(),
+        "21K".into(),
+        "144K".into(),
+        format!("{:.1}K", stats.num_sentences as f64 / 1000.0),
+    ]);
+    t.row(vec![
+        "Entity Attribution".to_string(),
+        "x".into(),
+        "x".into(),
+        "x".into(),
+        "x".into(),
+        "yes".into(),
+    ]);
+    println!("\nTable 1 — Comparison of ESE datasets");
+    println!("{}", t.render());
+    println!(
+        "(generated world additionally: {} fine-grained classes, avg |P| = {:.1}, avg |N| = {:.1}, \
+         ultra-class overlap fraction = {:.2})",
+        stats.num_fine_classes, stats.avg_pos_targets, stats.avg_neg_targets, stats.overlap_fraction
+    );
+    // Annotation quality (Section 4.2): three simulated annotators at 96%
+    // per-label accuracy land near the paper's reported Fleiss κ = 0.90.
+    let kappa = ultra_data::simulated_annotation_kappa(&world, 3, 0.96);
+    println!("simulated 3-annotator Fleiss kappa = {kappa:.2} (paper reports 0.90)");
+    dump_json("table1", &stats);
+}

@@ -1,0 +1,40 @@
+//! Tables 11 & 12 — dataset composition: per-fine-class detail and the
+//! arity histogram of ultra-fine-grained classes.
+
+use ultra_bench::{dump_json, world_from_env};
+use ultra_data::WorldStats;
+use ultra_eval::TableWriter;
+
+fn main() {
+    let world = world_from_env();
+    let stats = WorldStats::compute(&world);
+
+    let mut t11 = TableWriter::new(vec![
+        "Fine-grained CLS.",
+        "#Entities",
+        "#Ultra-fine CLS.",
+        "#Attributes",
+    ]);
+    for (name, entities, ultra, attrs) in &stats.per_class {
+        t11.row(vec![
+            name.clone(),
+            entities.to_string(),
+            ultra.to_string(),
+            attrs.to_string(),
+        ]);
+    }
+    println!("\nTable 11 — Fine-grained semantic class detail");
+    println!("{}", t11.render());
+
+    let mut t12 = TableWriter::new(vec!["|A_pos|", "|A_neg|", "#Ultra-fine CLS."]);
+    for ((p, n), count) in &stats.arity_histogram {
+        t12.row(vec![p.to_string(), n.to_string(), count.to_string()]);
+    }
+    println!("Table 12 — Ultra-fine-grained class types");
+    println!("{}", t12.render());
+    println!(
+        "totals: {} entities / {} sentences / {} ultra classes / {} queries",
+        stats.num_entities, stats.num_sentences, stats.num_ultra_classes, stats.num_queries
+    );
+    dump_json("table11_12", &stats);
+}

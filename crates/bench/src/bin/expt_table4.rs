@@ -1,0 +1,36 @@
+//! Table 4 — comparison when positive and negative attributes are the same
+//! (`A^pos = A^neg`) vs different, for RetExpan, +Contrast, +RA.
+
+use std::collections::BTreeMap;
+use ultra_bench::{dump_json, fmt, methods, world_from_env, Suite};
+use ultra_embed::{Augmentation, PairConfig};
+use ultra_eval::{evaluate_method_filtered, MetricReport, TableWriter};
+
+fn main() {
+    let mut suite = Suite::new(world_from_env());
+    let ret = suite.retexpan();
+    let con = methods::retexpan_contrast(&mut suite, &PairConfig::default());
+    let ra = methods::retexpan_ra(&mut suite, Augmentation::Introduction);
+
+    let mut t = TableWriter::new(fmt::map_headers());
+    let mut json: BTreeMap<String, MetricReport> = BTreeMap::new();
+    for (regime, same) in [("A_pos = A_neg", true), ("A_pos != A_neg", false)] {
+        for (name, model) in [
+            ("RetExpan", &*ret),
+            ("RetExpan +Contrast", &con),
+            ("RetExpan +RA", &ra),
+        ] {
+            let r = evaluate_method_filtered(
+                &suite.world,
+                |u| u.same_attribute_sets() == same,
+                |_u, q| model.expand(&suite.world, q),
+            );
+            let label = format!("[{regime}] {name}");
+            fmt::push_map_rows(&mut t, &label, &r);
+            json.insert(label, r);
+        }
+    }
+    println!("\nTable 4 — Same vs different positive/negative attributes (MAP)");
+    println!("{}", t.render());
+    dump_json("table4", &json);
+}

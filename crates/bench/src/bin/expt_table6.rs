@@ -1,0 +1,31 @@
+//! Table 6 — RetExpan on semantic classes with different numbers of
+//! positive and negative attributes: (1,1), (1,2), (2,1).
+
+use std::collections::BTreeMap;
+use ultra_bench::{dump_json, fmt, world_from_env, Suite};
+use ultra_eval::{evaluate_method_filtered, MetricReport, TableWriter};
+
+fn main() {
+    let mut suite = Suite::new(world_from_env());
+    let ret = suite.retexpan();
+    let mut t = TableWriter::new(fmt::map_headers());
+    let mut json: BTreeMap<String, MetricReport> = BTreeMap::new();
+    for arity in [(1usize, 1usize), (1, 2), (2, 1)] {
+        let r = evaluate_method_filtered(
+            &suite.world,
+            |u| u.arity() == arity,
+            |_u, q| ret.expand(&suite.world, q),
+        );
+        let label = format!("({}, {})", arity.0, arity.1);
+        if r.num_queries == 0 {
+            eprintln!("[table6] no ultra classes with arity {label} in this profile");
+            continue;
+        }
+        eprintln!("[table6] arity {label}: {} queries", r.num_queries);
+        fmt::push_map_rows(&mut t, &label, &r);
+        json.insert(label, r);
+    }
+    println!("\nTable 6 — RetExpan by (|A_pos|, |A_neg|) (MAP)");
+    println!("{}", t.render());
+    dump_json("table6", &json);
+}

@@ -1,0 +1,52 @@
+//! Table 7 — ablation of the contrastive-learning training data: dropping
+//! hard negatives, normal negatives, and cross-entity positives.
+
+use std::collections::BTreeMap;
+use ultra_bench::{dump_json, fmt, methods, world_from_env, Suite};
+use ultra_embed::PairConfig;
+use ultra_eval::{evaluate_method, MetricReport, TableWriter};
+
+fn main() {
+    let mut suite = Suite::new(world_from_env());
+    let mut t = TableWriter::new(fmt::map_headers());
+    let mut json: BTreeMap<String, MetricReport> = BTreeMap::new();
+
+    let ret = suite.retexpan();
+    let base = evaluate_method(&suite.world, |_u, q| ret.expand(&suite.world, q));
+    fmt::push_map_rows(&mut t, "RetExpan", &base);
+    json.insert("RetExpan".into(), base);
+
+    let variants: Vec<(&str, PairConfig)> = vec![
+        ("RetExpan +Contrast", PairConfig::default()),
+        (
+            "- Neg from (Lpos, Lneg)",
+            PairConfig {
+                hard_negatives: false,
+                ..PairConfig::default()
+            },
+        ),
+        (
+            "- Neg from (L*, L0bar)",
+            PairConfig {
+                normal_negatives: false,
+                ..PairConfig::default()
+            },
+        ),
+        (
+            "- Pos from same list",
+            PairConfig {
+                cross_entity_positives: false,
+                ..PairConfig::default()
+            },
+        ),
+    ];
+    for (name, pc) in variants {
+        let model = methods::retexpan_contrast(&mut suite, &pc);
+        let r = evaluate_method(&suite.world, |_u, q| model.expand(&suite.world, q));
+        fmt::push_map_rows(&mut t, name, &r);
+        json.insert(name.to_string(), r);
+    }
+    println!("\nTable 7 — Contrastive-learning data ablation (MAP)");
+    println!("{}", t.render());
+    dump_json("table7", &json);
+}

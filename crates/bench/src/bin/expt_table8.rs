@@ -1,0 +1,41 @@
+//! Table 8 — retrieval augmentation with different retrieval contents:
+//! entity introductions, Wikidata attributes, and ground-truth attributes,
+//! for both frameworks.
+
+use std::collections::BTreeMap;
+use ultra_bench::{dump_json, fmt, methods, world_from_env, Suite};
+use ultra_embed::Augmentation;
+use ultra_eval::{evaluate_method, MetricReport, TableWriter};
+use ultra_genexpan::GenRaSource;
+
+fn main() {
+    let mut suite = Suite::new(world_from_env());
+    let mut t = TableWriter::new(fmt::map_headers());
+    let mut json: BTreeMap<String, MetricReport> = BTreeMap::new();
+
+    for (name, source) in [
+        ("RetExpan +RA (Entity Introduction)", Augmentation::Introduction),
+        ("RetExpan +RA (Wikidata Attributes)", Augmentation::WikidataAttrs),
+        ("RetExpan +RA (GT Attributes)", Augmentation::GtAttrs),
+    ] {
+        let model = methods::retexpan_ra(&mut suite, source);
+        let r = evaluate_method(&suite.world, |_u, q| model.expand(&suite.world, q));
+        fmt::push_map_rows(&mut t, name, &r);
+        json.insert(name.to_string(), r);
+    }
+
+    for (name, source) in [
+        ("GenExpan +RA (Entity Introduction)", GenRaSource::Introduction),
+        ("GenExpan +RA (Wikidata Attributes)", GenRaSource::WikidataAttrs),
+        ("GenExpan +RA (GT Attributes)", GenRaSource::GtAttrs),
+    ] {
+        let model = methods::genexpan_with(&mut suite, |g| g.config.ra = source);
+        let r = evaluate_method(&suite.world, |u, q| model.expand(&suite.world, u, q));
+        fmt::push_map_rows(&mut t, name, &r);
+        json.insert(name.to_string(), r);
+    }
+
+    println!("\nTable 8 — Retrieval-augmentation content sources (MAP)");
+    println!("{}", t.render());
+    dump_json("table8", &json);
+}

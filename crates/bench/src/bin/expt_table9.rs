@@ -1,0 +1,75 @@
+//! Table 9 — chain-of-thought reasoning: depth (class name → + positive
+//! attributes → + negative attributes) and precision (generated vs
+//! ground-truth) of each reasoning product.
+
+use std::collections::BTreeMap;
+use ultra_bench::{dump_json, fmt, methods, world_from_env, Suite};
+use ultra_eval::{evaluate_method, MetricReport, TableWriter};
+use ultra_genexpan::{AttrInfoSource, ClassNameSource, CotConfig};
+
+fn main() {
+    let mut suite = Suite::new(world_from_env());
+    let mut t = TableWriter::new(fmt::map_headers());
+    let mut json: BTreeMap<String, MetricReport> = BTreeMap::new();
+
+    let variants: Vec<(&str, CotConfig)> = vec![
+        ("GenExpan", CotConfig::off()),
+        (
+            "+ CoT (GT CN)",
+            CotConfig {
+                class_name: ClassNameSource::GroundTruth,
+                pos_attrs: AttrInfoSource::None,
+                neg_attrs: AttrInfoSource::None,
+            },
+        ),
+        (
+            "+ CoT (Gen CN)",
+            CotConfig {
+                class_name: ClassNameSource::Generated,
+                pos_attrs: AttrInfoSource::None,
+                neg_attrs: AttrInfoSource::None,
+            },
+        ),
+        (
+            "+ CoT (Gen CN + Gen Pos)",
+            CotConfig {
+                class_name: ClassNameSource::Generated,
+                pos_attrs: AttrInfoSource::Generated,
+                neg_attrs: AttrInfoSource::None,
+            },
+        ),
+        (
+            "+ CoT (Gen CN + GT Pos)",
+            CotConfig {
+                class_name: ClassNameSource::Generated,
+                pos_attrs: AttrInfoSource::GroundTruth,
+                neg_attrs: AttrInfoSource::None,
+            },
+        ),
+        (
+            "+ CoT (Gen CN + Gen Pos + Gen Neg)",
+            CotConfig {
+                class_name: ClassNameSource::Generated,
+                pos_attrs: AttrInfoSource::Generated,
+                neg_attrs: AttrInfoSource::Generated,
+            },
+        ),
+        (
+            "+ CoT (Gen CN + GT Pos + GT Neg)",
+            CotConfig {
+                class_name: ClassNameSource::Generated,
+                pos_attrs: AttrInfoSource::GroundTruth,
+                neg_attrs: AttrInfoSource::GroundTruth,
+            },
+        ),
+    ];
+    for (name, cot) in variants {
+        let model = methods::genexpan_with(&mut suite, |g| g.config.cot = cot);
+        let r = evaluate_method(&suite.world, |u, q| model.expand(&suite.world, u, q));
+        fmt::push_map_rows(&mut t, name, &r);
+        json.insert(name.to_string(), r);
+    }
+    println!("\nTable 9 — Chain-of-thought depth and precision (MAP)");
+    println!("{}", t.render());
+    dump_json("table9", &json);
+}

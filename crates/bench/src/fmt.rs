@@ -1,0 +1,98 @@
+//! Row-formatting helpers shared by the experiment binaries.
+
+use ultra_eval::{MetricReport, TableWriter};
+
+/// Headers for a MAP-only analysis table (Tables 3–10 style).
+pub fn map_headers() -> Vec<&'static str> {
+    vec!["Method", "Type", "M@10", "M@20", "M@50", "M@100", "Avg"]
+}
+
+/// Pushes the three Pos/Neg/Comb MAP rows of one method.
+pub fn push_map_rows(table: &mut TableWriter, name: &str, r: &MetricReport) {
+    let fmt = |v: f64| format!("{v:.2}");
+    let mut pos = vec![name.to_string(), "Pos".into()];
+    pos.extend(r.pos_map.iter().map(|&v| fmt(v)));
+    pos.push(fmt(r.avg_pos_map()));
+    table.row(pos);
+    let mut neg = vec![String::new(), "Neg".into()];
+    neg.extend(r.neg_map.iter().map(|&v| fmt(v)));
+    neg.push(fmt(r.avg_neg_map()));
+    table.row(neg);
+    let mut comb = vec![String::new(), "Comb".into()];
+    comb.extend(r.comb_map.iter().map(|&v| fmt(v)));
+    comb.push(fmt(r.avg_comb_map()));
+    table.row(comb);
+}
+
+/// Pushes a single Comb-MAP row (Table 3 style).
+pub fn push_comb_row(table: &mut TableWriter, name: &str, r: &MetricReport) {
+    let mut row = vec![name.to_string()];
+    row.extend(r.comb_map.iter().map(|&v| format!("{v:.2}")));
+    row.push(format!("{:.2}", r.avg_comb_map()));
+    table.row(row);
+}
+
+/// Pushes Δ rows between two reports (Table 5 style), `b − a`.
+pub fn push_delta_rows(table: &mut TableWriter, name: &str, a: &MetricReport, b: &MetricReport) {
+    let fmt = |x: f64, y: f64| format!("{:+.2}", y - x);
+    let mut pos = vec![name.to_string(), "ΔPos".into()];
+    pos.extend((0..4).map(|i| fmt(a.pos_map[i], b.pos_map[i])));
+    pos.push(fmt(a.avg_pos_map(), b.avg_pos_map()));
+    table.row(pos);
+    let mut neg = vec![String::new(), "ΔNeg".into()];
+    neg.extend((0..4).map(|i| fmt(a.neg_map[i], b.neg_map[i])));
+    neg.push(fmt(a.avg_neg_map(), b.avg_neg_map()));
+    table.row(neg);
+    let mut comb = vec![String::new(), "ΔComb".into()];
+    comb.extend((0..4).map(|i| fmt(a.comb_map[i], b.comb_map[i])));
+    comb.push(fmt(a.avg_comb_map(), b.avg_comb_map()));
+    table.row(comb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_eval::{MetricReport, QueryEval};
+
+    fn report() -> MetricReport {
+        MetricReport::aggregate(&[QueryEval {
+            pos_map: [40.0; 4],
+            neg_map: [10.0; 4],
+            pos_p: [50.0; 4],
+            neg_p: [20.0; 4],
+        }])
+    }
+
+    #[test]
+    fn map_rows_have_header_width() {
+        let mut t = TableWriter::new(map_headers());
+        push_map_rows(&mut t, "X", &report());
+        assert_eq!(t.len(), 3);
+        let rendered = t.render();
+        assert!(rendered.contains("65.00"), "CombMAP = (40+100-10)/2: {rendered}");
+    }
+
+    #[test]
+    fn comb_row_is_single() {
+        let mut t = TableWriter::new(vec!["Method", "C@10", "C@20", "C@50", "C@100", "Avg"]);
+        push_comb_row(&mut t, "X", &report());
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("65.00"));
+    }
+
+    #[test]
+    fn delta_rows_are_signed() {
+        let mut t = TableWriter::new(map_headers());
+        let a = report();
+        let b = MetricReport::aggregate(&[QueryEval {
+            pos_map: [42.0; 4],
+            neg_map: [9.0; 4],
+            pos_p: [50.0; 4],
+            neg_p: [20.0; 4],
+        }]);
+        push_delta_rows(&mut t, "D", &a, &b);
+        let rendered = t.render();
+        assert!(rendered.contains("+2.00"));
+        assert!(rendered.contains("-1.00"));
+    }
+}

@@ -1,0 +1,19 @@
+//! `ultra-bench` — experiment harnesses regenerating every table and
+//! figure of the paper's evaluation, plus Criterion micro-benchmarks.
+//!
+//! Each `expt_*` binary reproduces one table/figure (see DESIGN.md §3 for
+//! the index). All binaries honour two environment variables:
+//!
+//! * `ULTRA_PROFILE` — `small` (default; minutes) or `paper` (Table 11
+//!   scale);
+//! * `ULTRA_SEED` — world seed (default 42).
+//!
+//! Results print as aligned text tables and are also dumped as JSON to
+//! `target/experiments/<name>.json` so EXPERIMENTS.md can quote them.
+
+pub mod fmt;
+pub mod methods;
+pub mod suite;
+
+pub use methods::Method;
+pub use suite::{dump_json, world_from_env, Suite};

@@ -1,0 +1,161 @@
+//! The method registry: every row of Table 2 as a runnable unit.
+
+use crate::suite::Suite;
+use ultra_baselines::{CaSE, CgExpan, Gpt4Baseline, ProbExpan, SetExpan};
+use ultra_data::OracleConfig;
+use ultra_embed::{Augmentation, EncoderConfig, PairConfig};
+use ultra_eval::{evaluate_method, MetricReport};
+use ultra_genexpan::{CotConfig, GenExpan, GenRaSource};
+use ultra_retexpan::{mine_lists, RetExpan};
+
+/// One Table 2 method row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// SetExpan (probability-based).
+    SetExpan,
+    /// CaSE (probability-based).
+    CaSE,
+    /// CGExpan (retrieval-based).
+    CgExpan,
+    /// ProbExpan (retrieval-based, prior SOTA).
+    ProbExpan,
+    /// GPT-4 (generation-based).
+    Gpt4,
+    /// RetExpan (ours, retrieval-based).
+    RetExpan,
+    /// RetExpan + ultra-fine-grained contrastive learning.
+    RetExpanContrast,
+    /// RetExpan + retrieval augmentation (entity introductions).
+    RetExpanRa,
+    /// GenExpan (ours, generation-based).
+    GenExpan,
+    /// GenExpan + chain-of-thought reasoning.
+    GenExpanCot,
+    /// GenExpan + retrieval augmentation (entity introductions).
+    GenExpanRa,
+}
+
+impl Method {
+    /// Every Table 2 row, paper order.
+    pub fn table2() -> Vec<Method> {
+        use Method::*;
+        vec![
+            SetExpan, CaSE, CgExpan, ProbExpan, Gpt4, RetExpan, RetExpanContrast, RetExpanRa,
+            GenExpan, GenExpanCot, GenExpanRa,
+        ]
+    }
+
+    /// Display name matching the paper's row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::SetExpan => "SetExpan",
+            Method::CaSE => "CaSE",
+            Method::CgExpan => "CGExpan",
+            Method::ProbExpan => "ProbExpan",
+            Method::Gpt4 => "GPT4",
+            Method::RetExpan => "RetExpan",
+            Method::RetExpanContrast => "RetExpan +Contrast",
+            Method::RetExpanRa => "RetExpan +RA",
+            Method::GenExpan => "GenExpan",
+            Method::GenExpanCot => "GenExpan +CoT",
+            Method::GenExpanRa => "GenExpan +RA",
+        }
+    }
+
+    /// Trains (reusing the suite's shared components where possible) and
+    /// evaluates the method over the full query set.
+    pub fn evaluate(&self, suite: &mut Suite) -> MetricReport {
+        eprintln!("[methods] evaluating {}…", self.name());
+        match self {
+            Method::SetExpan => {
+                let m = SetExpan::new(&suite.world);
+                evaluate_method(&suite.world, |_u, q| m.expand(&suite.world, q))
+            }
+            Method::CaSE => {
+                let m = CaSE::new(&suite.world);
+                evaluate_method(&suite.world, |_u, q| m.expand(&suite.world, q))
+            }
+            Method::CgExpan => {
+                let m = CgExpan::new(&suite.world);
+                evaluate_method(&suite.world, |_u, q| m.expand(&suite.world, q))
+            }
+            Method::ProbExpan => {
+                let ret = suite.retexpan();
+                let m = ProbExpan::from_encoder(&suite.world, &ret.encoder);
+                evaluate_method(&suite.world, |_u, q| m.expand(&suite.world, q))
+            }
+            Method::Gpt4 => {
+                let m = Gpt4Baseline::new(&suite.world, OracleConfig::default());
+                evaluate_method(&suite.world, |_u, q| m.expand(q))
+            }
+            Method::RetExpan => {
+                let ret = suite.retexpan();
+                evaluate_method(&suite.world, |_u, q| ret.expand(&suite.world, q))
+            }
+            Method::RetExpanContrast => {
+                let m = retexpan_contrast(suite, &PairConfig::default());
+                evaluate_method(&suite.world, |_u, q| m.expand(&suite.world, q))
+            }
+            Method::RetExpanRa => {
+                let m = retexpan_ra(suite, Augmentation::Introduction);
+                evaluate_method(&suite.world, |_u, q| m.expand(&suite.world, q))
+            }
+            Method::GenExpan => {
+                let gen = suite.genexpan();
+                evaluate_method(&suite.world, |u, q| gen.expand(&suite.world, u, q))
+            }
+            Method::GenExpanCot => {
+                let mut gen = (*suite.genexpan()).clone();
+                gen.config.cot = CotConfig::default_cot();
+                evaluate_method(&suite.world, |u, q| gen.expand(&suite.world, u, q))
+            }
+            Method::GenExpanRa => {
+                let mut gen = (*suite.genexpan()).clone();
+                gen.config.ra = GenRaSource::Introduction;
+                evaluate_method(&suite.world, |u, q| gen.expand(&suite.world, u, q))
+            }
+        }
+    }
+}
+
+/// RetExpan + contrastive learning: clones the shared encoder, mines
+/// `L_pos`/`L_neg` with the GPT-4 oracle, runs InfoNCE training, refreshes
+/// representations.
+pub fn retexpan_contrast(suite: &mut Suite, pair_cfg: &PairConfig) -> RetExpan {
+    retexpan_contrast_sized(suite, pair_cfg, 10)
+}
+
+/// [`retexpan_contrast`] with an explicit `|L_pos|`/`|L_neg|` cap (the
+/// Figure 7 sweep).
+pub fn retexpan_contrast_sized(
+    suite: &mut Suite,
+    pair_cfg: &PairConfig,
+    list_cap: usize,
+) -> RetExpan {
+    let base = suite.retexpan();
+    let oracle = suite.oracle();
+    let mined = mine_lists(&suite.world, &base, &oracle, 3 * list_cap, list_cap);
+    let mut encoder = base.encoder.clone();
+    ultra_embed::contrastive::train_contrastive(&mut encoder, &suite.world, &mined, pair_cfg);
+    let mut ret = RetExpan::from_encoder(&suite.world, encoder, base.config.clone());
+    ret.refresh_reps(&suite.world);
+    ret
+}
+
+/// RetExpan + retrieval augmentation: retrains the encoder with knowledge
+/// prefixes on every context (training *and* inference, Section 5.1.3).
+pub fn retexpan_ra(suite: &mut Suite, source: Augmentation) -> RetExpan {
+    let base = suite.retexpan();
+    RetExpan::train(
+        &suite.world,
+        EncoderConfig::default().with_augment(source),
+        base.config.clone(),
+    )
+}
+
+/// GenExpan with a modified config, reusing the shared trained instance.
+pub fn genexpan_with(suite: &mut Suite, f: impl FnOnce(&mut GenExpan)) -> GenExpan {
+    let mut gen = (*suite.genexpan()).clone();
+    f(&mut gen);
+    gen
+}

@@ -1,0 +1,102 @@
+//! Shared experiment plumbing: world construction, trained-component
+//! caching, result dumping.
+
+use std::io::Write;
+use ultra_data::{World, WorldConfig};
+
+/// Builds the world selected by `ULTRA_PROFILE` / `ULTRA_SEED`.
+pub fn world_from_env() -> World {
+    let profile = std::env::var("ULTRA_PROFILE").unwrap_or_else(|_| "small".into());
+    let seed: u64 = std::env::var("ULTRA_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let cfg = match profile.as_str() {
+        "paper" => WorldConfig::paper(),
+        "tiny" => WorldConfig::tiny(),
+        _ => WorldConfig::small(),
+    };
+    eprintln!("[suite] generating world (profile={profile}, seed={seed})…");
+    let world = World::generate(cfg.with_seed(seed)).expect("world generation");
+    eprintln!(
+        "[suite] world ready: {} entities, {} sentences, {} ultra classes, {} queries",
+        world.num_entities(),
+        world.corpus.len(),
+        world.ultra_classes.len(),
+        world.ultra_classes.iter().map(|u| u.queries.len()).sum::<usize>()
+    );
+    world
+}
+
+/// Writes a JSON value to `target/experiments/<name>.json`.
+pub fn dump_json(name: &str, value: &impl serde::Serialize) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap());
+        eprintln!("[suite] wrote {}", path.display());
+    }
+}
+
+/// A lazily-built bundle of trained components shared across the methods of
+/// one experiment binary (training the encoder once instead of per-method).
+pub struct Suite {
+    /// The generated world.
+    pub world: World,
+    retexpan: Option<std::rc::Rc<ultra_retexpan::RetExpan>>,
+    genexpan: Option<std::rc::Rc<ultra_genexpan::GenExpan>>,
+    oracle: Option<std::rc::Rc<ultra_data::KnowledgeOracle>>,
+}
+
+impl Suite {
+    /// Builds the suite around a world.
+    pub fn new(world: World) -> Self {
+        Self {
+            world,
+            retexpan: None,
+            genexpan: None,
+            oracle: None,
+        }
+    }
+
+    /// The shared plain RetExpan (trained once on first use).
+    pub fn retexpan(&mut self) -> std::rc::Rc<ultra_retexpan::RetExpan> {
+        if self.retexpan.is_none() {
+            eprintln!("[suite] training shared RetExpan encoder…");
+            let ret = ultra_retexpan::RetExpan::train(
+                &self.world,
+                ultra_embed::EncoderConfig::default(),
+                ultra_retexpan::RetExpanConfig::default(),
+            );
+            self.retexpan = Some(std::rc::Rc::new(ret));
+        }
+        self.retexpan.as_ref().unwrap().clone()
+    }
+
+    /// The shared plain GenExpan (LM trained once on first use).
+    pub fn genexpan(&mut self) -> std::rc::Rc<ultra_genexpan::GenExpan> {
+        if self.genexpan.is_none() {
+            eprintln!("[suite] training shared GenExpan LM…");
+            let gen = ultra_genexpan::GenExpan::train(
+                &self.world,
+                ultra_genexpan::GenExpanConfig::default(),
+            );
+            self.genexpan = Some(std::rc::Rc::new(gen));
+        }
+        self.genexpan.as_ref().unwrap().clone()
+    }
+
+    /// The shared GPT-4 oracle.
+    pub fn oracle(&mut self) -> std::rc::Rc<ultra_data::KnowledgeOracle> {
+        if self.oracle.is_none() {
+            self.oracle = Some(std::rc::Rc::new(ultra_data::KnowledgeOracle::new(
+                &self.world,
+                ultra_data::OracleConfig::default(),
+            )));
+        }
+        self.oracle.as_ref().unwrap().clone()
+    }
+}

@@ -1,0 +1,155 @@
+//! Attribute schemas and attribute-value constraints.
+//!
+//! Each fine-grained semantic class owns 2–3 *attributes* (Section 4.1
+//! Step 3; e.g. *Mobile phone brands* has `<loc-continent>` and `<status>`).
+//! An attribute has a small closed set of values; every in-class entity is
+//! annotated with exactly one value per attribute. Ultra-fine-grained classes
+//! are built from value constraints over these attributes (Step 4).
+
+use crate::ids::AttributeId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a value within an [`AttributeSchema`]'s value list.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AttributeValueId(pub u16);
+
+impl AttributeValueId {
+    /// Returns the raw offset into the schema's value table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The schema of one attribute of a fine-grained semantic class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AttributeSchema {
+    /// Global attribute id.
+    pub id: AttributeId,
+    /// Human-readable name, e.g. `"<province>"`.
+    pub name: String,
+    /// Closed set of possible values, e.g. `["Henan", "Hebei", …]`.
+    pub values: Vec<String>,
+    /// Probability that a sentence mentioning an entity also carries a
+    /// lexical marker of the entity's value for this attribute. Low values
+    /// make the attribute "long-tail": hard to infer from context.
+    pub signal_rate: f64,
+}
+
+impl AttributeSchema {
+    /// Number of possible values.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Resolves a value id to its string form.
+    pub fn value_name(&self, v: AttributeValueId) -> &str {
+        &self.values[v.index()]
+    }
+}
+
+/// One conjunction of `attribute = value` requirements.
+///
+/// `A^pos`/`A^neg` with their picked values `V^pos`/`V^neg` from Section 4.1
+/// Step 4 are each represented as one `AttrConstraint`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct AttrConstraint {
+    /// `(attribute, required value)` pairs; an entity *satisfies* the
+    /// constraint iff it matches every pair.
+    pub required: Vec<(AttributeId, AttributeValueId)>,
+}
+
+impl AttrConstraint {
+    /// Builds a constraint from `(attribute, value)` pairs.
+    pub fn new(required: Vec<(AttributeId, AttributeValueId)>) -> Self {
+        Self { required }
+    }
+
+    /// Number of constrained attributes (`|A^pos|` or `|A^neg|`).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.required.len()
+    }
+
+    /// The set of constrained attribute ids.
+    pub fn attributes(&self) -> impl Iterator<Item = AttributeId> + '_ {
+        self.required.iter().map(|(a, _)| *a)
+    }
+
+    /// Tests whether an entity's assignments satisfy every requirement.
+    ///
+    /// `assignment` maps attributes to values for one entity; entities store
+    /// their assignments sorted by attribute id, so a linear scan suffices
+    /// (arity is ≤ 3 in practice).
+    pub fn satisfied_by(&self, assignment: &[(AttributeId, AttributeValueId)]) -> bool {
+        self.required
+            .iter()
+            .all(|req| assignment.iter().any(|have| have == req))
+    }
+
+    /// Whether two constraints cover exactly the same attribute set
+    /// (the paper's `A^pos = A^neg` case of Table 4).
+    pub fn same_attributes(&self, other: &Self) -> bool {
+        if self.arity() != other.arity() {
+            return false;
+        }
+        let mut a: Vec<_> = self.attributes().collect();
+        let mut b: Vec<_> = other.attributes().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(x: u16) -> AttributeId {
+        AttributeId::new(x)
+    }
+    fn vid(x: u16) -> AttributeValueId {
+        AttributeValueId(x)
+    }
+
+    #[test]
+    fn constraint_satisfaction_requires_all_pairs() {
+        let c = AttrConstraint::new(vec![(aid(0), vid(1)), (aid(2), vid(0))]);
+        let full = vec![(aid(0), vid(1)), (aid(1), vid(5)), (aid(2), vid(0))];
+        let partial = vec![(aid(0), vid(1)), (aid(2), vid(3))];
+        assert!(c.satisfied_by(&full));
+        assert!(!c.satisfied_by(&partial));
+        assert!(!c.satisfied_by(&[]));
+    }
+
+    #[test]
+    fn empty_constraint_is_trivially_satisfied() {
+        let c = AttrConstraint::default();
+        assert!(c.satisfied_by(&[]));
+        assert_eq!(c.arity(), 0);
+    }
+
+    #[test]
+    fn same_attributes_ignores_values_and_order() {
+        let a = AttrConstraint::new(vec![(aid(0), vid(1)), (aid(3), vid(0))]);
+        let b = AttrConstraint::new(vec![(aid(3), vid(9)), (aid(0), vid(2))]);
+        let c = AttrConstraint::new(vec![(aid(0), vid(1))]);
+        assert!(a.same_attributes(&b));
+        assert!(!a.same_attributes(&c));
+    }
+
+    #[test]
+    fn schema_lookups() {
+        let s = AttributeSchema {
+            id: aid(4),
+            name: "<province>".into(),
+            values: vec!["Henan".into(), "Hebei".into()],
+            signal_rate: 0.6,
+        };
+        assert_eq!(s.cardinality(), 2);
+        assert_eq!(s.value_name(vid(1)), "Hebei");
+    }
+}

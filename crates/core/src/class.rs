@@ -1,0 +1,158 @@
+//! Fine-grained and ultra-fine-grained semantic classes.
+
+use crate::attr::AttrConstraint;
+use crate::ids::{AttributeId, ClassId, EntityId, UltraClassId};
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+
+/// The five coarse-grained entity types covered by UltraWiki (Section 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoarseType {
+    /// e.g. *Canada universities*.
+    Organization,
+    /// e.g. *China cities*, *Countries*, *US airports*, *US national monuments*.
+    Location,
+    /// e.g. *Mobile phone brands*, *Percussion instruments*.
+    Product,
+    /// e.g. *Nobel laureates*, *US presidents*.
+    Person,
+    /// e.g. *Chemical elements*.
+    Miscellaneous,
+}
+
+/// One fine-grained semantic class (concept level, Table 11 row).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FineClass {
+    /// Dense class id.
+    pub id: ClassId,
+    /// Human-readable name, e.g. `"China cities"`.
+    pub name: String,
+    /// Coarse category the class belongs to.
+    pub coarse: CoarseType,
+    /// The 2–3 attributes annotated for this class.
+    pub attributes: Vec<AttributeId>,
+    /// Member entities (dense, sorted).
+    pub entities: Vec<EntityId>,
+}
+
+impl FineClass {
+    /// Number of member entities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the class has no members (never true for generated worlds).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+}
+
+/// One ultra-fine-grained semantic class (Section 4.1 Step 4).
+///
+/// Jointly defined by a fine-grained class, a positive constraint
+/// `(A^pos, V^pos)` and a negative constraint `(A^neg, V^neg)`. The
+/// *positive target entities* `P` satisfy the positive constraint; the
+/// *negative target entities* `N` satisfy the negative constraint (and are
+/// the entities a model must *not* expand). When `A^pos = A^neg` the two
+/// sets are disjoint; when they differ the sets may overlap — overlapping
+/// entities are excluded from both targets, matching the task's requirement
+/// that expanded entities share `V^pos` while being distinct from `V^neg`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UltraClass {
+    /// Dense ultra-class id.
+    pub id: UltraClassId,
+    /// Parent fine-grained class.
+    pub fine: ClassId,
+    /// Positive attribute constraint `(A^pos, V^pos)`.
+    pub pos: AttrConstraint,
+    /// Negative attribute constraint `(A^neg, V^neg)`.
+    pub neg: AttrConstraint,
+    /// Positive target entities `P` (satisfy `pos`, not `neg`).
+    pub pos_targets: Vec<EntityId>,
+    /// Negative target entities `N` (satisfy `neg`, not `pos`).
+    pub neg_targets: Vec<EntityId>,
+    /// The 3 queries sampled for this class.
+    pub queries: Vec<Query>,
+}
+
+impl UltraClass {
+    /// Whether positive and negative constraints cover the same attributes
+    /// (`A^pos = A^neg`, Table 4's easier regime).
+    #[inline]
+    pub fn same_attribute_sets(&self) -> bool {
+        self.pos.same_attributes(&self.neg)
+    }
+
+    /// `(|A^pos|, |A^neg|)` — Table 6's grouping key.
+    #[inline]
+    pub fn arity(&self) -> (usize, usize) {
+        (self.pos.arity(), self.neg.arity())
+    }
+
+    /// Human-readable description, e.g.
+    /// `"China cities [<province>=Henan | NOT <prefecture>=Prefecture-level]"`.
+    pub fn describe(&self, fine_name: &str, attr_name: impl Fn(AttributeId) -> String) -> String {
+        let fmt = |c: &AttrConstraint| {
+            c.required
+                .iter()
+                .map(|(a, v)| format!("{}={}", attr_name(*a), v.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{fine_name} [{} | NOT {}]",
+            fmt(&self.pos),
+            fmt(&self.neg)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeValueId;
+
+    fn constraint(pairs: &[(u16, u16)]) -> AttrConstraint {
+        AttrConstraint::new(
+            pairs
+                .iter()
+                .map(|&(a, v)| (AttributeId::new(a), AttributeValueId(v)))
+                .collect(),
+        )
+    }
+
+    fn ultra(pos: &[(u16, u16)], neg: &[(u16, u16)]) -> UltraClass {
+        UltraClass {
+            id: UltraClassId::new(0),
+            fine: ClassId::new(0),
+            pos: constraint(pos),
+            neg: constraint(neg),
+            pos_targets: vec![],
+            neg_targets: vec![],
+            queries: vec![],
+        }
+    }
+
+    #[test]
+    fn same_attribute_sets_detects_overlap_regimes() {
+        assert!(ultra(&[(0, 1)], &[(0, 2)]).same_attribute_sets());
+        assert!(!ultra(&[(0, 1)], &[(1, 2)]).same_attribute_sets());
+        assert!(ultra(&[(0, 1), (1, 0)], &[(1, 3), (0, 2)]).same_attribute_sets());
+    }
+
+    #[test]
+    fn arity_reports_constraint_sizes() {
+        assert_eq!(ultra(&[(0, 1)], &[(1, 2), (2, 0)]).arity(), (1, 2));
+    }
+
+    #[test]
+    fn describe_renders_both_constraints() {
+        let u = ultra(&[(0, 1)], &[(1, 2)]);
+        let s = u.describe("China cities", |a| format!("attr{}", a.0));
+        assert!(s.contains("China cities"));
+        assert!(s.contains("attr0=1"));
+        assert!(s.contains("NOT attr1=2"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, UltraError>;
+
+/// Errors surfaced by the UltraWiki reproduction crates.
+///
+/// The library is deterministic and in-memory, so most failure modes are
+/// configuration mistakes (an invalid world config, a query referencing an
+/// unknown entity) rather than runtime faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UltraError {
+    /// A generator or model configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// A query or API call referenced an entity outside the vocabulary `V`.
+    UnknownEntity(String),
+    /// A query or API call referenced an unknown semantic class.
+    UnknownClass(String),
+    /// A numeric routine received inputs it cannot process
+    /// (e.g. mismatched vector dimensions).
+    Shape(String),
+    /// Training or decoding was asked to run with an empty input set.
+    EmptyInput(String),
+}
+
+impl fmt::Display for UltraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UltraError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            UltraError::UnknownEntity(msg) => write!(f, "unknown entity: {msg}"),
+            UltraError::UnknownClass(msg) => write!(f, "unknown semantic class: {msg}"),
+            UltraError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            UltraError::EmptyInput(msg) => write!(f, "empty input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UltraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let err = UltraError::Shape("expected 64, got 32".into());
+        assert_eq!(err.to_string(), "shape mismatch: expected 64, got 32");
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let err: Box<dyn std::error::Error> = Box::new(UltraError::EmptyInput("seeds".into()));
+        assert!(err.to_string().contains("seeds"));
+    }
+}

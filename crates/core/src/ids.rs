@@ -1,0 +1,121 @@
+//! Small, copyable, strongly-typed identifiers.
+//!
+//! Every index into the dataset is wrapped in a newtype so that an entity
+//! index can never be confused with a token or sentence index. All ids are
+//! plain array offsets assigned densely from zero by the generator, which
+//! keeps lookups O(1) against `Vec` storage (no hashing on hot paths).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Wraps a dense array offset as a typed id.
+            #[inline]
+            pub const fn new(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw offset for indexing into `Vec` storage.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a `usize` offset, panicking on overflow.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                debug_assert!(idx <= <$repr>::MAX as usize);
+                Self(idx as $repr)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of an entity in the candidate vocabulary `V`.
+    EntityId,
+    u32
+);
+define_id!(
+    /// Index of a token in the interned text vocabulary.
+    TokenId,
+    u32
+);
+define_id!(
+    /// Index of a fine-grained semantic class (e.g. *China cities*).
+    ClassId,
+    u16
+);
+define_id!(
+    /// Index of an ultra-fine-grained semantic class derived from a
+    /// fine-grained class plus positive/negative attribute constraints.
+    UltraClassId,
+    u32
+);
+define_id!(
+    /// Index of a sentence in the corpus `D`.
+    SentenceId,
+    u32
+);
+define_id!(
+    /// Index of an attribute schema (global across all fine-grained classes).
+    AttributeId,
+    u16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        let e = EntityId::from_index(42);
+        assert_eq!(e.index(), 42);
+        assert_eq!(usize::from(e), 42);
+        assert_eq!(e, EntityId::new(42));
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(EntityId::new(1) < EntityId::new(2));
+        assert!(TokenId::new(0) < TokenId::new(u32::MAX));
+    }
+
+    #[test]
+    fn debug_and_display_render_raw_value() {
+        assert_eq!(format!("{:?}", ClassId::new(7)), "ClassId(7)");
+        assert_eq!(format!("{}", ClassId::new(7)), "7");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(SentenceId::default(), SentenceId::new(0));
+    }
+}

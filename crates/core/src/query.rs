@@ -1,0 +1,68 @@
+//! Queries: positive and negative seed entities.
+
+use crate::ids::{EntityId, UltraClassId};
+use serde::{Deserialize, Serialize};
+
+/// One Ultra-ESE query `S = S^pos ∪ S^neg` (Section 3).
+///
+/// Both seed sets come from the same fine-grained semantic class; they differ
+/// only in ultra-fine-grained attribute values. The paper samples 3 queries
+/// per ultra-fine-grained class, each with 3–5 positive and negative seeds.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// The ultra-fine-grained class this query targets.
+    pub ultra: UltraClassId,
+    /// Positive seed entities `S^pos` (satisfy the positive constraint).
+    pub pos_seeds: Vec<EntityId>,
+    /// Negative seed entities `S^neg` (satisfy the negative constraint).
+    pub neg_seeds: Vec<EntityId>,
+}
+
+impl Query {
+    /// Builds a query, keeping seed lists as provided (callers sort if needed).
+    pub fn new(ultra: UltraClassId, pos_seeds: Vec<EntityId>, neg_seeds: Vec<EntityId>) -> Self {
+        Self {
+            ultra,
+            pos_seeds,
+            neg_seeds,
+        }
+    }
+
+    /// All seeds, positives first. Seeds must never be returned as expansion
+    /// results, so rankers exclude exactly this set.
+    pub fn all_seeds(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.pos_seeds
+            .iter()
+            .chain(self.neg_seeds.iter())
+            .copied()
+    }
+
+    /// Whether `e` is one of the query's seeds.
+    pub fn is_seed(&self, e: EntityId) -> bool {
+        self.pos_seeds.contains(&e) || self.neg_seeds.contains(&e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eid(x: u32) -> EntityId {
+        EntityId::new(x)
+    }
+
+    #[test]
+    fn all_seeds_yields_pos_then_neg() {
+        let q = Query::new(UltraClassId::new(0), vec![eid(1), eid(2)], vec![eid(9)]);
+        let got: Vec<_> = q.all_seeds().collect();
+        assert_eq!(got, vec![eid(1), eid(2), eid(9)]);
+    }
+
+    #[test]
+    fn is_seed_covers_both_sets() {
+        let q = Query::new(UltraClassId::new(0), vec![eid(1)], vec![eid(9)]);
+        assert!(q.is_seed(eid(1)));
+        assert!(q.is_seed(eid(9)));
+        assert!(!q.is_seed(eid(5)));
+    }
+}

@@ -1,0 +1,146 @@
+//! Ranked expansion results.
+
+use crate::ids::EntityId;
+use serde::{Deserialize, Serialize};
+
+/// A ranked list of candidate entities with scores, best first.
+///
+/// This is the output of every expansion framework and the input of every
+/// metric. The invariant — scores non-increasing, entities unique — is
+/// enforced by the constructors and checked by property tests.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankedList {
+    entries: Vec<(EntityId, f32)>,
+}
+
+impl RankedList {
+    /// Builds a ranked list from unsorted `(entity, score)` pairs.
+    ///
+    /// Sorts by descending score with entity id as a deterministic
+    /// tie-breaker, and keeps only the first occurrence of each entity.
+    pub fn from_scores(mut scores: Vec<(EntityId, f32)>) -> Self {
+        scores.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut seen = std::collections::HashSet::with_capacity(scores.len());
+        scores.retain(|(e, _)| seen.insert(*e));
+        Self { entries: scores }
+    }
+
+    /// Builds a ranked list from pairs already sorted best-first.
+    ///
+    /// Debug builds assert the ordering invariant.
+    pub fn from_sorted(entries: Vec<(EntityId, f32)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].1 >= w[1].1),
+            "RankedList::from_sorted requires non-increasing scores"
+        );
+        Self { entries }
+    }
+
+    /// Number of ranked entities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The ranked `(entity, score)` pairs, best first.
+    #[inline]
+    pub fn entries(&self) -> &[(EntityId, f32)] {
+        &self.entries
+    }
+
+    /// The ranked entities, best first, without scores.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.entries.iter().map(|(e, _)| *e)
+    }
+
+    /// The top-`k` prefix as a new list.
+    pub fn truncated(&self, k: usize) -> RankedList {
+        RankedList {
+            entries: self.entries.iter().take(k).copied().collect(),
+        }
+    }
+
+    /// Removes the given entities (typically the query's seeds) preserving
+    /// order.
+    pub fn without(&self, exclude: &[EntityId]) -> RankedList {
+        RankedList {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(e, _)| !exclude.contains(e))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Rank (0-based) of an entity, if present.
+    pub fn rank_of(&self, e: EntityId) -> Option<usize> {
+        self.entries.iter().position(|(x, _)| *x == e)
+    }
+
+    /// Consumes the list, returning the underlying pairs.
+    pub fn into_entries(self) -> Vec<(EntityId, f32)> {
+        self.entries
+    }
+}
+
+impl FromIterator<(EntityId, f32)> for RankedList {
+    fn from_iter<T: IntoIterator<Item = (EntityId, f32)>>(iter: T) -> Self {
+        Self::from_scores(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eid(x: u32) -> EntityId {
+        EntityId::new(x)
+    }
+
+    #[test]
+    fn from_scores_sorts_descending_with_stable_ties() {
+        let l = RankedList::from_scores(vec![(eid(3), 0.5), (eid(1), 0.9), (eid(2), 0.5)]);
+        let got: Vec<_> = l.entities().collect();
+        assert_eq!(got, vec![eid(1), eid(2), eid(3)]);
+    }
+
+    #[test]
+    fn from_scores_deduplicates_keeping_best() {
+        let l = RankedList::from_scores(vec![(eid(1), 0.2), (eid(1), 0.9), (eid(2), 0.5)]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.rank_of(eid(1)), Some(0));
+        assert_eq!(l.entries()[0].1, 0.9);
+    }
+
+    #[test]
+    fn truncated_and_without() {
+        let l = RankedList::from_scores(vec![(eid(1), 3.0), (eid(2), 2.0), (eid(3), 1.0)]);
+        assert_eq!(l.truncated(2).len(), 2);
+        let w = l.without(&[eid(2)]);
+        let got: Vec<_> = w.entities().collect();
+        assert_eq!(got, vec![eid(1), eid(3)]);
+    }
+
+    #[test]
+    fn rank_of_missing_is_none() {
+        let l = RankedList::from_scores(vec![(eid(1), 1.0)]);
+        assert_eq!(l.rank_of(eid(9)), None);
+    }
+
+    #[test]
+    fn handles_nan_scores_without_panicking() {
+        let l = RankedList::from_scores(vec![(eid(1), f32::NAN), (eid(2), 1.0)]);
+        assert_eq!(l.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! External entity knowledge: introductions and Wikidata-style records.
+//!
+//! Retrieval augmentation (Section 5.1.3 / 5.2.3, Table 8) prepends one of
+//! three knowledge sources to an entity's context:
+//!
+//! * **Entity introduction** — reliable, compact: class topic plus markers
+//!   of every true attribute value (the Wikipedia first-paragraph analogue).
+//! * **Wikidata attributes** — high-quality but cluttered: a random subset
+//!   of relevant markers drowned among irrelevant rare-attribute tokens
+//!   (the paper's "YouTube channel ID" effect).
+//! * **Ground-truth attributes** — markers of the entity's values on exactly
+//!   the attributes an ultra class constrains (upper bound).
+
+use crate::lexicon::Lexicon;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+use ultra_core::rng::UltraRng;
+use ultra_core::{AttributeId, AttributeSchema, Entity, EntityId, FineClass, TokenId};
+
+/// Per-entity knowledge texts (token sequences).
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgeBase {
+    /// Introduction text per entity.
+    pub intro: Vec<Vec<TokenId>>,
+    /// Wikidata-attribute text per entity.
+    pub wikidata: Vec<Vec<TokenId>>,
+}
+
+impl KnowledgeBase {
+    /// Builds both knowledge texts for every entity.
+    pub fn build(
+        entities: &[Entity],
+        classes: &[FineClass],
+        attributes: &[AttributeSchema],
+        lexicon: &Lexicon,
+        distractor_group: &HashMap<u32, usize>,
+        hard_neg_class: &HashMap<u32, usize>,
+        rng: &mut UltraRng,
+    ) -> Self {
+        let _ = classes;
+        let mut intro = Vec::with_capacity(entities.len());
+        let mut wikidata = Vec::with_capacity(entities.len());
+        for e in entities {
+            intro.push(Self::build_intro(
+                e,
+                lexicon,
+                distractor_group,
+                hard_neg_class,
+                rng,
+            ));
+            wikidata.push(Self::build_wikidata(e, attributes, lexicon, rng));
+        }
+        Self { intro, wikidata }
+    }
+
+    fn build_intro(
+        e: &Entity,
+        lexicon: &Lexicon,
+        distractor_group: &HashMap<u32, usize>,
+        hard_neg_class: &HashMap<u32, usize>,
+        rng: &mut UltraRng,
+    ) -> Vec<TokenId> {
+        let mut toks = Vec::new();
+        match (e.class, hard_neg_class.get(&e.id.0)) {
+            (Some(class), _) => {
+                toks.push(lexicon.sample_topic(class.index(), rng));
+                toks.push(lexicon.sample_topic(class.index(), rng));
+                // Introductions usually state the attribute values, but in
+                // entity-specific phrasing (sampled markers), and a rare
+                // introduction omits an attribute — the "static retrieved
+                // knowledge" of Section 5.1.3 is informative, not an oracle.
+                for &(aid, val) in &e.attrs {
+                    if rng.gen_bool(0.85) {
+                        toks.push(lexicon.sample_marker(aid.index(), val.index(), rng));
+                        toks.push(lexicon.sample_marker(aid.index(), val.index(), rng));
+                    }
+                }
+                toks.push(lexicon.sample_filler(rng));
+                toks.push(lexicon.sample_filler(rng));
+            }
+            (None, Some(&class_idx)) => {
+                // Hard negatives read like class members at first glance…
+                toks.push(lexicon.sample_topic(class_idx, rng));
+                let group = distractor_group.get(&e.id.0).copied().unwrap_or(0);
+                toks.push(lexicon.sample_distractor_topic(group, rng));
+                toks.push(lexicon.sample_filler(rng));
+            }
+            (None, None) => {
+                let group = distractor_group.get(&e.id.0).copied().unwrap_or(0);
+                toks.push(lexicon.sample_distractor_topic(group, rng));
+                toks.push(lexicon.sample_distractor_topic(group, rng));
+                toks.push(lexicon.sample_filler(rng));
+            }
+        }
+        toks
+    }
+
+    fn build_wikidata(
+        e: &Entity,
+        attributes: &[AttributeSchema],
+        lexicon: &Lexicon,
+        rng: &mut UltraRng,
+    ) -> Vec<TokenId> {
+        let _ = attributes;
+        let mut toks = Vec::new();
+        // Random subset of the true attributes…
+        let mut attrs: Vec<_> = e.attrs.clone();
+        attrs.shuffle(rng);
+        for (aid, val) in attrs {
+            if rng.gen_bool(0.5) {
+                toks.push(lexicon.sample_marker(aid.index(), val.index(), rng));
+            }
+        }
+        // …drowned in irrelevant rare-attribute clutter.
+        for _ in 0..rng.gen_range(3..=5) {
+            toks.push(lexicon.sample_filler(rng));
+        }
+        toks
+    }
+
+    /// Ground-truth attribute text: the first two markers of `entity`'s
+    /// value on each of `attrs` (deterministic; used by the GT-attribute
+    /// retrieval-augmentation variant of Table 8).
+    pub fn gt_attr_tokens(
+        lexicon: &Lexicon,
+        entity: &Entity,
+        attrs: impl IntoIterator<Item = AttributeId>,
+    ) -> Vec<TokenId> {
+        let mut toks = Vec::new();
+        for aid in attrs {
+            if let Some(val) = entity.value_of(aid) {
+                let markers = lexicon.markers_of(aid.index(), val.index());
+                toks.push(markers[0]);
+                toks.push(markers[1 % markers.len()]);
+            }
+        }
+        toks
+    }
+
+    /// Introduction text of one entity.
+    #[inline]
+    pub fn intro_of(&self, e: EntityId) -> &[TokenId] {
+        &self.intro[e.index()]
+    }
+
+    /// Wikidata text of one entity.
+    #[inline]
+    pub fn wikidata_of(&self, e: EntityId) -> &[TokenId] {
+        &self.wikidata[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::WorldConfig;
+    use crate::knowledge::KnowledgeBase;
+    use crate::world::World;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn every_entity_has_intro_and_wikidata() {
+        let w = world();
+        assert_eq!(w.knowledge.intro.len(), w.num_entities());
+        assert_eq!(w.knowledge.wikidata.len(), w.num_entities());
+        for e in &w.entities {
+            assert!(!w.knowledge.intro_of(e.id).is_empty());
+            assert!(!w.knowledge.wikidata_of(e.id).is_empty());
+        }
+    }
+
+    #[test]
+    fn in_class_intros_usually_contain_attribute_markers() {
+        let w = world();
+        let class = &w.classes[0];
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for &e in class.entities.iter().take(20) {
+            let ent = w.entity(e);
+            let intro = w.knowledge.intro_of(e);
+            for &(aid, val) in &ent.attrs {
+                total += 1;
+                let markers = w.lexicon.markers_of(aid.index(), val.index());
+                if intro.iter().any(|t| markers.contains(t)) {
+                    covered += 1;
+                }
+            }
+        }
+        let rate = covered as f64 / total as f64;
+        assert!(
+            (0.6..=1.0).contains(&rate),
+            "intros should cover most attributes: {rate:.2}"
+        );
+    }
+
+    #[test]
+    fn gt_attr_tokens_cover_requested_attrs_only() {
+        let w = world();
+        let class = &w.classes[0];
+        let e = w.entity(class.entities[0]);
+        let one_attr = [class.attributes[0]];
+        let toks = KnowledgeBase::gt_attr_tokens(&w.lexicon, e, one_attr);
+        assert_eq!(toks.len(), 2);
+        let val = e.value_of(class.attributes[0]).unwrap();
+        let markers = w.lexicon.markers_of(class.attributes[0].index(), val.index());
+        assert!(toks.iter().all(|t| markers.contains(t)));
+    }
+
+    #[test]
+    fn gt_attr_tokens_for_distractor_is_empty() {
+        let w = world();
+        let distractor = w
+            .entities
+            .iter()
+            .find(|e| e.class.is_none())
+            .expect("a distractor exists");
+        let toks = KnowledgeBase::gt_attr_tokens(
+            &w.lexicon,
+            distractor,
+            w.classes[0].attributes.iter().copied(),
+        );
+        assert!(toks.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Token pools: class topics, attribute-value markers, filler words.
+//!
+//! Sentence synthesis draws from three pools whose mixture determines how
+//! much semantic signal a sentence carries:
+//!
+//! * **class topics** — every sentence about an in-class entity carries a
+//!   few of its class's topic tokens, giving all methods a strong
+//!   fine-grained signal (the paper reports every method can do
+//!   fine-grained expansion far better than ultra-fine);
+//! * **value markers** — per `(attribute, value)` token sets emitted at the
+//!   attribute's `signal_rate`; the only contextual evidence of
+//!   ultra-fine-grained distinctions;
+//! * **filler** — a Zipf-weighted shared pool providing realistic noise.
+
+use crate::config::WorldConfig;
+use crate::names::NameFactory;
+use rand::Rng;
+use ultra_core::rng::UltraRng;
+use ultra_core::{AttributeSchema, TokenId};
+use ultra_text::Vocab;
+
+/// Marker machinery of one attribute: a *shared* token pool with one
+/// Zipf-graded distribution per value.
+///
+/// Real corpora rarely dedicate a word to an attribute value; instead a
+/// value shifts the *distribution* over attribute-related vocabulary
+/// ("northern", "province", "basin" all lean toward some provinces more
+/// than others). Modelling markers as per-value distributions over a
+/// shared pool reproduces that: exact-token-overlap methods see mostly
+/// shared tokens and blur values together, while representation learning
+/// can imprint each token's graded value profile into its embedding.
+#[derive(Clone, Debug)]
+pub struct AttrMarkers {
+    /// The attribute's shared marker vocabulary.
+    pub pool: Vec<TokenId>,
+    /// Per value: pool indices ordered from most- to least-characteristic.
+    value_order: Vec<Vec<u16>>,
+    /// Cached top-4 tokens per value (ground-truth knowledge text, tests).
+    value_top: Vec<Vec<TokenId>>,
+    /// Cumulative Zipf weights over ranks (shared across values).
+    rank_cdf: Vec<f64>,
+}
+
+impl AttrMarkers {
+    fn build(pool: Vec<TokenId>, cardinality: usize, sharpness: f64, rng: &mut UltraRng) -> Self {
+        let mut rank_cdf = Vec::with_capacity(pool.len());
+        let mut acc = 0.0;
+        for i in 0..pool.len() {
+            acc += 1.0 / ((i + 1) as f64).powf(sharpness);
+            rank_cdf.push(acc);
+        }
+        let mut value_order = Vec::with_capacity(cardinality);
+        let mut value_top = Vec::with_capacity(cardinality);
+        for _ in 0..cardinality {
+            let mut order: Vec<u16> = (0..pool.len() as u16).collect();
+            use rand::seq::SliceRandom;
+            order.shuffle(rng);
+            value_top.push(order.iter().take(4).map(|&i| pool[i as usize]).collect());
+            value_order.push(order);
+        }
+        Self {
+            pool,
+            value_order,
+            value_top,
+            rank_cdf,
+        }
+    }
+
+    /// Samples one marker token under `value`'s graded distribution.
+    fn sample(&self, value: usize, rng: &mut UltraRng) -> TokenId {
+        let total = *self.rank_cdf.last().expect("non-empty pool");
+        let x = rng.gen_range(0.0..total);
+        let rank = self.rank_cdf.partition_point(|&c| c < x);
+        let rank = rank.min(self.pool.len() - 1);
+        self.pool[self.value_order[value][rank] as usize]
+    }
+
+    /// The most characteristic tokens of a value (top of its distribution).
+    fn top(&self, value: usize) -> &[TokenId] {
+        &self.value_top[value]
+    }
+}
+
+/// All token pools of a generated world.
+#[derive(Clone, Debug)]
+pub struct Lexicon {
+    /// Zipf-weighted filler tokens.
+    pub filler: Vec<TokenId>,
+    /// Cumulative sampling weights aligned with `filler`.
+    filler_cdf: Vec<f64>,
+    /// Topic tokens per fine-grained class.
+    pub class_topics: Vec<Vec<TokenId>>,
+    /// Topic tokens per distractor topic group.
+    pub distractor_topics: Vec<Vec<TokenId>>,
+    /// Per-attribute marker machinery.
+    pub markers: Vec<AttrMarkers>,
+}
+
+impl Lexicon {
+    /// Number of distractor topic groups (unrelated "Wikipedia page" themes).
+    pub const DISTRACTOR_GROUPS: usize = 40;
+
+    /// Builds every pool, interning fresh pseudo-words.
+    pub fn build(
+        cfg: &WorldConfig,
+        attributes: &[AttributeSchema],
+        vocab: &mut Vocab,
+        factory: &mut NameFactory,
+        rng: &mut UltraRng,
+    ) -> Self {
+        let mut word = |vocab: &mut Vocab, rng: &mut UltraRng| {
+            let w = factory.unique_word(rng);
+            vocab.intern(&w)
+        };
+
+        let filler: Vec<TokenId> = (0..cfg.filler_vocab).map(|_| word(vocab, rng)).collect();
+        // Zipf weights 1/(i+1)^1.1 as a cumulative distribution.
+        let mut filler_cdf = Vec::with_capacity(filler.len());
+        let mut acc = 0.0f64;
+        for i in 0..filler.len() {
+            acc += 1.0 / ((i + 1) as f64).powf(1.1);
+            filler_cdf.push(acc);
+        }
+
+        let class_topics = (0..cfg.classes.len())
+            .map(|_| {
+                (0..cfg.topic_tokens_per_class)
+                    .map(|_| word(vocab, rng))
+                    .collect()
+            })
+            .collect();
+
+        let distractor_topics = (0..Self::DISTRACTOR_GROUPS)
+            .map(|_| {
+                (0..cfg.topic_tokens_per_class)
+                    .map(|_| word(vocab, rng))
+                    .collect()
+            })
+            .collect();
+
+        let markers = attributes
+            .iter()
+            .map(|schema| {
+                // Pool scales with cardinality so values stay separable;
+                // `marker_tokens_per_value` sets the pool-per-value ratio.
+                let pool_size =
+                    (schema.cardinality() * cfg.marker_tokens_per_value / 4).max(16);
+                let pool: Vec<TokenId> = (0..pool_size).map(|_| word(vocab, rng)).collect();
+                AttrMarkers::build(pool, schema.cardinality(), 1.1, rng)
+            })
+            .collect();
+
+        Self {
+            filler,
+            filler_cdf,
+            class_topics,
+            distractor_topics,
+            markers,
+        }
+    }
+
+    /// One Zipf-weighted filler token.
+    pub fn sample_filler(&self, rng: &mut UltraRng) -> TokenId {
+        let total = *self.filler_cdf.last().expect("non-empty filler pool");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.filler_cdf.partition_point(|&c| c < x);
+        self.filler[idx.min(self.filler.len() - 1)]
+    }
+
+    /// One topic token of a fine-grained class.
+    pub fn sample_topic(&self, class_idx: usize, rng: &mut UltraRng) -> TokenId {
+        let pool = &self.class_topics[class_idx];
+        pool[rng.gen_range(0..pool.len())]
+    }
+
+    /// One topic token of a distractor group.
+    pub fn sample_distractor_topic(&self, group: usize, rng: &mut UltraRng) -> TokenId {
+        let pool = &self.distractor_topics[group % self.distractor_topics.len()];
+        pool[rng.gen_range(0..pool.len())]
+    }
+
+    /// One marker token drawn from `(attribute, value)`'s graded
+    /// distribution.
+    pub fn sample_marker(&self, attr: usize, value: usize, rng: &mut UltraRng) -> TokenId {
+        self.markers[attr].sample(value, rng)
+    }
+
+    /// The most characteristic marker tokens of `(attribute, value)` —
+    /// used for ground-truth knowledge text and diagnostics.
+    pub fn markers_of(&self, attr: usize, value: usize) -> &[TokenId] {
+        self.markers[attr].top(value)
+    }
+
+    /// The attribute's full shared marker pool.
+    pub fn marker_pool(&self, attr: usize) -> &[TokenId] {
+        &self.markers[attr].pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_core::{derive_rng, AttributeId};
+
+    fn build_small() -> (Lexicon, Vocab) {
+        let cfg = WorldConfig::tiny();
+        let attributes = vec![AttributeSchema {
+            id: AttributeId::new(0),
+            name: "<a>".into(),
+            values: vec!["V0".into(), "V1".into(), "V2".into()],
+            signal_rate: 0.5,
+        }];
+        let mut vocab = Vocab::new();
+        let mut factory = NameFactory::new();
+        let mut rng = derive_rng(1, 0);
+        let lex = Lexicon::build(&cfg, &attributes, &mut vocab, &mut factory, &mut rng);
+        (lex, vocab)
+    }
+
+    #[test]
+    fn pools_have_requested_sizes() {
+        let (lex, _) = build_small();
+        let cfg = WorldConfig::tiny();
+        assert_eq!(lex.filler.len(), cfg.filler_vocab);
+        assert_eq!(lex.class_topics.len(), cfg.classes.len());
+        assert_eq!(lex.markers.len(), 1);
+        assert!(lex.markers[0].pool.len() >= 16);
+    }
+
+    #[test]
+    fn pools_are_disjoint() {
+        let (lex, _) = build_small();
+        let mut seen = std::collections::HashSet::new();
+        for t in lex
+            .filler
+            .iter()
+            .chain(lex.class_topics.iter().flatten())
+            .chain(lex.distractor_topics.iter().flatten())
+            .chain(lex.markers.iter().flat_map(|m| m.pool.iter()))
+        {
+            assert!(seen.insert(*t), "token pools overlap at {t:?}");
+        }
+    }
+
+    #[test]
+    fn filler_sampling_is_zipf_skewed() {
+        let (lex, _) = build_small();
+        let mut rng = derive_rng(2, 0);
+        let mut head = 0usize;
+        let n = 3000;
+        for _ in 0..n {
+            let t = lex.sample_filler(&mut rng);
+            if lex.filler[..lex.filler.len() / 10].contains(&t) {
+                head += 1;
+            }
+        }
+        // Top-10% of a Zipf(1.1) pool should absorb far more than 10% of draws.
+        assert!(head as f64 / n as f64 > 0.3, "head share {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn sampled_tokens_come_from_the_right_pool() {
+        let (lex, _) = build_small();
+        let mut rng = derive_rng(3, 0);
+        for _ in 0..50 {
+            let t = lex.sample_topic(2, &mut rng);
+            assert!(lex.class_topics[2].contains(&t));
+            let m = lex.sample_marker(0, 1, &mut rng);
+            assert!(lex.marker_pool(0).contains(&m));
+        }
+    }
+}

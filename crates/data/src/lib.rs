@@ -1,0 +1,50 @@
+//! `ultra-data` — the UltraWiki dataset substrate.
+//!
+//! The paper constructs UltraWiki from Wikipedia/Wikidata crawls plus
+//! three-way human annotation (Section 4). Neither resource is available in
+//! this environment, so this crate *synthesizes* a world with the same
+//! structure (see DESIGN.md §1 for the substitution argument):
+//!
+//! 1. **Semantic classes & entities** — 10 fine-grained classes mirroring
+//!    Table 11 (names, coarse types, entity counts, attribute schemas), plus
+//!    distractor entities, with Zipf-skewed corpus frequency so long-tail
+//!    entities exist.
+//! 2. **Entity-labelled sentences** — template-free token sampling: each
+//!    sentence mentions one entity and carries (a) fine-class *topic*
+//!    tokens, (b) per-attribute *value-marker* tokens emitted with the
+//!    attribute's `signal_rate`, and (c) Zipf filler tokens. Context is
+//!    therefore *informative but noisy*, exactly the property Ultra-ESE
+//!    methods are differentiated by.
+//! 3. **Attribute annotation** — ground-truth assignments kept by the
+//!    generator; a noisy [`oracle::KnowledgeOracle`] simulates both Wikidata
+//!    lookups and GPT-4-style annotation (reliability grows with entity
+//!    frequency; hallucinations possible).
+//! 4. **Negative-aware semantic class generation** — the Step-4 algorithm:
+//!    sample `(A^pos, V^pos)`, `(A^neg, V^neg)`, keep classes whose positive
+//!    and negative target sets each exceed `n_thred = 6`, then sample 3
+//!    queries with 3–5 positive and negative seeds.
+//! 5. **Hard negatives** — distractors whose sentences share class topics
+//!    (BM25-similar) without carrying class membership, mirroring the
+//!    paper's BM25-mined hard negative vocabulary.
+
+pub mod config;
+pub mod export;
+pub mod knowledge;
+pub mod lexicon;
+pub mod lists;
+pub mod mining;
+pub mod names;
+pub mod oracle;
+pub mod quality;
+pub mod stats;
+pub mod ultra;
+pub mod world;
+
+pub use config::{AttrSpec, ClassSpec, WorldConfig};
+pub use knowledge::KnowledgeBase;
+pub use lists::{ListDoc, ListKind};
+pub use mining::EntityBm25;
+pub use oracle::{KnowledgeOracle, OracleConfig, OracleEntry};
+pub use quality::{fleiss_kappa, simulated_annotation_kappa};
+pub use stats::WorldStats;
+pub use world::World;

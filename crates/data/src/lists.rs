@@ -1,0 +1,156 @@
+//! Wikipedia-style list documents.
+//!
+//! Figure 2 of the paper shows "Wikipedia Lists" as a corpus source: pages
+//! enumerating entities of a class or of an attribute value ("List of
+//! cities in Henan"). These documents are what gives a corpus-trained
+//! generative model its list-continuation ability — after seeing
+//! `"Xiangcheng , Linzhou , Yanshi ,"` it can propose further entities that
+//! co-occur in the same lists. We synthesize:
+//!
+//! * **class lists** — shuffled enumerations of a fine-grained class's
+//!   members (coarse knowledge; part of the LM's *base* pre-training), and
+//! * **value lists** — enumerations of the members sharing one attribute
+//!   value (ultra-fine knowledge; only seen during *further pre-training*
+//!   on corpus `D`, which is what the Table 3 "- Further pretrain" ablation
+//!   removes).
+//!
+//! Tokens are entity *name words* separated by a dedicated separator token,
+//! so the generative LM's n-grams naturally walk the same multi-token name
+//! paths as the prefix trie (Figure 6).
+
+use rand::seq::SliceRandom;
+use ultra_core::rng::UltraRng;
+use ultra_core::{AttributeId, AttributeValueId, ClassId, EntityId, TokenId};
+
+/// What a list document enumerates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListKind {
+    /// All members of a fine-grained class.
+    Class(ClassId),
+    /// Members of a class sharing one attribute value.
+    Value(AttributeId, AttributeValueId),
+}
+
+/// One list document: separator-joined entity name words.
+#[derive(Clone, Debug)]
+pub struct ListDoc {
+    /// What the list enumerates.
+    pub kind: ListKind,
+    /// Which shuffled copy this is (0-based). Value-list copies are split
+    /// between the LM's base pre-training (the first four copies — the
+    /// large share of attribute knowledge a general LLM already holds) and
+    /// further pre-training on corpus `D` (the remaining copies).
+    pub copy: usize,
+    /// Name-word tokens with separators.
+    pub tokens: Vec<TokenId>,
+    /// The enumerated entities in order.
+    pub entities: Vec<EntityId>,
+}
+
+/// How many shuffled copies of each list to emit (more copies = stronger
+/// n-gram association between co-listed entities).
+pub const CLASS_LIST_COPIES: usize = 3;
+/// Copies of each attribute-value list.
+pub const VALUE_LIST_COPIES: usize = 6;
+/// Maximum entities per list document (long lists are chunked by sampling).
+pub const MAX_LIST_LEN: usize = 120;
+
+/// Generates class and value lists.
+///
+/// `name_tokens[e]` are the entity's name-word tokens; `members` yields
+/// `(kind, member entities)` groups.
+pub fn generate_lists(
+    groups: &[(ListKind, Vec<EntityId>)],
+    name_tokens: &[Vec<TokenId>],
+    separator: TokenId,
+    rng: &mut UltraRng,
+) -> Vec<ListDoc> {
+    let mut docs = Vec::new();
+    for (kind, members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        let copies = match kind {
+            ListKind::Class(_) => CLASS_LIST_COPIES,
+            ListKind::Value(_, _) => VALUE_LIST_COPIES,
+        };
+        for copy in 0..copies {
+            let mut order: Vec<EntityId> = members.clone();
+            order.shuffle(rng);
+            order.truncate(MAX_LIST_LEN);
+            let mut tokens = Vec::with_capacity(order.len() * 3);
+            for (i, &e) in order.iter().enumerate() {
+                if i > 0 {
+                    tokens.push(separator);
+                }
+                tokens.extend_from_slice(&name_tokens[e.index()]);
+            }
+            docs.push(ListDoc {
+                kind: kind.clone(),
+                copy,
+                tokens,
+                entities: order,
+            });
+        }
+    }
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_core::derive_rng;
+
+    fn t(x: u32) -> TokenId {
+        TokenId::new(x)
+    }
+    fn e(x: u32) -> EntityId {
+        EntityId::new(x)
+    }
+
+    fn names() -> Vec<Vec<TokenId>> {
+        vec![vec![t(10)], vec![t(11), t(12)], vec![t(13)]]
+    }
+
+    #[test]
+    fn lists_join_names_with_separator() {
+        let mut rng = derive_rng(1, 0);
+        let groups = vec![(ListKind::Class(ClassId::new(0)), vec![e(0), e(1), e(2)])];
+        let docs = generate_lists(&groups, &names(), t(99), &mut rng);
+        assert_eq!(docs.len(), CLASS_LIST_COPIES);
+        for d in &docs {
+            assert_eq!(d.entities.len(), 3);
+            let seps = d.tokens.iter().filter(|&&x| x == t(99)).count();
+            assert_eq!(seps, 2, "n-1 separators");
+            // All name tokens present.
+            for ent in &d.entities {
+                for nt in &names()[ent.index()] {
+                    assert!(d.tokens.contains(nt));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copies_are_differently_shuffled() {
+        let mut rng = derive_rng(2, 0);
+        let members: Vec<EntityId> = (0..3).map(e).collect();
+        let groups = vec![(ListKind::Class(ClassId::new(0)), members)];
+        let docs = generate_lists(&groups, &names(), t(99), &mut rng);
+        let orders: std::collections::HashSet<Vec<u32>> = docs
+            .iter()
+            .map(|d| d.entities.iter().map(|x| x.0).collect())
+            .collect();
+        assert!(orders.len() > 1, "shuffles should differ");
+    }
+
+    #[test]
+    fn singleton_groups_are_skipped() {
+        let mut rng = derive_rng(3, 0);
+        let groups = vec![(
+            ListKind::Value(AttributeId::new(0), AttributeValueId(0)),
+            vec![e(0)],
+        )];
+        assert!(generate_lists(&groups, &names(), t(99), &mut rng).is_empty());
+    }
+}

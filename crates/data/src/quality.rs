@@ -1,0 +1,128 @@
+//! Annotation-quality simulation (Section 4.2 "Quality of UltraWiki").
+//!
+//! The paper has every manually-annotated attribute value labelled by three
+//! annotators and reports an inter-annotator agreement of Fleiss' κ = 0.90.
+//! This module provides the κ statistic and a three-annotator simulation
+//! over the generated world, so the dataset-statistics experiment can
+//! report the same quality figure for the synthetic annotation process.
+
+use crate::world::World;
+use rand::Rng;
+use ultra_core::rng::{derive_rng, stream_label};
+
+/// Fleiss' kappa over an item × category count matrix.
+///
+/// `ratings[i][k]` is the number of annotators who assigned item `i` to
+/// category `k`; every row must sum to the same number of annotators
+/// `n ≥ 2`. Returns a value in `[-1, 1]`; 1 = perfect agreement.
+pub fn fleiss_kappa(ratings: &[Vec<usize>]) -> f64 {
+    let items = ratings.len();
+    if items == 0 {
+        return 1.0;
+    }
+    let n: usize = ratings[0].iter().sum();
+    assert!(n >= 2, "Fleiss' kappa needs at least two annotators");
+    assert!(
+        ratings.iter().all(|r| r.iter().sum::<usize>() == n),
+        "every item needs the same number of ratings"
+    );
+    let categories = ratings[0].len();
+    // Per-item agreement P_i and category marginals p_k.
+    let mut p_bar = 0.0f64;
+    let mut p_k = vec![0.0f64; categories];
+    for row in ratings {
+        let mut agree = 0.0f64;
+        for (k, &c) in row.iter().enumerate() {
+            agree += (c * c) as f64;
+            p_k[k] += c as f64;
+        }
+        p_bar += (agree - n as f64) / (n as f64 * (n as f64 - 1.0));
+    }
+    p_bar /= items as f64;
+    let total = (items * n) as f64;
+    let p_e: f64 = p_k.iter().map(|&c| (c / total) * (c / total)).sum();
+    if (1.0 - p_e).abs() < 1e-12 {
+        return 1.0;
+    }
+    (p_bar - p_e) / (1.0 - p_e)
+}
+
+/// Simulates `annotators` independent labellings of every (entity,
+/// attribute) item: each annotator reports the true value with
+/// `accuracy`, otherwise a uniformly random wrong value. Returns the
+/// macro-average Fleiss' κ over attributes.
+pub fn simulated_annotation_kappa(world: &World, annotators: usize, accuracy: f64) -> f64 {
+    let mut rng = derive_rng(world.config.seed, stream_label("annotation-kappa"));
+    let mut kappas = Vec::new();
+    for schema in &world.attributes {
+        let card = schema.cardinality();
+        let mut ratings: Vec<Vec<usize>> = Vec::new();
+        for class in &world.classes {
+            if !class.attributes.contains(&schema.id) {
+                continue;
+            }
+            for &e in &class.entities {
+                let truth = world.entity(e).value_of(schema.id).unwrap().index();
+                let mut row = vec![0usize; card];
+                for _ in 0..annotators {
+                    let label = if rng.gen_bool(accuracy) {
+                        truth
+                    } else {
+                        rng.gen_range(0..card)
+                    };
+                    row[label] += 1;
+                }
+                ratings.push(row);
+            }
+        }
+        if !ratings.is_empty() {
+            kappas.push(fleiss_kappa(&ratings));
+        }
+    }
+    kappas.iter().sum::<f64>() / kappas.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    #[test]
+    fn perfect_agreement_is_kappa_one() {
+        // 3 annotators, all picking category 0 or all category 1.
+        let ratings = vec![vec![3, 0], vec![0, 3], vec![3, 0]];
+        assert!((fleiss_kappa(&ratings) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_agreement_is_near_zero() {
+        // Uniformly random votes over 3 categories ≈ chance level.
+        let mut rng = derive_rng(7, 0);
+        let ratings: Vec<Vec<usize>> = (0..3000)
+            .map(|_| {
+                let mut row = vec![0usize; 3];
+                for _ in 0..3 {
+                    row[rng.gen_range(0..3)] += 1;
+                }
+                row
+            })
+            .collect();
+        let k = fleiss_kappa(&ratings);
+        assert!(k.abs() < 0.05, "chance-level agreement: {k}");
+    }
+
+    #[test]
+    fn higher_accuracy_gives_higher_kappa() {
+        let world = World::generate(WorldConfig::tiny()).unwrap();
+        let low = simulated_annotation_kappa(&world, 3, 0.7);
+        let high = simulated_annotation_kappa(&world, 3, 0.95);
+        assert!(high > low, "κ(0.95)={high:.3} vs κ(0.7)={low:.3}");
+        assert!(high > 0.8, "κ at 95% accuracy should be high: {high:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of ratings")]
+    fn ragged_ratings_are_rejected() {
+        fleiss_kappa(&[vec![3, 0], vec![1, 0]]);
+    }
+}

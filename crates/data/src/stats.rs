@@ -1,0 +1,144 @@
+//! Dataset statistics backing Tables 1, 11 and 12.
+
+use crate::world::World;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Aggregate statistics of a generated world.
+#[derive(Clone, Debug, Serialize)]
+pub struct WorldStats {
+    /// Total candidate entities `|V|`.
+    pub num_entities: usize,
+    /// In-class entities.
+    pub num_class_entities: usize,
+    /// Corpus sentences.
+    pub num_sentences: usize,
+    /// Corpus tokens.
+    pub num_tokens: usize,
+    /// Fine-grained classes.
+    pub num_fine_classes: usize,
+    /// Ultra-fine-grained classes.
+    pub num_ultra_classes: usize,
+    /// Total queries.
+    pub num_queries: usize,
+    /// Mean `|P|` across ultra classes.
+    pub avg_pos_targets: f64,
+    /// Mean `|N|` across ultra classes.
+    pub avg_neg_targets: f64,
+    /// `(|A^pos|, |A^neg|) → count` histogram (Table 12).
+    pub arity_histogram: Vec<((usize, usize), usize)>,
+    /// Fraction of ultra classes whose positive target set intersects
+    /// another ultra class's positive targets (paper: ≈99%).
+    pub overlap_fraction: f64,
+    /// Per-fine-class `(name, entities, ultra classes, attributes)` rows
+    /// (Table 11).
+    pub per_class: Vec<(String, usize, usize, usize)>,
+}
+
+impl WorldStats {
+    /// Computes all statistics of a world.
+    pub fn compute(world: &World) -> Self {
+        let num_class_entities = world.classes.iter().map(|c| c.entities.len()).sum();
+        let num_queries = world.ultra_classes.iter().map(|u| u.queries.len()).sum();
+        let n_ultra = world.ultra_classes.len();
+        let avg_pos_targets = world
+            .ultra_classes
+            .iter()
+            .map(|u| u.pos_targets.len() as f64)
+            .sum::<f64>()
+            / n_ultra.max(1) as f64;
+        let avg_neg_targets = world
+            .ultra_classes
+            .iter()
+            .map(|u| u.neg_targets.len() as f64)
+            .sum::<f64>()
+            / n_ultra.max(1) as f64;
+
+        let mut hist: HashMap<(usize, usize), usize> = HashMap::new();
+        for u in &world.ultra_classes {
+            *hist.entry(u.arity()).or_insert(0) += 1;
+        }
+        let mut arity_histogram: Vec<_> = hist.into_iter().collect();
+        arity_histogram.sort_unstable();
+
+        // Overlap: within each fine class, does an ultra class share any
+        // positive target with a sibling's positive or negative targets?
+        let mut overlapping = 0usize;
+        for u in &world.ultra_classes {
+            let p: std::collections::HashSet<_> = u.pos_targets.iter().collect();
+            let hit = world
+                .ultra_classes
+                .iter()
+                .filter(|v| v.id != u.id && v.fine == u.fine)
+                .any(|v| {
+                    v.pos_targets.iter().any(|e| p.contains(e))
+                        || v.neg_targets.iter().any(|e| p.contains(e))
+                });
+            if hit {
+                overlapping += 1;
+            }
+        }
+        let overlap_fraction = overlapping as f64 / n_ultra.max(1) as f64;
+
+        let per_class = world
+            .classes
+            .iter()
+            .map(|c| {
+                let ultra = world
+                    .ultra_classes
+                    .iter()
+                    .filter(|u| u.fine == c.id)
+                    .count();
+                (c.name.clone(), c.entities.len(), ultra, c.attributes.len())
+            })
+            .collect();
+
+        Self {
+            num_entities: world.num_entities(),
+            num_class_entities,
+            num_sentences: world.corpus.len(),
+            num_tokens: world.corpus.total_tokens(),
+            num_fine_classes: world.classes.len(),
+            num_ultra_classes: n_ultra,
+            num_queries,
+            avg_pos_targets,
+            avg_neg_targets,
+            arity_histogram,
+            overlap_fraction,
+            per_class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let w = World::generate(WorldConfig::tiny()).unwrap();
+        let s = WorldStats::compute(&w);
+        assert_eq!(s.num_fine_classes, 10);
+        assert!(s.num_entities > s.num_class_entities);
+        assert_eq!(
+            s.num_queries,
+            s.num_ultra_classes * w.config.queries_per_class
+        );
+        assert!(s.avg_pos_targets >= w.config.n_thred as f64);
+        let hist_total: usize = s.arity_histogram.iter().map(|(_, c)| c).sum();
+        assert_eq!(hist_total, s.num_ultra_classes);
+        assert_eq!(s.per_class.len(), 10);
+    }
+
+    #[test]
+    fn ultra_classes_mostly_overlap_like_the_paper() {
+        let w = World::generate(WorldConfig::small()).unwrap();
+        let s = WorldStats::compute(&w);
+        assert!(
+            s.overlap_fraction > 0.8,
+            "expected heavy overlap, got {:.2}",
+            s.overlap_fraction
+        );
+    }
+}

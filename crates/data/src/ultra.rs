@@ -1,0 +1,311 @@
+//! Negative-aware ultra-fine-grained class generation (Section 4.1 Step 4)
+//! and query sampling.
+
+use crate::world::World;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use ultra_core::rng::UltraRng;
+use ultra_core::{
+    AttrConstraint, AttributeId, AttributeValueId, EntityId, Query, Result, UltraClass,
+    UltraClassId, UltraError,
+};
+
+/// Arity menu `(|A^pos|, |A^neg|, weight)` matching Table 12's empirical
+/// distribution: overwhelmingly (1,1), with a sprinkle of (1,2)/(2,1)/(2,2)
+/// and (3,3) for the one 3-attribute class.
+const ARITY_MENU: &[(usize, usize, f64)] = &[
+    (1, 1, 0.912),
+    (1, 2, 0.019),
+    (2, 1, 0.034),
+    (2, 2, 0.027),
+    (3, 3, 0.008),
+];
+
+/// Generates every class's ultra-fine-grained classes with queries.
+pub fn generate_ultra_classes(world: &World, rng: &mut UltraRng) -> Result<Vec<UltraClass>> {
+    let mut out = Vec::new();
+    for (ci, spec) in world.config.classes.iter().enumerate() {
+        let fine = &world.classes[ci];
+        let attrs = &fine.attributes;
+        let mut seen: HashSet<(Vec<(u16, u16)>, Vec<(u16, u16)>)> = HashSet::new();
+        let mut produced = 0usize;
+        let max_attempts = spec.ultra_classes * 400;
+        let mut attempts = 0usize;
+        while produced < spec.ultra_classes && attempts < max_attempts {
+            attempts += 1;
+            let (np, nn) = sample_arity(attrs.len(), rng);
+            let pos = sample_constraint(world, attrs, np, rng);
+            let neg = sample_constraint(world, attrs, nn, rng);
+            if pos == neg {
+                continue;
+            }
+            // Partition members per the task definition: expanded entities
+            // must "share the same attribute values with S^pos while
+            // distinct from S^neg", so P = satisfies pos AND NOT neg, while
+            // N = satisfies neg — *including* entities that also satisfy
+            // pos (Figure 3's overlap case). Those overlap entities are
+            // what makes the A^pos ≠ A^neg regime genuinely harder
+            // (Table 4): they look positive to the expansion step and must
+            // be rejected purely on the negative attribute.
+            let mut p = Vec::new();
+            let mut n = Vec::new();
+            for &e in &fine.entities {
+                let ent = world.entity(e);
+                let sat_pos = ent.satisfies(&pos);
+                let sat_neg = ent.satisfies(&neg);
+                if sat_pos && !sat_neg {
+                    p.push(e);
+                }
+                if sat_neg {
+                    n.push(e);
+                }
+            }
+            if p.len() < world.config.n_thred || n.len() < world.config.n_thred {
+                continue;
+            }
+            let signature = (sig(&pos), sig(&neg));
+            if !seen.insert(signature) {
+                continue;
+            }
+            let id = UltraClassId::from_index(out.len());
+            let queries = sample_queries(world, id, &p, &n, &pos, rng);
+            out.push(UltraClass {
+                id,
+                fine: fine.id,
+                pos,
+                neg,
+                pos_targets: p,
+                neg_targets: n,
+                queries,
+            });
+            produced += 1;
+        }
+        if produced == 0 {
+            return Err(UltraError::InvalidConfig(format!(
+                "class '{}' produced no ultra-fine-grained classes; \
+                 entity count {} too small for n_thred {}",
+                spec.name, spec.entities, world.config.n_thred
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// Samples an arity pair valid for a class with `num_attrs` attributes.
+fn sample_arity(num_attrs: usize, rng: &mut UltraRng) -> (usize, usize) {
+    let valid: Vec<&(usize, usize, f64)> = ARITY_MENU
+        .iter()
+        .filter(|(p, n, _)| *p <= num_attrs && *n <= num_attrs)
+        .collect();
+    let total: f64 = valid.iter().map(|(_, _, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for &&(p, n, w) in &valid {
+        if x < w {
+            return (p, n);
+        }
+        x -= w;
+    }
+    (1, 1)
+}
+
+/// Samples a constraint of `arity` distinct attributes with a value each,
+/// biased toward values that actually occur among class members (value
+/// popularity is Zipf-skewed, so uniform sampling would often yield empty
+/// target sets).
+fn sample_constraint(
+    world: &World,
+    attrs: &[AttributeId],
+    arity: usize,
+    rng: &mut UltraRng,
+) -> AttrConstraint {
+    let mut chosen: Vec<AttributeId> = attrs.to_vec();
+    chosen.shuffle(rng);
+    chosen.truncate(arity);
+    chosen.sort_unstable();
+    let required = chosen
+        .into_iter()
+        .map(|aid| {
+            let card = world.attributes[aid.index()].cardinality();
+            // Mirror the generator's Zipf(0.8) value skew.
+            let weights: Vec<f64> = (0..card).map(|i| 1.0 / ((i + 1) as f64).powf(0.8)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut x = rng.gen_range(0.0..total);
+            let mut v = card - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    v = i;
+                    break;
+                }
+                x -= w;
+            }
+            (aid, AttributeValueId(v as u16))
+        })
+        .collect();
+    AttrConstraint::new(required)
+}
+
+fn sig(c: &AttrConstraint) -> Vec<(u16, u16)> {
+    let mut v: Vec<(u16, u16)> = c.required.iter().map(|(a, x)| (a.0, x.0)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Samples the class's queries: 3–5 positive seeds from `P` and 3–5 negative
+/// seeds from `N`, frequency-biased (users name well-known entities).
+/// Negative seeds prefer the unambiguous part of `N` (entities not also
+/// satisfying the positive constraint), since a user naming "unwanted"
+/// examples would naturally pick clear-cut ones.
+fn sample_queries(
+    world: &World,
+    ultra: UltraClassId,
+    p: &[EntityId],
+    n: &[EntityId],
+    pos: &ultra_core::AttrConstraint,
+    rng: &mut UltraRng,
+) -> Vec<Query> {
+    let clean_n: Vec<EntityId> = n
+        .iter()
+        .copied()
+        .filter(|&e| !world.entity(e).satisfies(pos))
+        .collect();
+    (0..world.config.queries_per_class)
+        .map(|_| {
+            let k_pos = rng.gen_range(world.config.seeds_min..=world.config.seeds_max);
+            let k_neg = rng.gen_range(world.config.seeds_min..=world.config.seeds_max);
+            let neg_pool: &[EntityId] = if clean_n.len() > k_neg { &clean_n } else { n };
+            Query::new(
+                ultra,
+                weighted_sample(world, p, k_pos.min(p.len() - 1), rng),
+                weighted_sample(world, neg_pool, k_neg.min(neg_pool.len() - 1), rng),
+            )
+        })
+        .collect()
+}
+
+/// Frequency-weighted sampling without replacement.
+fn weighted_sample(
+    world: &World,
+    pool: &[EntityId],
+    k: usize,
+    rng: &mut UltraRng,
+) -> Vec<EntityId> {
+    let mut chosen: Vec<EntityId> = Vec::with_capacity(k);
+    let mut remaining: Vec<EntityId> = pool.to_vec();
+    for _ in 0..k.min(pool.len()) {
+        let weights: Vec<f64> = remaining
+            .iter()
+            .map(|&e| world.entity(e).freq_weight.max(1e-3))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.gen_range(0.0..total);
+        let mut idx = remaining.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                idx = i;
+                break;
+            }
+            x -= w;
+        }
+        chosen.push(remaining.swap_remove(idx));
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::WorldConfig;
+    use crate::world::World;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn targets_satisfy_their_constraints_and_not_the_other() {
+        let w = world();
+        for u in &w.ultra_classes {
+            for &e in &u.pos_targets {
+                let ent = w.entity(e);
+                assert!(ent.satisfies(&u.pos));
+                assert!(!ent.satisfies(&u.neg));
+                assert_eq!(ent.class, Some(u.fine));
+            }
+            for &e in &u.neg_targets {
+                let ent = w.entity(e);
+                assert!(ent.satisfies(&u.neg));
+            }
+            // P and N are disjoint even when constraints overlap.
+            for &e in &u.pos_targets {
+                assert!(!u.neg_targets.contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn target_sets_meet_n_thred() {
+        let w = world();
+        for u in &w.ultra_classes {
+            assert!(u.pos_targets.len() >= w.config.n_thred);
+            assert!(u.neg_targets.len() >= w.config.n_thred);
+        }
+    }
+
+    #[test]
+    fn queries_have_valid_seed_counts_and_membership() {
+        let w = world();
+        for u in &w.ultra_classes {
+            assert_eq!(u.queries.len(), w.config.queries_per_class);
+            for q in &u.queries {
+                assert!(!q.pos_seeds.is_empty());
+                assert!(!q.neg_seeds.is_empty());
+                assert!(q.pos_seeds.len() <= w.config.seeds_max);
+                for &s in &q.pos_seeds {
+                    assert!(u.pos_targets.contains(&s));
+                }
+                for &s in &q.neg_seeds {
+                    assert!(u.neg_targets.contains(&s));
+                }
+                // No duplicate seeds.
+                let mut all: Vec<_> = q.all_seeds().collect();
+                all.sort_unstable();
+                all.dedup();
+                assert_eq!(all.len(), q.pos_seeds.len() + q.neg_seeds.len());
+            }
+        }
+    }
+
+    #[test]
+    fn ultra_classes_are_unique_per_fine_class() {
+        let w = world();
+        let mut seen = std::collections::HashSet::new();
+        for u in &w.ultra_classes {
+            let key = (u.fine, format!("{:?}|{:?}", u.pos, u.neg));
+            assert!(seen.insert(key), "duplicate ultra class");
+        }
+    }
+
+    #[test]
+    fn most_classes_are_one_one_arity() {
+        let w = World::generate(WorldConfig::small()).unwrap();
+        let one_one = w
+            .ultra_classes
+            .iter()
+            .filter(|u| u.arity() == (1, 1))
+            .count();
+        assert!(
+            one_one * 10 >= w.ultra_classes.len() * 7,
+            "(1,1) should dominate: {one_one}/{}",
+            w.ultra_classes.len()
+        );
+    }
+
+    #[test]
+    fn seeds_are_left_in_target_sets() {
+        // Evaluation excludes seeds explicitly; targets keep them.
+        let w = world();
+        let u = &w.ultra_classes[0];
+        let q = &u.queries[0];
+        assert!(q.pos_seeds.iter().all(|s| u.pos_targets.contains(s)));
+    }
+}

@@ -1,0 +1,82 @@
+//! Entity-based retrieval augmentation (Sections 5.1.3 / 5.2.3, Table 8).
+
+use ultra_core::{EntityId, TokenId};
+use ultra_data::{KnowledgeBase, World};
+
+/// Which external knowledge to prepend to an entity's contexts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Augmentation {
+    /// No augmentation (baseline).
+    None,
+    /// Wikipedia-style introduction text (the paper's default RA source).
+    Introduction,
+    /// Wikidata attribute records — high quality but cluttered with
+    /// irrelevant rare attributes.
+    WikidataAttrs,
+    /// Ground-truth attribute markers on the entity's class attributes
+    /// (Table 8's upper bound).
+    GtAttrs,
+}
+
+impl Augmentation {
+    /// The prefix tokens this source contributes for `entity`.
+    ///
+    /// The prefix is *static per entity* — the paper points out this
+    /// staticness as the root of RA's occasional Pos-metric instability
+    /// ("the supplementary knowledge retrieved for each entity is static
+    /// across different sentences").
+    pub fn prefix_tokens(self, world: &World, entity: EntityId) -> Vec<TokenId> {
+        match self {
+            Augmentation::None => Vec::new(),
+            Augmentation::Introduction => world.knowledge.intro_of(entity).to_vec(),
+            Augmentation::WikidataAttrs => world.knowledge.wikidata_of(entity).to_vec(),
+            Augmentation::GtAttrs => {
+                let ent = world.entity(entity);
+                match ent.class {
+                    Some(c) => KnowledgeBase::gt_attr_tokens(
+                        &world.lexicon,
+                        ent,
+                        world.classes[c.index()].attributes.iter().copied(),
+                    ),
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_data::WorldConfig;
+
+    #[test]
+    fn none_contributes_nothing() {
+        let w = World::generate(WorldConfig::tiny()).unwrap();
+        let e = w.entities[0].id;
+        assert!(Augmentation::None.prefix_tokens(&w, e).is_empty());
+    }
+
+    #[test]
+    fn sources_differ_for_in_class_entities() {
+        let w = World::generate(WorldConfig::tiny()).unwrap();
+        let e = w.classes[0].entities[0];
+        let intro = Augmentation::Introduction.prefix_tokens(&w, e);
+        let wd = Augmentation::WikidataAttrs.prefix_tokens(&w, e);
+        let gt = Augmentation::GtAttrs.prefix_tokens(&w, e);
+        assert!(!intro.is_empty());
+        assert!(!wd.is_empty());
+        assert!(!gt.is_empty());
+        assert_ne!(intro, wd);
+    }
+
+    #[test]
+    fn gt_attrs_are_pure_markers() {
+        let w = World::generate(WorldConfig::tiny()).unwrap();
+        let class = &w.classes[0];
+        let e = class.entities[0];
+        let gt = Augmentation::GtAttrs.prefix_tokens(&w, e);
+        // 2 markers per class attribute.
+        assert_eq!(gt.len(), 2 * class.attributes.len());
+    }
+}

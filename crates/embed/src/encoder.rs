@@ -1,0 +1,456 @@
+//! The entity encoder with its entity-prediction head and contrastive
+//! projection head.
+
+use crate::config::EncoderConfig;
+use crate::reps::EntityEmbeddings;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ultra_core::rng::{derive_rng, stream_label, UltraRng};
+use ultra_core::{EntityId, Sentence, TokenId};
+use ultra_data::World;
+use ultra_nn::{
+    l2_normalize, l2_normalize_backward, label_smoothed_ce, Activation, EmbeddingBag,
+    Matrix, Mlp, Sgd,
+};
+
+/// The trainable entity encoder (Section 5.1.1).
+#[derive(Clone, Debug)]
+pub struct EntityEncoder {
+    /// Hyper-parameters.
+    pub cfg: EncoderConfig,
+    emb: EmbeddingBag,
+    /// Entity-prediction head: `num_entities × dim`.
+    head: Matrix,
+    /// Contrastive projection head (maps into the hypersphere space).
+    proj: Mlp,
+    /// Common-mode centering vector, calibrated after entity-prediction
+    /// training. Bag-of-token means concentrate around a global direction
+    /// (Zipf filler dominates every sentence); subtracting the mean
+    /// contextual feature spreads cosine similarities so that both Eq. 4
+    /// retrieval and InfoNCE geometry are non-degenerate. This mirrors the
+    /// "all-but-the-top" post-processing standard for embedding spaces.
+    center: Vec<f32>,
+    num_entities: usize,
+    mask: TokenId,
+}
+
+impl EntityEncoder {
+    /// Freshly initialised encoder for a world.
+    pub fn new(world: &World, cfg: EncoderConfig) -> Self {
+        let mut rng = derive_rng(cfg.seed, stream_label("encoder-init"));
+        let dim = cfg.dim;
+        Self {
+            emb: EmbeddingBag::new(world.vocab.len(), dim, &mut rng),
+            head: Matrix::xavier(world.num_entities(), dim, &mut rng),
+            proj: Mlp::new_projection(dim, dim, dim, Activation::Tanh, &mut rng),
+            center: vec![0.0; dim],
+            num_entities: world.num_entities(),
+            mask: world.vocab.mask(),
+            cfg,
+        }
+    }
+
+    /// Hidden dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Builds the context bag for `(sentence, entity)`: the sentence with
+    /// the entity's mentions replaced by `[MASK]`, prefixed by the
+    /// configured augmentation tokens, plus any `extra` tokens (contrastive
+    /// training appends the query's seed mention tokens here).
+    pub fn context_bag(
+        &self,
+        world: &World,
+        sentence: &Sentence,
+        entity: EntityId,
+        extra: &[TokenId],
+    ) -> Vec<TokenId> {
+        let mut bag = self.cfg.augment.prefix_tokens(world, entity);
+        bag.extend(sentence.masked(entity, self.mask));
+        bag.extend_from_slice(extra);
+        bag
+    }
+
+    /// Encodes a token bag into the (centered) contextual feature
+    /// `h = tanh(mean E[t]) - c`. The center `c` is zero until
+    /// [`calibrate_center`](Self::calibrate_center) runs.
+    pub fn encode_bag(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let mut h = self
+            .emb
+            .forward(tokens)
+            .unwrap_or_else(|| vec![0.0; self.cfg.dim]);
+        for (x, c) in h.iter_mut().zip(&self.center) {
+            *x = x.tanh() - c;
+        }
+        h
+    }
+
+    /// Estimates the common-mode center as the mean contextual feature over
+    /// up to `sample_cap` corpus contexts, then enables centering.
+    pub fn calibrate_center(&mut self, world: &World, sample_cap: usize) {
+        self.center = vec![0.0; self.cfg.dim];
+        let mut rng = derive_rng(self.cfg.seed, stream_label("center"));
+        let n = world.corpus.len();
+        if n == 0 {
+            return;
+        }
+        let mut acc = vec![0.0f64; self.cfg.dim];
+        let samples = sample_cap.min(n);
+        for _ in 0..samples {
+            let sid = ultra_core::SentenceId::from_index(rng.gen_range(0..n));
+            let s = world.corpus.sentence(sid);
+            let Some(&(_, entity)) = s.mentions.first() else {
+                continue;
+            };
+            let bag = self.context_bag(world, s, entity, &[]);
+            let h = self.encode_bag(&bag);
+            for (a, x) in acc.iter_mut().zip(&h) {
+                *a += *x as f64;
+            }
+        }
+        self.center = acc.iter().map(|a| (*a / samples as f64) as f32).collect();
+    }
+
+    /// Accumulates embedding gradients for `dL/dh` through the tanh
+    /// (the additive center is a constant under the gradient).
+    fn encode_bag_backward(&mut self, tokens: &[TokenId], h: &[f32], dh: &[f32]) {
+        let dz: Vec<f32> = dh
+            .iter()
+            .zip(h.iter().zip(&self.center))
+            .map(|(&d, (&hc, &c))| {
+                let y = hc + c; // un-centered tanh output
+                d * (1.0 - y * y)
+            })
+            .collect();
+        self.emb.backward(tokens, &dz);
+    }
+
+    /// Projects a contextual feature into the l2-normalized contrastive
+    /// hypersphere space.
+    pub fn project(&self, h: &[f32]) -> Vec<f32> {
+        let (_, mut z) = self.proj.forward(h);
+        l2_normalize(&mut z);
+        z
+    }
+
+    /// Trains the entity-prediction task (Eq. 2/3) for `cfg.epochs` epochs
+    /// using sampled softmax with `cfg.neg_samples` negatives.
+    ///
+    /// The full-softmax of Eq. 2 over 10⁴–10⁵ candidates is replaced by
+    /// sampled softmax for tractability; the label-smoothing behaviour that
+    /// the paper's η analysis (Figure 7) depends on is preserved because
+    /// smoothing mass is spread over the sampled negatives.
+    pub fn train_entity_prediction(&mut self, world: &World) {
+        let mut rng = derive_rng(self.cfg.seed, stream_label("entity-prediction"));
+        let examples = self.collect_examples(world, &mut rng);
+        for _epoch in 0..self.cfg.epochs {
+            let mut order: Vec<usize> = (0..examples.len()).collect();
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let (sid, entity) = examples[i];
+                let sentence = world.corpus.sentence(sid);
+                let bag = self.context_bag(world, sentence, entity, &[]);
+                self.entity_prediction_step(&bag, entity, &mut rng);
+            }
+        }
+        // Calibrate the common-mode center once representations settle.
+        self.calibrate_center(world, 2000);
+    }
+
+    /// One sampled-softmax SGD step. Exposed for the alternating
+    /// entity-prediction/contrastive schedule.
+    pub(crate) fn entity_prediction_step(
+        &mut self,
+        bag: &[TokenId],
+        gold: EntityId,
+        rng: &mut UltraRng,
+    ) {
+        let h = self.encode_bag(bag);
+        // Sample the candidate set: gold first, then distinct negatives.
+        let mut cands: Vec<usize> = Vec::with_capacity(self.cfg.neg_samples + 1);
+        cands.push(gold.index());
+        while cands.len() <= self.cfg.neg_samples {
+            let c = rng.gen_range(0..self.num_entities);
+            if c != gold.index() {
+                cands.push(c);
+            }
+        }
+        let logits: Vec<f32> = cands
+            .iter()
+            .map(|&c| {
+                let row = self.head.row(c);
+                row.iter().zip(&h).map(|(w, x)| w * x).sum()
+            })
+            .collect();
+        let (_loss, dlogits) = label_smoothed_ce(&logits, 0, self.cfg.eta);
+        // dh and head-row updates.
+        let mut dh = vec![0.0f32; self.cfg.dim];
+        let lr = self.cfg.lr;
+        let wd = self.cfg.weight_decay;
+        for (k, &c) in cands.iter().enumerate() {
+            let d = dlogits[k];
+            let row = self.head.row_mut(c);
+            for j in 0..row.len() {
+                dh[j] += d * row[j];
+                row[j] -= lr * (d * h[j] + wd * row[j]);
+            }
+        }
+        self.encode_bag_backward(bag, &h, &dh);
+        self.emb.apply_sparse_sgd(lr, wd, self.cfg.clip);
+    }
+
+    /// One InfoNCE step over already-built context bags. Returns the loss.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn contrastive_step(
+        &mut self,
+        anchor_bag: &[TokenId],
+        pos_bag: &[TokenId],
+        neg_bags: &[Vec<TokenId>],
+    ) -> f32 {
+        self.contrastive_step_weighted(anchor_bag, pos_bag, neg_bags, None)
+    }
+
+    /// [`contrastive_step`](Self::contrastive_step) with per-negative
+    /// weights (the Section 6.2 "amplify hard negatives" experiment).
+    pub(crate) fn contrastive_step_weighted(
+        &mut self,
+        anchor_bag: &[TokenId],
+        pos_bag: &[TokenId],
+        neg_bags: &[Vec<TokenId>],
+        weights: Option<&[f32]>,
+    ) -> f32 {
+        // Forward all branches.
+        let forward = |enc: &Self, bag: &[TokenId]| {
+            let h = enc.encode_bag(bag);
+            let (hidden, pre) = enc.proj.forward(&h);
+            let mut z = pre.clone();
+            let norm = l2_normalize(&mut z);
+            (h, hidden, pre, z, norm)
+        };
+        let a = forward(self, anchor_bag);
+        let p = forward(self, pos_bag);
+        let negs: Vec<_> = neg_bags.iter().map(|b| forward(self, b)).collect();
+        let neg_views: Vec<&[f32]> = negs.iter().map(|n| n.3.as_slice()).collect();
+        let g = ultra_nn::infonce_weighted(&a.3, &p.3, &neg_views, weights, self.cfg.tau);
+
+        // Backward each branch through l2norm → proj → tanh → embeddings.
+        let backward_fn =
+            |enc: &mut Self, bag: &[TokenId], st: &(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, f32), dz: &[f32]| {
+                let dpre = l2_normalize_backward(&st.3, st.4, dz);
+                let dh = enc.proj.backward(&st.0, &st.1, &st.2, &dpre);
+                enc.encode_bag_backward(bag, &st.0, &dh);
+            };
+        backward_fn(self, anchor_bag, &a, &g.d_anchor);
+        backward_fn(self, pos_bag, &p, &g.d_pos);
+        for (k, n) in negs.iter().enumerate() {
+            backward_fn(self, &neg_bags[k], n, &g.d_negs[k]);
+        }
+        let lr = self.cfg.contrastive_lr;
+        Sgd::new(lr)
+            .with_weight_decay(self.cfg.weight_decay)
+            .step(&mut self.proj);
+        self.emb.apply_sparse_sgd(lr, self.cfg.weight_decay, self.cfg.clip);
+        g.loss
+    }
+
+    /// Gathers `(sentence, entity)` training examples, capped per entity.
+    fn collect_examples(&self, world: &World, rng: &mut UltraRng) -> Vec<(ultra_core::SentenceId, EntityId)> {
+        let mut examples = Vec::new();
+        for e in &world.entities {
+            let sids = world.corpus.sentences_of(e.id);
+            if sids.len() <= self.cfg.max_sentences_per_entity {
+                examples.extend(sids.iter().map(|&s| (s, e.id)));
+            } else {
+                let mut pool: Vec<_> = sids.to_vec();
+                pool.shuffle(rng);
+                pool.truncate(self.cfg.max_sentences_per_entity);
+                examples.extend(pool.into_iter().map(|s| (s, e.id)));
+            }
+        }
+        examples
+    }
+
+    /// Computes every entity's representation: the mean contextual feature
+    /// over (up to `max_sentences_per_entity`) sentences mentioning it,
+    /// with the configured augmentation prefix.
+    pub fn entity_embeddings(&self, world: &World) -> EntityEmbeddings {
+        let mut mat = Matrix::zeros(world.num_entities(), self.cfg.dim);
+        let mut rng = derive_rng(self.cfg.seed, stream_label("repr-sampling"));
+        for e in &world.entities {
+            let sids = world.corpus.sentences_of(e.id);
+            let chosen: Vec<_> = if sids.len() <= self.cfg.max_sentences_per_entity {
+                sids.to_vec()
+            } else {
+                let mut pool = sids.to_vec();
+                pool.shuffle(&mut rng);
+                pool.truncate(self.cfg.max_sentences_per_entity);
+                pool
+            };
+            if chosen.is_empty() {
+                continue;
+            }
+            let row = mat.row_mut(e.id.index());
+            for sid in &chosen {
+                let bag = self.context_bag(world, world.corpus.sentence(*sid), e.id, &[]);
+                let h = self.encode_bag(&bag);
+                for (r, x) in row.iter_mut().zip(&h) {
+                    *r += x;
+                }
+            }
+            let inv = 1.0 / chosen.len() as f32;
+            row.iter_mut().for_each(|x| *x *= inv);
+        }
+        EntityEmbeddings::new(mat)
+    }
+
+    /// ProbExpan's read-out: the (sparse, top-`k`) probability distribution
+    /// over candidate entities at the `[MASK]` position, derived from the
+    /// entity's mean representation. The paper contrasts this
+    /// probability-space representation with RetExpan's hidden-state
+    /// representation (Section 6.2 point 2).
+    pub fn entity_distribution(&self, h: &[f32], top_k: usize) -> Vec<(u32, f32)> {
+        // The head was trained on *uncentered* features; add the center back.
+        let uncentered: Vec<f32> = h.iter().zip(&self.center).map(|(x, c)| x + c).collect();
+        let logits = self.head.matvec(&uncentered);
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut exps: Vec<(u32, f32)> = logits
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i as u32, (l - max).exp()))
+            .collect();
+        let sum: f32 = exps.iter().map(|(_, e)| e).sum();
+        for (_, e) in exps.iter_mut() {
+            *e /= sum;
+        }
+        exps.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        exps.truncate(top_k);
+        exps.sort_unstable_by_key(|(i, _)| *i);
+        exps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_data::WorldConfig;
+    use ultra_nn::cosine;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny()).unwrap()
+    }
+
+    fn quick_cfg() -> EncoderConfig {
+        EncoderConfig {
+            epochs: 6,
+            dim: 48,
+            neg_samples: 48,
+            max_sentences_per_entity: 10,
+            ..EncoderConfig::default()
+        }
+    }
+
+    #[test]
+    fn encode_bag_is_bounded_by_tanh() {
+        let w = world();
+        let enc = EntityEncoder::new(&w, quick_cfg());
+        let s = w.corpus.sentence(ultra_core::SentenceId::new(0));
+        let e = s.mentions[0].1;
+        let bag = enc.context_bag(&w, s, e, &[]);
+        let h = enc.encode_bag(&bag);
+        assert_eq!(h.len(), enc.dim());
+        assert!(h.iter().all(|x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn context_bag_masks_the_entity() {
+        let w = world();
+        let enc = EntityEncoder::new(&w, quick_cfg());
+        let e = w.classes[0].entities[0];
+        let sid = w.corpus.sentences_of(e)[0];
+        let s = w.corpus.sentence(sid);
+        let bag = enc.context_bag(&w, s, e, &[]);
+        assert!(!bag.contains(&w.mention_tokens[e.index()]));
+        assert!(bag.contains(&w.vocab.mask()));
+    }
+
+    #[test]
+    fn training_improves_same_class_similarity() {
+        let w = world();
+        let mut enc = EntityEncoder::new(&w, quick_cfg());
+        enc.train_entity_prediction(&w);
+        let reps = enc.entity_embeddings(&w);
+        // Mean cosine within a class vs across classes.
+        let c0 = &w.classes[0].entities;
+        let c1 = &w.classes[1].entities;
+        let within: f32 = (0..8)
+            .map(|i| cosine(reps.row(c0[i]), reps.row(c0[i + 1])))
+            .sum::<f32>()
+            / 8.0;
+        let across: f32 = (0..8)
+            .map(|i| cosine(reps.row(c0[i]), reps.row(c1[i])))
+            .sum::<f32>()
+            / 8.0;
+        assert!(
+            within > across,
+            "within-class cosine {within:.3} should exceed cross-class {across:.3}"
+        );
+    }
+
+    #[test]
+    fn entity_distribution_is_a_sparse_probability() {
+        let w = world();
+        let enc = EntityEncoder::new(&w, quick_cfg());
+        let reps = enc.entity_embeddings(&w);
+        let dist = enc.entity_distribution(reps.row(w.classes[0].entities[0]), 20);
+        assert_eq!(dist.len(), 20);
+        let sum: f32 = dist.iter().map(|(_, p)| p).sum();
+        assert!(sum > 0.0 && sum <= 1.0 + 1e-5);
+        // Sorted by entity index for sparse-cosine consumption.
+        assert!(dist.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn contrastive_step_pulls_anchor_toward_positive() {
+        let w = world();
+        let mut enc = EntityEncoder::new(&w, quick_cfg());
+        let e0 = w.classes[0].entities[0];
+        let e1 = w.classes[0].entities[1];
+        let e2 = w.classes[5].entities[0];
+        let bag = |enc: &EntityEncoder, e: EntityId| {
+            let sid = w.corpus.sentences_of(e)[0];
+            enc.context_bag(&w, w.corpus.sentence(sid), e, &[])
+        };
+        let (a, p, n) = (bag(&enc, e0), bag(&enc, e1), bag(&enc, e2));
+        let sim_before = {
+            let za = enc.project(&enc.encode_bag(&a));
+            let zp = enc.project(&enc.encode_bag(&p));
+            cosine(&za, &zp)
+        };
+        let mut last = f32::INFINITY;
+        for _ in 0..30 {
+            last = enc.contrastive_step(&a, &p, std::slice::from_ref(&n));
+        }
+        let sim_after = {
+            let za = enc.project(&enc.encode_bag(&a));
+            let zp = enc.project(&enc.encode_bag(&p));
+            cosine(&za, &zp)
+        };
+        assert!(sim_after > sim_before, "{sim_after} > {sim_before}");
+        assert!(last < 1.0, "loss should have dropped, got {last}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let w = world();
+        let mut e1 = EntityEncoder::new(&w, quick_cfg());
+        let mut e2 = EntityEncoder::new(&w, quick_cfg());
+        e1.train_entity_prediction(&w);
+        e2.train_entity_prediction(&w);
+        let r1 = e1.entity_embeddings(&w);
+        let r2 = e2.entity_embeddings(&w);
+        let e = w.classes[0].entities[0];
+        assert_eq!(r1.row(e), r2.row(e));
+    }
+}

@@ -1,0 +1,111 @@
+//! Entity representation matrix with similarity helpers.
+
+use ultra_core::EntityId;
+use ultra_nn::{cosine, Matrix};
+
+/// Dense per-entity representations (`num_entities × dim`).
+#[derive(Clone, Debug)]
+pub struct EntityEmbeddings {
+    mat: Matrix,
+}
+
+impl EntityEmbeddings {
+    /// Wraps a representation matrix.
+    pub fn new(mat: Matrix) -> Self {
+        Self { mat }
+    }
+
+    /// Representation dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.mat.cols()
+    }
+
+    /// Number of entities represented.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// Whether the matrix is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mat.rows() == 0
+    }
+
+    /// One entity's representation.
+    #[inline]
+    pub fn row(&self, e: EntityId) -> &[f32] {
+        self.mat.row(e.index())
+    }
+
+    /// Cosine similarity between two entities.
+    #[inline]
+    pub fn sim(&self, a: EntityId, b: EntityId) -> f32 {
+        cosine(self.row(a), self.row(b))
+    }
+
+    /// Mean similarity of `e` to a seed set — `sco^pos` / `sco^neg` of
+    /// Eq. 4: `(1/|S|) Σ cos(h(e), h(e'))`.
+    pub fn seed_score(&self, e: EntityId, seeds: &[EntityId]) -> f32 {
+        if seeds.is_empty() {
+            return 0.0;
+        }
+        seeds.iter().map(|&s| self.sim(e, s)).sum::<f32>() / seeds.len() as f32
+    }
+
+    /// Mean representation of a set (used by class-level heat maps).
+    pub fn centroid(&self, entities: &[EntityId]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim()];
+        for &e in entities {
+            for (a, &x) in acc.iter_mut().zip(self.row(e)) {
+                *a += x;
+            }
+        }
+        if !entities.is_empty() {
+            let inv = 1.0 / entities.len() as f32;
+            acc.iter_mut().for_each(|a| *a *= inv);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eid(x: u32) -> EntityId {
+        EntityId::new(x)
+    }
+
+    fn embeddings() -> EntityEmbeddings {
+        EntityEmbeddings::new(Matrix::from_vec(
+            3,
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
+        ))
+    }
+
+    #[test]
+    fn seed_score_averages_cosines() {
+        let r = embeddings();
+        // e2 ∥ e0, ⊥ e1 → mean = 0.5.
+        let s = r.seed_score(eid(2), &[eid(0), eid(1)]);
+        assert!((s - 0.5).abs() < 1e-6);
+        assert_eq!(r.seed_score(eid(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn centroid_is_elementwise_mean() {
+        let r = embeddings();
+        let c = r.centroid(&[eid(0), eid(1)]);
+        assert_eq!(c, vec![0.5, 0.5]);
+        assert_eq!(r.centroid(&[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sim_is_symmetric() {
+        let r = embeddings();
+        assert_eq!(r.sim(eid(0), eid(2)), r.sim(eid(2), eid(0)));
+    }
+}

@@ -1,0 +1,22 @@
+//! `ultra-eval` — evaluation metrics, harness, and reporting for Ultra-ESE.
+//!
+//! Implements Section 6.1 exactly: `MAP@K` / `P@K` against the positive
+//! target entities `P`, the symmetric `NegMAP@K` / `NegP@K` against the
+//! negative target entities `N` (lower is better), and the combined
+//! `CombMAP@K = (MAP@K + 100 − NegMAP@K) / 2`, for
+//! `K ∈ {10, 20, 50, 100}`, macro-averaged over all queries.
+//!
+//! The [`harness`] module runs any expansion function over a world's query
+//! set and produces a [`report::MetricReport`] shaped like a Table 2 block;
+//! [`heatmap`] reproduces Figure 4's class-similarity matrix.
+
+pub mod harness;
+pub mod heatmap;
+pub mod metrics;
+pub mod report;
+pub mod table;
+
+pub use harness::{evaluate_method, evaluate_method_filtered, ground_truth_for};
+pub use metrics::{average_precision_at, precision_at, QueryEval, KS};
+pub use report::MetricReport;
+pub use table::TableWriter;

@@ -1,0 +1,156 @@
+//! Ranking metrics: P@K and AP@K on positive and negative target sets.
+
+use std::collections::HashSet;
+use ultra_core::{EntityId, RankedList};
+
+/// The cutoffs reported throughout the paper.
+pub const KS: [usize; 4] = [10, 20, 50, 100];
+
+/// Precision at `k`: the fraction of the top-`k` entries that are relevant.
+///
+/// Lists shorter than `k` are treated as padded with irrelevant entries
+/// (missing entities cannot be relevant), matching the paper's fixed-`k`
+/// reporting.
+pub fn precision_at(list: &RankedList, relevant: &HashSet<EntityId>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = list
+        .entities()
+        .take(k)
+        .filter(|e| relevant.contains(e))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Average precision at `k`, normalized by `min(|relevant|, k)`.
+///
+/// `AP@K = (1/min(|R|,K)) Σ_{i≤K, L[i]∈R} Precision@i` — the standard
+/// rank-aware form: relevant entities near the top contribute precision
+/// values close to 1.
+pub fn average_precision_at(list: &RankedList, relevant: &HashSet<EntityId>, k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let norm = relevant.len().min(k) as f64;
+    let mut hits = 0usize;
+    let mut ap = 0.0f64;
+    for (i, e) in list.entities().take(k).enumerate() {
+        if relevant.contains(&e) {
+            hits += 1;
+            ap += hits as f64 / (i + 1) as f64;
+        }
+    }
+    ap / norm
+}
+
+/// All metrics of one query at every cutoff (percent scale, 0–100).
+#[derive(Clone, Debug, Default)]
+pub struct QueryEval {
+    /// `MAP@K` per cutoff.
+    pub pos_map: [f64; 4],
+    /// `NegMAP@K` per cutoff.
+    pub neg_map: [f64; 4],
+    /// `P@K` per cutoff.
+    pub pos_p: [f64; 4],
+    /// `NegP@K` per cutoff.
+    pub neg_p: [f64; 4],
+}
+
+impl QueryEval {
+    /// Evaluates one ranked list against positive targets `P` and negative
+    /// targets `N` (both already seed-free).
+    pub fn compute(
+        list: &RankedList,
+        pos: &HashSet<EntityId>,
+        neg: &HashSet<EntityId>,
+    ) -> QueryEval {
+        let mut out = QueryEval::default();
+        for (i, &k) in KS.iter().enumerate() {
+            out.pos_map[i] = 100.0 * average_precision_at(list, pos, k);
+            out.neg_map[i] = 100.0 * average_precision_at(list, neg, k);
+            out.pos_p[i] = 100.0 * precision_at(list, pos, k);
+            out.neg_p[i] = 100.0 * precision_at(list, neg, k);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eid(x: u32) -> EntityId {
+        EntityId::new(x)
+    }
+
+    fn list(ids: &[u32]) -> RankedList {
+        RankedList::from_sorted(
+            ids.iter()
+                .enumerate()
+                .map(|(i, &x)| (eid(x), 1.0 - i as f32 * 0.01))
+                .collect(),
+        )
+    }
+
+    fn set(ids: &[u32]) -> HashSet<EntityId> {
+        ids.iter().map(|&x| eid(x)).collect()
+    }
+
+    #[test]
+    fn precision_counts_hits_in_prefix() {
+        let l = list(&[1, 2, 3, 4]);
+        let r = set(&[1, 3]);
+        assert_eq!(precision_at(&l, &r, 1), 1.0);
+        assert_eq!(precision_at(&l, &r, 2), 0.5);
+        assert_eq!(precision_at(&l, &r, 4), 0.5);
+    }
+
+    #[test]
+    fn precision_pads_short_lists() {
+        let l = list(&[1]);
+        let r = set(&[1]);
+        assert_eq!(precision_at(&l, &r, 10), 0.1);
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let l = list(&[1, 2, 3, 9, 9, 9]);
+        let r = set(&[1, 2, 3]);
+        assert!((average_precision_at(&l, &r, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_is_rank_aware() {
+        let r = set(&[1]);
+        let top = average_precision_at(&list(&[1, 8, 9]), &r, 10);
+        let low = average_precision_at(&list(&[8, 9, 1]), &r, 10);
+        assert!(top > low);
+        assert!((top - 1.0).abs() < 1e-12);
+        assert!((low - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_normalizes_by_min_of_k_and_relevant() {
+        // 5 relevant, k=2, both top slots relevant → AP@2 = 1.
+        let l = list(&[1, 2]);
+        let r = set(&[1, 2, 3, 4, 5]);
+        assert!((average_precision_at(&l, &r, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relevant_set_scores_zero() {
+        let l = list(&[1, 2]);
+        assert_eq!(average_precision_at(&l, &HashSet::new(), 10), 0.0);
+        assert_eq!(precision_at(&l, &HashSet::new(), 10), 0.0);
+    }
+
+    #[test]
+    fn query_eval_scales_to_percent() {
+        let l = list(&[1, 2, 3]);
+        let qe = QueryEval::compute(&l, &set(&[1, 2, 3]), &set(&[]));
+        assert!((qe.pos_map[0] - 100.0).abs() < 1e-9);
+        assert!((qe.pos_p[0] - 30.0).abs() < 1e-9, "3 hits / k=10");
+        assert_eq!(qe.neg_map[0], 0.0);
+    }
+}

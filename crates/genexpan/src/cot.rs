@@ -1,0 +1,215 @@
+//! Chain-of-thought reasoning (Section 5.2.2, Table 9).
+//!
+//! Before generating, GenExpan "reasons out" (i) a fine-grained class name
+//! and (ii) the positive attributes shared by the positive seeds, and feeds
+//! both into the generation prompt. Table 9 additionally probes
+//! ground-truth versions of each reasoning product and a deeper variant
+//! that also reasons negative attributes.
+//!
+//! Reasoning here is PMI extraction over the seed contexts: the tokens most
+//! over-represented around the seeds are, by construction of the world,
+//! class-topic tokens (the "class name") and shared attribute-value markers
+//! (the "positive attributes") — mirroring the paper's observation that
+//! generated class names "encapsulate positive attribute information"
+//! (e.g. "Airports in Michigan").
+
+use crate::cooc::CoocIndex;
+use ultra_core::{EntityId, TokenId, UltraClass};
+use ultra_data::World;
+
+/// Where the class-name tokens come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassNameSource {
+    /// No class-name reasoning (plain GenExpan).
+    None,
+    /// Manually-labelled class name (the class's canonical topic tokens).
+    GroundTruth,
+    /// Reasoned from the positive seeds (top-PMI tokens).
+    Generated,
+}
+
+/// Where attribute information comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttrInfoSource {
+    /// Not used.
+    None,
+    /// Reasoned from the seeds (next top-PMI tokens).
+    Generated,
+    /// Ground-truth markers of the constraint values.
+    GroundTruth,
+}
+
+/// Full CoT configuration (one Table 9 row).
+#[derive(Clone, Copy, Debug)]
+pub struct CotConfig {
+    /// Class-name reasoning.
+    pub class_name: ClassNameSource,
+    /// Positive-attribute reasoning.
+    pub pos_attrs: AttrInfoSource,
+    /// Negative-attribute reasoning (feeds re-ranking, not generation).
+    pub neg_attrs: AttrInfoSource,
+}
+
+impl CotConfig {
+    /// Plain GenExpan: no reasoning.
+    pub fn off() -> Self {
+        Self {
+            class_name: ClassNameSource::None,
+            pos_attrs: AttrInfoSource::None,
+            neg_attrs: AttrInfoSource::None,
+        }
+    }
+
+    /// The paper's default "+ CoT": generated class name + generated
+    /// positive attributes.
+    pub fn default_cot() -> Self {
+        Self {
+            class_name: ClassNameSource::Generated,
+            pos_attrs: AttrInfoSource::Generated,
+            neg_attrs: AttrInfoSource::None,
+        }
+    }
+}
+
+/// Tokens produced by one reasoning pass.
+#[derive(Clone, Debug, Default)]
+pub struct CotTokens {
+    /// Class-name + positive-attribute tokens (condition generation).
+    pub positive: Vec<TokenId>,
+    /// Negative-attribute tokens (condition re-ranking).
+    pub negative: Vec<TokenId>,
+}
+
+/// Number of tokens per reasoning product.
+const CN_TOKENS: usize = 2;
+/// Tokens kept for attribute reasoning.
+const ATTR_TOKENS: usize = 2;
+
+/// Runs the reasoning pass for one query.
+pub fn reason(
+    cfg: &CotConfig,
+    world: &World,
+    cooc: &CoocIndex,
+    ultra: &UltraClass,
+    pos_seeds: &[EntityId],
+    neg_seeds: &[EntityId],
+) -> CotTokens {
+    let mut out = CotTokens::default();
+
+    match cfg.class_name {
+        ClassNameSource::None => {}
+        ClassNameSource::GroundTruth => {
+            out.positive
+                .extend(world.lexicon.class_topics[ultra.fine.index()].iter().take(CN_TOKENS));
+        }
+        ClassNameSource::Generated => {
+            out.positive
+                .extend(cooc.top_pmi_tokens(world, pos_seeds, CN_TOKENS, &[]));
+        }
+    }
+
+    match cfg.pos_attrs {
+        AttrInfoSource::None => {}
+        AttrInfoSource::Generated => {
+            // The next-ranked PMI tokens beyond the class name.
+            let more = cooc.top_pmi_tokens(world, pos_seeds, CN_TOKENS + ATTR_TOKENS, &out.positive);
+            out.positive.extend(more.into_iter().take(ATTR_TOKENS));
+        }
+        AttrInfoSource::GroundTruth => {
+            for &(aid, val) in &ultra.pos.required {
+                out.positive
+                    .extend(world.lexicon.markers_of(aid.index(), val.index()).iter().take(2));
+            }
+        }
+    }
+
+    match cfg.neg_attrs {
+        AttrInfoSource::None => {}
+        AttrInfoSource::Generated => {
+            // Reasoning negative attributes is the harder task the paper
+            // identifies: high-PMI tokens of the negative seeds include the
+            // class topics (shared with the positives!), so the extracted
+            // tokens are noisy — exactly why "+ Gen Neg" underperforms.
+            out.negative
+                .extend(cooc.top_pmi_tokens(world, neg_seeds, ATTR_TOKENS, &[]));
+        }
+        AttrInfoSource::GroundTruth => {
+            for &(aid, val) in &ultra.neg.required {
+                out.negative
+                    .extend(world.lexicon.markers_of(aid.index(), val.index()).iter().take(2));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_data::WorldConfig;
+
+    fn setup() -> (World, CoocIndex) {
+        let w = World::generate(WorldConfig::tiny()).unwrap();
+        let idx = CoocIndex::build(&w);
+        (w, idx)
+    }
+
+    #[test]
+    fn off_produces_nothing() {
+        let (w, idx) = setup();
+        let u = &w.ultra_classes[0];
+        let q = &u.queries[0];
+        let t = reason(&CotConfig::off(), &w, &idx, u, &q.pos_seeds, &q.neg_seeds);
+        assert!(t.positive.is_empty());
+        assert!(t.negative.is_empty());
+    }
+
+    #[test]
+    fn ground_truth_class_name_is_the_canonical_topic() {
+        let (w, idx) = setup();
+        let u = &w.ultra_classes[0];
+        let q = &u.queries[0];
+        let cfg = CotConfig {
+            class_name: ClassNameSource::GroundTruth,
+            pos_attrs: AttrInfoSource::None,
+            neg_attrs: AttrInfoSource::None,
+        };
+        let t = reason(&cfg, &w, &idx, u, &q.pos_seeds, &q.neg_seeds);
+        assert_eq!(t.positive.len(), CN_TOKENS);
+        for tok in &t.positive {
+            assert!(w.lexicon.class_topics[u.fine.index()].contains(tok));
+        }
+    }
+
+    #[test]
+    fn gt_pos_attrs_are_constraint_markers() {
+        let (w, idx) = setup();
+        let u = &w.ultra_classes[0];
+        let q = &u.queries[0];
+        let cfg = CotConfig {
+            class_name: ClassNameSource::None,
+            pos_attrs: AttrInfoSource::GroundTruth,
+            neg_attrs: AttrInfoSource::GroundTruth,
+        };
+        let t = reason(&cfg, &w, &idx, u, &q.pos_seeds, &q.neg_seeds);
+        assert_eq!(t.positive.len(), 2 * u.pos.required.len());
+        assert_eq!(t.negative.len(), 2 * u.neg.required.len());
+        let (aid, val) = u.pos.required[0];
+        let markers = w.lexicon.markers_of(aid.index(), val.index());
+        assert!(markers.contains(&t.positive[0]));
+    }
+
+    #[test]
+    fn generated_reasoning_yields_distinct_tokens() {
+        let (w, idx) = setup();
+        let u = &w.ultra_classes[0];
+        let q = &u.queries[0];
+        let t = reason(&CotConfig::default_cot(), &w, &idx, u, &q.pos_seeds, &q.neg_seeds);
+        assert_eq!(t.positive.len(), CN_TOKENS + ATTR_TOKENS);
+        let mut uniq = t.positive.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), t.positive.len(), "no duplicate reasoning tokens");
+    }
+}

@@ -1,0 +1,598 @@
+//! The GenExpan pipeline: iterative generation → selection → re-ranking.
+
+use crate::cooc::CoocIndex;
+use crate::cot::{self, CotConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use ultra_core::rng::{derive_rng, UltraRng};
+use ultra_core::{mix_seed, segmented_rerank, EntityId, Query, RankedList, TokenId, UltraClass};
+use ultra_data::World;
+use ultra_lm::{constrained_entity_beam, unconstrained_beam, BeamParams, ModelSpec, NgramLm};
+use ultra_text::PrefixTrie;
+
+/// Knowledge source for generation-side retrieval augmentation
+/// (Section 5.2.3, Table 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenRaSource {
+    /// No augmentation.
+    None,
+    /// Introductions of the positive seed entities.
+    Introduction,
+    /// Wikidata records of the positive seed entities.
+    WikidataAttrs,
+    /// Ground-truth attribute markers of the query's constraints.
+    GtAttrs,
+}
+
+/// GenExpan configuration.
+#[derive(Clone, Debug)]
+pub struct GenExpanConfig {
+    /// LM capacity/family (Figure 8).
+    pub model: ModelSpec,
+    /// Continue pre-training on corpus `D` (Table 3 "- Further pretrain"
+    /// disables this).
+    pub further_pretrain: bool,
+    /// Prefix-trie-constrained decoding (Table 3 "- Prefix constrain"
+    /// disables this).
+    pub constrained: bool,
+    /// Beam parameters (the paper uses beam 40, generating 40 entities per
+    /// round).
+    pub beam: BeamParams,
+    /// Fraction of newly generated entities admitted per round
+    /// ("top 0.7" in Appendix C; Figure 7 sweeps it).
+    pub top_p_frac: f64,
+    /// Stop once the expansion reaches this size.
+    pub target_size: usize,
+    /// Hard cap on generation rounds.
+    pub max_rounds: usize,
+    /// Stop after this many consecutive rounds without new entities
+    /// (the paper uses 20).
+    pub patience: usize,
+    /// Re-ranking segment length `l`.
+    pub segment_len: usize,
+    /// Whether negative-seed re-ranking runs (Table 5).
+    pub rerank: bool,
+    /// Chain-of-thought configuration (Table 9).
+    pub cot: CotConfig,
+    /// Retrieval-augmentation source (Table 8).
+    pub ra: GenRaSource,
+    /// λ — weight of long-range conditioning scores.
+    pub cond_weight: f64,
+    /// Floor on the *raw sequence probability* (geometric mean raised back
+    /// to the name length) of an emitted entity. The substitute LM's beam
+    /// backs off to unigram mass once the strong list continuations are
+    /// exhausted, which would admit implausible entities a real LLM would
+    /// never surface; the floor models the LLM's own plausibility cut-off.
+    /// Raw (unnormalized) probability separates plausible from back-off
+    /// generations far more sharply than the geometric mean, which is
+    /// inflated by near-deterministic within-name transitions.
+    pub min_gen_score: f64,
+    /// Sampling seed for prompt construction.
+    pub seed: u64,
+}
+
+impl Default for GenExpanConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelSpec::default_backbone(),
+            further_pretrain: true,
+            constrained: true,
+            beam: BeamParams::default(),
+            top_p_frac: 0.7,
+            target_size: 120,
+            max_rounds: 40,
+            patience: 8,
+            segment_len: 10,
+            rerank: true,
+            cot: CotConfig::off(),
+            ra: GenRaSource::None,
+            cond_weight: 0.6,
+            min_gen_score: 0.005,
+            seed: 0x6E6E,
+        }
+    }
+}
+
+/// One expansion entry: a real candidate or an out-of-vocabulary
+/// hallucination (only possible with unconstrained decoding).
+#[derive(Clone, Debug)]
+enum ExpKind {
+    Real(EntityId),
+    Hallucinated,
+}
+
+/// Expansion entry with its selection score.
+#[derive(Clone, Debug)]
+struct ExpItem {
+    kind: ExpKind,
+    /// Eq. 7 selection score (+ conditioning), decayed by round so the
+    /// iterative-expansion ordering survives the final re-score.
+    score: f64,
+}
+
+/// A trained GenExpan instance.
+#[derive(Clone)]
+pub struct GenExpan {
+    /// Configuration.
+    pub config: GenExpanConfig,
+    lm: NgramLm,
+    trie: PrefixTrie,
+    cooc: CoocIndex,
+    sep: TokenId,
+    pool: Option<Vec<EntityId>>,
+}
+
+impl GenExpan {
+    /// Builds the LM (base pre-training + optional further pre-training on
+    /// corpus `D`) and the candidate trie over the full vocabulary.
+    pub fn train(world: &World, config: GenExpanConfig) -> Self {
+        Self::train_with_pool(world, config, None)
+    }
+
+    /// Like [`train`](Self::train) but restricting the candidate trie (and
+    /// expansion) to `pool` — the Table 10 paradigm-interaction setting
+    /// where another model's top-1000 forms the candidate set.
+    pub fn train_with_pool(
+        world: &World,
+        config: GenExpanConfig,
+        pool: Option<Vec<EntityId>>,
+    ) -> Self {
+        let mut lm = NgramLm::new(config.model.order, config.model.smoothing, world.vocab.len());
+        let base = world.base_lm_docs();
+        lm.train(base.iter().map(Vec::as_slice));
+        if config.further_pretrain {
+            let further = world.further_pretrain_docs();
+            lm.train(further.iter().map(Vec::as_slice));
+        }
+        let mut trie = PrefixTrie::new();
+        match &pool {
+            Some(pool) => {
+                for &e in pool {
+                    trie.insert(&world.name_tokens[e.index()], e);
+                }
+            }
+            None => {
+                for e in &world.entities {
+                    trie.insert(&world.name_tokens[e.id.index()], e.id);
+                }
+            }
+        }
+        Self {
+            config,
+            lm,
+            trie,
+            cooc: CoocIndex::build(world),
+            sep: world.list_sep,
+            pool,
+        }
+    }
+
+    /// Eq. 7: `sco(e → e') = P(e'|f(e))^(1/|e'|)` where `f(e)` is the
+    /// list-continuation template `"{e} ,"` (the substitute for
+    /// "`{e}` is similar to" — see crate docs).
+    fn eq7_score(&self, world: &World, e_tokens: &[TokenId], other: EntityId) -> f64 {
+        let mut ctx = e_tokens.to_vec();
+        ctx.push(self.sep);
+        self.lm
+            .entity_score(&ctx, &world.name_tokens[other.index()])
+    }
+
+    /// Mean Eq. 7 score against a seed set, in log space.
+    ///
+    /// Scored bidirectionally — `√(P(seed|f(e)) · P(e|f(seed)))` — which
+    /// denoises the asymmetry of sparse list statistics (the paper's
+    /// LLaMA scores only `P(e'|f(e))`; with dense LM statistics the two
+    /// directions agree).
+    fn seed_logscore(&self, world: &World, e_tokens: &[TokenId], seeds: &[EntityId]) -> f64 {
+        if seeds.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let mean: f64 = seeds
+            .iter()
+            .map(|&s| {
+                let fwd = self.eq7_score(world, e_tokens, s);
+                let bwd = {
+                    let mut ctx = world.name_tokens[s.index()].clone();
+                    ctx.push(self.sep);
+                    self.lm.entity_score(&ctx, e_tokens)
+                };
+                (fwd * bwd).sqrt()
+            })
+            .sum::<f64>()
+            / seeds.len() as f64;
+        mean.max(1e-300).ln()
+    }
+
+    /// Full pipeline for one query.
+    pub fn expand(&self, world: &World, ultra: &UltraClass, query: &Query) -> RankedList {
+        let mut rng = self.query_rng(query);
+        let cot_tokens = cot::reason(
+            &self.config.cot,
+            world,
+            &self.cooc,
+            ultra,
+            &query.pos_seeds,
+            &query.neg_seeds,
+        );
+        let (ra_pos, ra_neg) = self.ra_tokens(world, ultra, query);
+        let mut pos_cond = cot_tokens.positive.clone();
+        pos_cond.extend(ra_pos);
+        let mut neg_cond = cot_tokens.negative.clone();
+        neg_cond.extend(ra_neg);
+
+        let mut expansion = self.generate(world, query, &pos_cond, &mut rng);
+
+        // Final ranking: re-score the accumulated expansion by the Eq. 7
+        // selection score. (The paper ranks by iterative insertion order;
+        // our substitute generator has noisier per-round precision, so the
+        // selection score — which the paper also uses to admit entities —
+        // orders the final list. Round decay keeps the iterative-expansion
+        // flavour: later rounds still rank lower on average.)
+        expansion.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n = expansion.len();
+        let mut fake_id = world.num_entities() as u32;
+        let entries: Vec<(EntityId, f32)> = expansion
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let id = match &item.kind {
+                    ExpKind::Real(e) => *e,
+                    ExpKind::Hallucinated => {
+                        let id = EntityId::new(fake_id);
+                        fake_id += 1;
+                        id
+                    }
+                };
+                (id, (n - i) as f32)
+            })
+            .collect();
+        let list = RankedList::from_sorted(entries);
+        if !self.config.rerank || query.neg_seeds.is_empty() {
+            return list;
+        }
+        let lambda = self.config.cond_weight;
+        segmented_rerank(&list, self.config.segment_len, |e| {
+            if e.index() >= world.num_entities() {
+                // Hallucinations: no evidence either way.
+                return 0.0;
+            }
+            let name = &world.name_tokens[e.index()];
+            // Margin form: how much more the entity aligns with the
+            // negative seeds than with the positive seeds. The relative
+            // score cancels the entity's overall LM affinity, which would
+            // otherwise dominate the sparse Eq. 7 statistics.
+            let mut s = self.seed_logscore(world, name, &query.neg_seeds)
+                - self.seed_logscore(world, name, &query.pos_seeds);
+            if !neg_cond.is_empty() {
+                s += lambda * self.cooc.condition_logscore(e, &neg_cond);
+            }
+            s as f32
+        })
+    }
+
+    /// The iterative generation + selection loop.
+    fn generate(
+        &self,
+        world: &World,
+        query: &Query,
+        pos_cond: &[TokenId],
+        rng: &mut UltraRng,
+    ) -> Vec<ExpItem> {
+        let mut expansion: Vec<ExpItem> = Vec::new();
+        let mut real_set: HashSet<EntityId> = query.all_seeds().collect();
+        let mut fake_set: HashSet<Vec<TokenId>> = HashSet::new();
+        let mut stale_rounds = 0usize;
+        let real_count = |exp: &Vec<ExpItem>| {
+            exp.iter()
+                .filter(|i| matches!(i.kind, ExpKind::Real(_)))
+                .count()
+        };
+
+        for round in 0..self.config.max_rounds {
+            if real_count(&expansion) >= self.config.target_size
+                || stale_rounds >= self.config.patience
+            {
+                break;
+            }
+            let prompt = self.build_prompt(world, query, &expansion, round, rng);
+            // Score = Eq.7 against positive seeds + λ · long-range
+            // conditioning (CoT / RA tokens).
+            let lambda = self.config.cond_weight;
+            let round_decay = -0.1 * round as f64;
+            let mut new_items: Vec<(ExpKind, f64)> = Vec::new();
+            if self.config.constrained {
+                for (e, gm) in
+                    constrained_entity_beam(&self.lm, &prompt, &self.trie, self.config.beam)
+                {
+                    let len = world.name_tokens[e.index()].len() as i32;
+                    if real_set.contains(&e) || gm.powi(len) < self.config.min_gen_score {
+                        continue;
+                    }
+                    let name = &world.name_tokens[e.index()];
+                    let mut score = self.seed_logscore(world, name, &query.pos_seeds);
+                    if !pos_cond.is_empty() {
+                        score += lambda * self.cooc.condition_logscore(e, pos_cond);
+                    }
+                    new_items.push((ExpKind::Real(e), score));
+                }
+            } else {
+                for g in unconstrained_beam(
+                    &self.lm,
+                    &prompt,
+                    &self.trie,
+                    self.sep,
+                    self.config.beam,
+                ) {
+                    // Unconstrained decoding has no candidate trie to anchor
+                    // plausibility: the beam freely emits fluent-but-invalid
+                    // recombinations, and the model cannot tell them apart
+                    // from real names. No floor applies — this is exactly
+                    // the paper's argument for the prefix constraint
+                    // (Table 3's largest ablation drop).
+                    match g.entity {
+                        Some(e) if !real_set.contains(&e) => {
+                            let mut score =
+                                self.seed_logscore(world, &g.tokens, &query.pos_seeds);
+                            if let Some(e) = g.entity {
+                                if !pos_cond.is_empty() {
+                                    score += lambda * self.cooc.condition_logscore(e, pos_cond);
+                                }
+                            }
+                            new_items.push((ExpKind::Real(e), score));
+                        }
+                        Some(_) => {}
+                        None => {
+                            if fake_set.insert(g.tokens.clone()) {
+                                // A fluent hallucination is indistinguishable
+                                // from a real generation *to the model* — it
+                                // receives the round's median real confidence
+                                // (scored after the loop).
+                                new_items.push((ExpKind::Hallucinated, f64::NAN));
+                            }
+                        }
+                    }
+                }
+            }
+            // Hallucinations take the round-median real confidence.
+            let mut real_scores: Vec<f64> = new_items
+                .iter()
+                .filter(|(k, s)| matches!(k, ExpKind::Real(_)) && s.is_finite())
+                .map(|(_, s)| *s)
+                .collect();
+            real_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // Upper-quartile confidence: the beam surfaces recombinations
+            // precisely because they are *more* fluent than typical real
+            // continuations, so the model trusts them at least as much as
+            // most of its real generations.
+            let median = real_scores
+                .get(real_scores.len() * 3 / 4)
+                .copied()
+                .unwrap_or(-10.0);
+            for (kind, score) in new_items.iter_mut() {
+                if matches!(kind, ExpKind::Hallucinated) {
+                    *score = median;
+                }
+            }
+            // Entity selection: keep the top-p fraction.
+            new_items.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let admit = ((new_items.len() as f64) * self.config.top_p_frac).ceil() as usize;
+            let mut admitted_any = false;
+            for (kind, score) in new_items.into_iter().take(admit) {
+                if let ExpKind::Real(e) = &kind {
+                    real_set.insert(*e);
+                }
+                expansion.push(ExpItem {
+                    kind,
+                    score: score + round_decay,
+                });
+                admitted_any = true;
+            }
+            if admitted_any {
+                stale_rounds = 0;
+            } else {
+                stale_rounds += 1;
+            }
+        }
+        expansion
+    }
+
+    /// Builds one round's list-continuation prompt.
+    ///
+    /// Round 0 samples 3 positive seeds; later rounds sample 2 positive
+    /// seeds + 1 expanded entity, "to maintain diversity while ensuring the
+    /// semantic does not deviate from the original positive seed entities".
+    fn build_prompt(
+        &self,
+        world: &World,
+        query: &Query,
+        expansion: &[ExpItem],
+        round: usize,
+        rng: &mut UltraRng,
+    ) -> Vec<TokenId> {
+        let mut seeds: Vec<EntityId> = query.pos_seeds.clone();
+        seeds.shuffle(rng);
+        let expanded: Vec<EntityId> = expansion
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ExpKind::Real(e) => Some(*e),
+                ExpKind::Hallucinated => None,
+            })
+            .collect();
+        let mut prompt_entities: Vec<EntityId> = Vec::with_capacity(3);
+        if round == 0 || expanded.is_empty() {
+            prompt_entities.extend(seeds.iter().copied().take(3));
+        } else {
+            prompt_entities.extend(seeds.iter().copied().take(2));
+            prompt_entities.push(expanded[rng.gen_range(0..expanded.len())]);
+        }
+        let mut prompt: Vec<TokenId> = Vec::new();
+        for e in prompt_entities {
+            prompt.extend_from_slice(&world.name_tokens[e.index()]);
+            prompt.push(self.sep);
+        }
+        prompt
+    }
+
+    /// The candidate pool restriction, if any (Table 10 composition).
+    pub fn pool(&self) -> Option<&[EntityId]> {
+        self.pool.as_deref()
+    }
+
+    /// Per-query deterministic RNG (hash of the seed ids).
+    fn query_rng(&self, query: &Query) -> UltraRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for e in query.all_seeds() {
+            h ^= e.0 as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        derive_rng(self.config.seed, mix_seed(h, 17))
+    }
+
+    /// RA conditioning tokens from the positive seeds' knowledge.
+    fn ra_tokens(
+        &self,
+        world: &World,
+        ultra: &UltraClass,
+        query: &Query,
+    ) -> (Vec<TokenId>, Vec<TokenId>) {
+        match self.config.ra {
+            GenRaSource::None => (Vec::new(), Vec::new()),
+            GenRaSource::Introduction => {
+                let mut toks = Vec::new();
+                for &s in &query.pos_seeds {
+                    toks.extend_from_slice(world.knowledge.intro_of(s));
+                }
+                toks.sort_unstable();
+                toks.dedup();
+                (toks, Vec::new())
+            }
+            GenRaSource::WikidataAttrs => {
+                let mut toks = Vec::new();
+                for &s in &query.pos_seeds {
+                    toks.extend_from_slice(world.knowledge.wikidata_of(s));
+                }
+                toks.sort_unstable();
+                toks.dedup();
+                (toks, Vec::new())
+            }
+            GenRaSource::GtAttrs => {
+                let mut pos = Vec::new();
+                for &(aid, val) in &ultra.pos.required {
+                    pos.extend(world.lexicon.markers_of(aid.index(), val.index()).iter().take(2));
+                }
+                let mut neg = Vec::new();
+                for &(aid, val) in &ultra.neg.required {
+                    neg.extend(world.lexicon.markers_of(aid.index(), val.index()).iter().take(2));
+                }
+                (pos, neg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_data::WorldConfig;
+
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny()).unwrap()
+    }
+
+    fn quick_cfg() -> GenExpanConfig {
+        GenExpanConfig {
+            target_size: 60,
+            max_rounds: 15,
+            ..GenExpanConfig::default()
+        }
+    }
+
+    #[test]
+    fn genexpan_beats_random_and_emits_no_hallucinations() {
+        let w = world();
+        let gen = GenExpan::train(&w, quick_cfg());
+        // Evaluate a class subset to keep the debug-mode test fast.
+        let r = ultra_eval::evaluate_method_filtered(
+            &w,
+            |u| u.fine.index() < 3,
+            |u, q| gen.expand(&w, u, q),
+        );
+        assert!(r.pos_map[0] > 10.0, "PosMAP@10 = {:.2}", r.pos_map[0]);
+        // Constrained decoding: every returned id is a real entity.
+        let (u, q) = w.queries().next().unwrap();
+        let out = gen.expand(&w, u, q);
+        for e in out.entities() {
+            assert!(e.index() < w.num_entities());
+        }
+    }
+
+    #[test]
+    fn unconstrained_decoding_can_hallucinate() {
+        let w = world();
+        let cfg = GenExpanConfig {
+            constrained: false,
+            ..quick_cfg()
+        };
+        let gen = GenExpan::train(&w, cfg);
+        let mut fake_total = 0usize;
+        for (u, q) in w.queries().take(10) {
+            let out = gen.expand(&w, u, q);
+            fake_total += out
+                .entities()
+                .filter(|e| e.index() >= w.num_entities())
+                .count();
+        }
+        assert!(
+            fake_total > 0,
+            "unconstrained decoding should emit invalid sequences"
+        );
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let w = world();
+        let gen = GenExpan::train(&w, quick_cfg());
+        let (u, q) = w.queries().next().unwrap();
+        let a: Vec<_> = gen.expand(&w, u, q).entities().collect();
+        let b: Vec<_> = gen.expand(&w, u, q).entities().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_restriction_is_respected() {
+        let w = world();
+        let (u, q) = w.queries().next().unwrap();
+        let pool: Vec<EntityId> = u
+            .pos_targets
+            .iter()
+            .chain(&u.neg_targets)
+            .copied()
+            .collect();
+        let gen = GenExpan::train_with_pool(&w, quick_cfg(), Some(pool.clone()));
+        let out = gen.expand(&w, u, q);
+        for e in out.entities() {
+            assert!(pool.contains(&e), "{e:?} outside the restricted pool");
+        }
+        assert!(gen.pool.is_some());
+    }
+
+    #[test]
+    fn seeds_never_appear_in_the_expansion() {
+        let w = world();
+        let gen = GenExpan::train(&w, quick_cfg());
+        for (u, q) in w.queries().take(5) {
+            let out = gen.expand(&w, u, q);
+            for s in q.all_seeds() {
+                assert_eq!(out.rank_of(s), None);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `ultra-lm` — the generative language-model substrate behind GenExpan.
+//!
+//! The paper's GenExpan uses LLaMA-7B, continually pre-trained on corpus `D`
+//! and decoded with prefix-constrained beam search over the candidate-entity
+//! trie (Figure 6). Sixty-plus-billion-parameter transformers are out of
+//! scope here; the substitution (DESIGN.md §1) is an interpolated back-off
+//! **n-gram LM** with two smoothing families, which supplies every primitive
+//! GenExpan needs:
+//!
+//! * next-token distributions reflecting corpus statistics ([`NgramLm`]),
+//! * *base* vs *further* pre-training as separate count updates (the
+//!   Table 3 "- Further pretrain" ablation),
+//! * conditional scoring `P(e'|f(e))` with geometric-mean length
+//!   normalization (Eq. 7, [`NgramLm::entity_score`]),
+//! * prefix-trie-constrained beam search returning only valid candidate
+//!   entities ([`decode::constrained_entity_beam`]), and an *unconstrained*
+//!   variant that can hallucinate token sequences (the Table 3 "- Prefix
+//!   constrain" ablation),
+//! * a capacity ladder ([`ModelSpec`]) standing in for the BLOOM/LLaMA
+//!   family-and-size sweep of Figure 8 (n-gram order = capacity; smoothing
+//!   family = model family).
+
+pub mod decode;
+pub mod ngram;
+pub mod spec;
+
+pub use decode::{constrained_entity_beam, unconstrained_beam, BeamParams, GeneratedSeq};
+pub use ngram::{NgramLm, Smoothing};
+pub use spec::ModelSpec;

@@ -1,0 +1,300 @@
+//! Interpolated back-off n-gram language model.
+
+use std::collections::HashMap;
+use ultra_core::TokenId;
+
+/// Smoothing family. Stands in for the LLM *family* axis of Figure 8:
+/// Witten-Bell plays the weaker BLOOM, absolute discounting (the
+/// interpolated-Kneser-Ney workhorse) plays LLaMA.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Smoothing {
+    /// Witten-Bell interpolation: back-off mass proportional to the number
+    /// of distinct continuation types.
+    WittenBell,
+    /// Absolute discounting with discount `d ∈ (0,1)`.
+    AbsoluteDiscount(f64),
+}
+
+/// Per-context continuation counts.
+#[derive(Clone, Debug, Default)]
+struct Ctx {
+    total: u64,
+    counts: HashMap<u32, u32>,
+}
+
+impl Ctx {
+    #[inline]
+    fn types(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Interpolated back-off n-gram LM over [`TokenId`] streams.
+///
+/// `order = n` conditions on up to `n-1` previous tokens. Training is
+/// incremental: call [`train`](Self::train) once with base documents and
+/// again with further-pre-training documents — counts accumulate, exactly
+/// like continued pre-training updates a real LM.
+#[derive(Clone, Debug)]
+pub struct NgramLm {
+    order: usize,
+    smoothing: Smoothing,
+    /// `tables[k]` maps length-`k` contexts to continuation counts
+    /// (`k = 0` is the unigram table with the empty context).
+    tables: Vec<HashMap<Box<[u32]>, Ctx>>,
+    vocab_size: usize,
+}
+
+impl NgramLm {
+    /// Creates an untrained LM.
+    ///
+    /// `vocab_size` bounds the uniform floor of the unigram distribution;
+    /// pass the interned vocabulary size.
+    pub fn new(order: usize, smoothing: Smoothing, vocab_size: usize) -> Self {
+        assert!(order >= 1, "order must be at least 1");
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        if let Smoothing::AbsoluteDiscount(d) = smoothing {
+            assert!((0.0..1.0).contains(&d), "discount must be in (0,1)");
+        }
+        Self {
+            order,
+            smoothing,
+            tables: vec![HashMap::new(); order],
+            vocab_size,
+        }
+    }
+
+    /// Model order `n`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Accumulates counts from documents (token sequences).
+    pub fn train<'a, I>(&mut self, docs: I)
+    where
+        I: IntoIterator<Item = &'a [TokenId]>,
+    {
+        for doc in docs {
+            for i in 0..doc.len() {
+                let w = doc[i].0;
+                for k in 0..self.order.min(i + 1) {
+                    let ctx: Box<[u32]> = doc[i - k..i].iter().map(|t| t.0).collect();
+                    let slot = self.tables[k].entry(ctx).or_default();
+                    slot.total += 1;
+                    *slot.counts.entry(w).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Total observed unigram tokens (diagnostic).
+    pub fn tokens_seen(&self) -> u64 {
+        self.tables[0]
+            .get(&[][..] as &[u32])
+            .map_or(0, |c| c.total)
+    }
+
+    /// `P(next | context)` under interpolated back-off smoothing.
+    ///
+    /// Uses at most the last `order - 1` tokens of `context`; unseen
+    /// contexts back off transparently.
+    pub fn prob(&self, context: &[TokenId], next: TokenId) -> f64 {
+        let keep = context.len().min(self.order - 1);
+        let ctx: Vec<u32> = context[context.len() - keep..]
+            .iter()
+            .map(|t| t.0)
+            .collect();
+        self.prob_rec(&ctx, next.0)
+    }
+
+    fn prob_rec(&self, ctx: &[u32], w: u32) -> f64 {
+        if ctx.is_empty() {
+            // Add-one-smoothed unigram floor.
+            let uni = self.tables[0].get(&[][..] as &[u32]);
+            let (count, total) = match uni {
+                Some(c) => (*c.counts.get(&w).unwrap_or(&0) as f64, c.total as f64),
+                None => (0.0, 0.0),
+            };
+            return (count + 1.0) / (total + self.vocab_size as f64);
+        }
+        match self.tables[ctx.len()].get(ctx) {
+            None => self.prob_rec(&ctx[1..], w),
+            Some(c) => {
+                let count = *c.counts.get(&w).unwrap_or(&0) as f64;
+                let total = c.total as f64;
+                let types = c.types() as f64;
+                let backoff = self.prob_rec(&ctx[1..], w);
+                match self.smoothing {
+                    Smoothing::WittenBell => (count + types * backoff) / (total + types),
+                    Smoothing::AbsoluteDiscount(d) => {
+                        (count - d).max(0.0) / total + (d * types / total) * backoff
+                    }
+                }
+            }
+        }
+    }
+
+    /// Log-probability of a token sequence continuing `context`.
+    pub fn logprob_seq(&self, context: &[TokenId], seq: &[TokenId]) -> f64 {
+        let mut ctx: Vec<TokenId> = context.to_vec();
+        let mut lp = 0.0f64;
+        for &t in seq {
+            lp += self.prob(&ctx, t).max(1e-300).ln();
+            ctx.push(t);
+        }
+        lp
+    }
+
+    /// Eq. 7 scoring primitive: the geometric-mean probability
+    /// `P(e'|f(e))^(1/|e'|)` of generating `entity_tokens` after `context`.
+    /// The geometric mean "balances the different token numbers of various
+    /// entities".
+    pub fn entity_score(&self, context: &[TokenId], entity_tokens: &[TokenId]) -> f64 {
+        if entity_tokens.is_empty() {
+            return 0.0;
+        }
+        (self.logprob_seq(context, entity_tokens) / entity_tokens.len() as f64).exp()
+    }
+
+    /// Candidate continuations of `context` for unconstrained beam search:
+    /// tokens observed after progressively shorter context suffixes,
+    /// accumulated (deduplicated) until `limit` candidates are gathered.
+    ///
+    /// Including the back-off levels matters: a transformer LM ranks its
+    /// *whole* vocabulary at every step, so plausible-but-wrong
+    /// continuations (shorter-context evidence) compete with exact
+    /// continuations — that competition is where unconstrained decoding's
+    /// invalid generations come from. Within a level, tokens sort by count
+    /// (ties by id).
+    pub fn observed_continuations(&self, context: &[TokenId], limit: usize) -> Vec<(TokenId, u32)> {
+        let keep = context.len().min(self.order - 1);
+        let full: Vec<u32> = context[context.len() - keep..]
+            .iter()
+            .map(|t| t.0)
+            .collect();
+        let mut out: Vec<(TokenId, u32)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for start in 0..=full.len() {
+            if out.len() >= limit {
+                break;
+            }
+            let ctx = &full[start..];
+            if let Some(c) = self.tables[ctx.len()].get(ctx) {
+                let mut level: Vec<(TokenId, u32)> = c
+                    .counts
+                    .iter()
+                    .filter(|(&w, _)| !seen.contains(&w))
+                    .map(|(&w, &n)| (TokenId::new(w), n))
+                    .collect();
+                level.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                for (t, n) in level.into_iter().take(limit - out.len()) {
+                    seen.insert(t.0);
+                    out.push((t, n));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u32) -> TokenId {
+        TokenId::new(x)
+    }
+
+    fn toy_lm(smoothing: Smoothing) -> NgramLm {
+        // Corpus: "1 2 3", "1 2 4", "1 2 3" over vocab of 8.
+        let docs: Vec<Vec<TokenId>> = vec![
+            vec![t(1), t(2), t(3)],
+            vec![t(1), t(2), t(4)],
+            vec![t(1), t(2), t(3)],
+        ];
+        let mut lm = NgramLm::new(3, smoothing, 8);
+        lm.train(docs.iter().map(Vec::as_slice));
+        lm
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_over_vocab() {
+        for smoothing in [Smoothing::WittenBell, Smoothing::AbsoluteDiscount(0.75)] {
+            let lm = toy_lm(smoothing);
+            for ctx in [vec![], vec![t(1)], vec![t(1), t(2)], vec![t(9), t(9)]] {
+                let sum: f64 = (0..8).map(|w| lm.prob(&ctx, t(w))).sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "{smoothing:?} ctx {ctx:?} sums to {sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_continuation_is_more_probable() {
+        let lm = toy_lm(Smoothing::WittenBell);
+        let ctx = [t(1), t(2)];
+        assert!(lm.prob(&ctx, t(3)) > lm.prob(&ctx, t(4)));
+        assert!(lm.prob(&ctx, t(4)) > lm.prob(&ctx, t(7)));
+    }
+
+    #[test]
+    fn unseen_context_backs_off_to_unigram() {
+        let lm = toy_lm(Smoothing::AbsoluteDiscount(0.75));
+        let p_backoff = lm.prob(&[t(9), t(9)], t(1));
+        let p_unigram = lm.prob(&[], t(1));
+        assert!((p_backoff - p_unigram).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_training_shifts_the_distribution() {
+        let mut lm = toy_lm(Smoothing::WittenBell);
+        let before = lm.prob(&[t(1), t(2)], t(4));
+        let extra: Vec<Vec<TokenId>> = vec![vec![t(1), t(2), t(4)]; 5];
+        lm.train(extra.iter().map(Vec::as_slice));
+        let after = lm.prob(&[t(1), t(2)], t(4));
+        assert!(after > before, "continued pretraining boosts new evidence");
+    }
+
+    #[test]
+    fn entity_score_is_length_normalized() {
+        let lm = toy_lm(Smoothing::WittenBell);
+        let s1 = lm.entity_score(&[t(1)], &[t(2)]);
+        let s2 = lm.entity_score(&[t(1)], &[t(2), t(3)]);
+        // Geometric mean keeps multi-token scores on the same scale:
+        // both are ≤ 1 and within a factor, not a power, of each other.
+        assert!(s1 > 0.0 && s2 > 0.0);
+        assert!(s2 < 1.0 && s1 < 1.0);
+    }
+
+    #[test]
+    fn observed_continuations_rank_by_count() {
+        let lm = toy_lm(Smoothing::WittenBell);
+        let cont = lm.observed_continuations(&[t(1), t(2)], 10);
+        assert_eq!(cont[0].0, t(3));
+        assert_eq!(cont[0].1, 2);
+        assert_eq!(cont[1].0, t(4));
+    }
+
+    #[test]
+    fn logprob_seq_adds_stepwise_logs() {
+        let lm = toy_lm(Smoothing::WittenBell);
+        let lp = lm.logprob_seq(&[t(1)], &[t(2), t(3)]);
+        let manual = lm.prob(&[t(1)], t(2)).ln() + lm.prob(&[t(1), t(2)], t(3)).ln();
+        assert!((lp - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokens_seen_counts_training_volume() {
+        let lm = toy_lm(Smoothing::WittenBell);
+        assert_eq!(lm.tokens_seen(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be")]
+    fn zero_order_is_rejected() {
+        NgramLm::new(0, Smoothing::WittenBell, 10);
+    }
+}

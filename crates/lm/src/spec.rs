@@ -1,0 +1,95 @@
+//! The model-capacity ladder standing in for Figure 8's LLM families/sizes.
+
+use crate::ngram::Smoothing;
+
+/// A named LM configuration.
+///
+/// Figure 8 sweeps BLOOM {560M, 1B7, 3B, 7B1} and LLaMA {7B, 13B}. The
+/// substitution maps *size* to n-gram order (more context = more capacity)
+/// and *family* to smoothing quality (absolute discounting ≻ Witten-Bell,
+/// as LLaMA ≻ BLOOM at equal size).
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Display name, e.g. `"llama-7b"`.
+    pub name: &'static str,
+    /// N-gram order.
+    pub order: usize,
+    /// Smoothing family.
+    pub smoothing: Smoothing,
+}
+
+impl ModelSpec {
+    /// The Figure 8 ladder, weakest first.
+    pub fn figure8_ladder() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec {
+                name: "bloom-560m",
+                order: 2,
+                smoothing: Smoothing::WittenBell,
+            },
+            ModelSpec {
+                name: "bloom-1b7",
+                order: 3,
+                smoothing: Smoothing::WittenBell,
+            },
+            ModelSpec {
+                name: "bloom-3b",
+                order: 4,
+                smoothing: Smoothing::WittenBell,
+            },
+            ModelSpec {
+                name: "bloom-7b1",
+                order: 5,
+                smoothing: Smoothing::WittenBell,
+            },
+            ModelSpec {
+                name: "llama-7b",
+                order: 5,
+                smoothing: Smoothing::AbsoluteDiscount(0.75),
+            },
+            ModelSpec {
+                name: "llama-13b",
+                order: 6,
+                smoothing: Smoothing::AbsoluteDiscount(0.75),
+            },
+        ]
+    }
+
+    /// The default GenExpan backbone (the paper's LLaMA-7B).
+    pub fn default_backbone() -> ModelSpec {
+        ModelSpec {
+            name: "llama-7b",
+            order: 5,
+            smoothing: Smoothing::AbsoluteDiscount(0.75),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_orders_are_nondecreasing_within_family() {
+        let ladder = ModelSpec::figure8_ladder();
+        let blooms: Vec<usize> = ladder
+            .iter()
+            .filter(|m| m.name.starts_with("bloom"))
+            .map(|m| m.order)
+            .collect();
+        assert!(blooms.windows(2).all(|w| w[0] <= w[1]));
+        let llamas: Vec<usize> = ladder
+            .iter()
+            .filter(|m| m.name.starts_with("llama"))
+            .map(|m| m.order)
+            .collect();
+        assert!(llamas.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn default_backbone_is_llama_7b() {
+        let m = ModelSpec::default_backbone();
+        assert_eq!(m.name, "llama-7b");
+        assert!(matches!(m.smoothing, Smoothing::AbsoluteDiscount(_)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Embedding-bag layer: mean of embedding rows with sparse gradients.
+//!
+//! The entity encoder consumes a masked context as a *bag of token ids*
+//! and produces its mean embedding. Gradients touch only the rows that
+//! appeared in a batch, which keeps training O(active rows) instead of
+//! O(vocabulary) per step.
+
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+use ultra_core::rng::UltraRng;
+use ultra_core::TokenId;
+
+/// Mean-pooled embedding lookup with sparse gradient accumulation.
+#[derive(Clone, Debug)]
+pub struct EmbeddingBag {
+    table: Matrix,
+    sparse_grads: HashMap<u32, Vec<f32>>,
+}
+
+impl EmbeddingBag {
+    /// Xavier-initialised table of `vocab_size × dim`.
+    pub fn new(vocab_size: usize, dim: usize, rng: &mut UltraRng) -> Self {
+        Self {
+            table: Matrix::xavier(vocab_size, dim, rng),
+            sparse_grads: HashMap::new(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Vocabulary capacity.
+    #[inline]
+    pub fn vocab_size(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// One row of the table.
+    #[inline]
+    pub fn row(&self, t: TokenId) -> &[f32] {
+        self.table.row(t.index())
+    }
+
+    /// Mean of the rows for `tokens`; `None` if `tokens` is empty.
+    pub fn forward(&self, tokens: &[TokenId]) -> Option<Vec<f32>> {
+        if tokens.is_empty() {
+            return None;
+        }
+        let mut acc = vec![0.0f32; self.dim()];
+        for &t in tokens {
+            for (a, &x) in acc.iter_mut().zip(self.row(t)) {
+                *a += x;
+            }
+        }
+        let inv = 1.0 / tokens.len() as f32;
+        acc.iter_mut().for_each(|a| *a *= inv);
+        Some(acc)
+    }
+
+    /// Accumulates the gradient of the mean pool: each participating row
+    /// receives `dy / n`.
+    pub fn backward(&mut self, tokens: &[TokenId], dy: &[f32]) {
+        if tokens.is_empty() {
+            return;
+        }
+        let inv = 1.0 / tokens.len() as f32;
+        for &t in tokens {
+            let g = self
+                .sparse_grads
+                .entry(t.0)
+                .or_insert_with(|| vec![0.0; dy.len()]);
+            for (gi, &d) in g.iter_mut().zip(dy) {
+                *gi += d * inv;
+            }
+        }
+    }
+
+    /// Applies accumulated sparse gradients with plain SGD
+    /// (`w -= lr · (g + wd · w)`), clipping each row gradient to
+    /// `clip` in l2 norm, then clears the gradient buffer.
+    ///
+    /// Embedding rows use a dedicated sparse step rather than the dense
+    /// [`GradApply`](crate::optim::GradApply) path because dense traversal
+    /// of a vocabulary-sized table per batch would dominate training time.
+    pub fn apply_sparse_sgd(&mut self, lr: f32, weight_decay: f32, clip: f32) {
+        for (row_idx, grad) in self.sparse_grads.drain() {
+            let row = self.table.row_mut(row_idx as usize);
+            let norm: f32 = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+            let scale = if clip > 0.0 && norm > clip {
+                clip / norm
+            } else {
+                1.0
+            };
+            for (w, &g) in row.iter_mut().zip(&grad) {
+                *w -= lr * (g * scale + weight_decay * *w);
+            }
+        }
+    }
+
+    /// Number of rows with pending gradients (test/diagnostic hook).
+    pub fn pending_rows(&self) -> usize {
+        self.sparse_grads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_core::derive_rng;
+
+    fn t(x: u32) -> TokenId {
+        TokenId::new(x)
+    }
+
+    #[test]
+    fn forward_means_rows() {
+        let mut rng = derive_rng(1, 0);
+        let bag = EmbeddingBag::new(4, 2, &mut rng);
+        let a = bag.row(t(0)).to_vec();
+        let b = bag.row(t(1)).to_vec();
+        let m = bag.forward(&[t(0), t(1)]).unwrap();
+        assert!((m[0] - (a[0] + b[0]) / 2.0).abs() < 1e-6);
+        assert!((m[1] - (a[1] + b[1]) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_empty_is_none() {
+        let mut rng = derive_rng(1, 0);
+        let bag = EmbeddingBag::new(4, 2, &mut rng);
+        assert!(bag.forward(&[]).is_none());
+    }
+
+    #[test]
+    fn backward_touches_only_active_rows() {
+        let mut rng = derive_rng(1, 0);
+        let mut bag = EmbeddingBag::new(8, 2, &mut rng);
+        bag.backward(&[t(1), t(3)], &[1.0, -1.0]);
+        assert_eq!(bag.pending_rows(), 2);
+        let before = bag.row(t(5)).to_vec();
+        bag.apply_sparse_sgd(0.1, 0.0, 0.0);
+        assert_eq!(bag.row(t(5)), before.as_slice(), "inactive row untouched");
+        assert_eq!(bag.pending_rows(), 0);
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut rng = derive_rng(1, 0);
+        let mut bag = EmbeddingBag::new(2, 2, &mut rng);
+        let before = bag.row(t(0)).to_vec();
+        bag.backward(&[t(0)], &[1.0, 0.0]);
+        bag.apply_sparse_sgd(0.5, 0.0, 0.0);
+        let after = bag.row(t(0));
+        assert!((after[0] - (before[0] - 0.5)).abs() < 1e-6);
+        assert!((after[1] - before[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_bounds_row_update() {
+        let mut rng = derive_rng(1, 0);
+        let mut bag = EmbeddingBag::new(1, 2, &mut rng);
+        let before = bag.row(t(0)).to_vec();
+        bag.backward(&[t(0)], &[30.0, 40.0]); // norm 50
+        bag.apply_sparse_sgd(1.0, 0.0, 5.0); // clipped to norm 5
+        let after = bag.row(t(0));
+        let delta = ((after[0] - before[0]).powi(2) + (after[1] - before[1]).powi(2)).sqrt();
+        assert!((delta - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn repeated_tokens_average_not_sum() {
+        let mut rng = derive_rng(1, 0);
+        let bag = EmbeddingBag::new(2, 2, &mut rng);
+        let single = bag.forward(&[t(0)]).unwrap();
+        let repeated = bag.forward(&[t(0), t(0)]).unwrap();
+        assert_eq!(single, repeated);
+    }
+}

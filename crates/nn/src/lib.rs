@@ -1,0 +1,30 @@
+//! `ultra-nn` — minimal neural-network substrate for the UltraWiki
+//! reproduction.
+//!
+//! The paper trains a BERT-base encoder (entity prediction + contrastive
+//! heads) on 8×RTX 3090. This crate provides the exact training machinery
+//! those heads need — dense matrices, linear / embedding-bag layers with
+//! explicit backward passes, label-smoothed softmax cross-entropy (Eq. 3),
+//! InfoNCE (Section 5.1.2), SGD with weight decay and gradient clipping, and
+//! Adam — as deterministic, dependency-free CPU code. Models here are
+//! shallow by design (see DESIGN.md §1: the substitution preserves the
+//! training dynamics the paper's analysis depends on, not transformer
+//! capacity).
+//!
+//! Layout convention: vectors are `Vec<f32>`, matrices are row-major
+//! [`Matrix`] with shape `(rows, cols)`; a layer maps `in_dim → out_dim`
+//! with weight shape `(out_dim, in_dim)`.
+
+pub mod embedding;
+pub mod linear;
+pub mod loss;
+pub mod matrix;
+pub mod ops;
+pub mod optim;
+
+pub use embedding::EmbeddingBag;
+pub use linear::{Activation, Linear, Mlp};
+pub use loss::{infonce, infonce_weighted, label_smoothed_ce, InfoNceGrads};
+pub use matrix::Matrix;
+pub use ops::{cosine, dot, l2_normalize, l2_normalize_backward, mean_pool};
+pub use optim::{Adam, GradApply, Sgd};

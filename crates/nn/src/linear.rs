@@ -1,0 +1,277 @@
+//! Linear layer and two-layer MLP with explicit backward passes.
+
+use crate::matrix::Matrix;
+use crate::optim::GradApply;
+use ultra_core::rng::UltraRng;
+
+/// Elementwise activation functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Hyperbolic tangent (the encoder's nonlinearity).
+    Tanh,
+    /// Rectified linear unit (the projection head's nonlinearity).
+    Relu,
+}
+
+impl Activation {
+    #[inline]
+    fn forward(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = forward(x)`.
+    #[inline]
+    fn backward_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::None => 1.0,
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Fully-connected layer `y = act(W x + b)` with gradient accumulation.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f32>,
+    gw: Matrix,
+    gb: Vec<f32>,
+    act: Activation,
+    use_bias: bool,
+}
+
+impl Linear {
+    /// Xavier-initialised layer mapping `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut UltraRng) -> Self {
+        Self {
+            w: Matrix::xavier(out_dim, in_dim, rng),
+            b: vec![0.0; out_dim],
+            gw: Matrix::zeros(out_dim, in_dim),
+            gb: vec![0.0; out_dim],
+            act,
+            use_bias: true,
+        }
+    }
+
+    /// Bias-free layer. Contrastive projection heads use this: under an
+    /// l2-normalized similarity loss a trainable output bias is a flat
+    /// direction — growing it raises *every* pairwise cosine equally, so
+    /// the optimizer can drift into representation collapse without
+    /// resistance from the loss.
+    pub fn new_no_bias(in_dim: usize, out_dim: usize, act: Activation, rng: &mut UltraRng) -> Self {
+        let mut l = Self::new(in_dim, out_dim, act, rng);
+        l.use_bias = false;
+        l
+    }
+
+    /// Input dimensionality.
+    #[inline]
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimensionality.
+    #[inline]
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.w.matvec(x);
+        if self.use_bias {
+            for (yi, bi) in y.iter_mut().zip(&self.b) {
+                *yi = self.act.forward(*yi + bi);
+            }
+        } else {
+            for yi in y.iter_mut() {
+                *yi = self.act.forward(*yi);
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient w.r.t. the input.
+    ///
+    /// `x` is the input given to [`forward`](Self::forward), `y` its output,
+    /// `dy` the loss gradient w.r.t. `y`.
+    pub fn backward(&mut self, x: &[f32], y: &[f32], dy: &[f32]) -> Vec<f32> {
+        // Pre-activation gradient.
+        let dz: Vec<f32> = dy
+            .iter()
+            .zip(y)
+            .map(|(&d, &yv)| d * self.act.backward_from_output(yv))
+            .collect();
+        self.gw.add_outer(1.0, &dz, x);
+        if self.use_bias {
+            for (g, d) in self.gb.iter_mut().zip(&dz) {
+                *g += d;
+            }
+        }
+        self.w.matvec_t(&dz)
+    }
+
+    /// Direct read access to the weight matrix (used by read-out heads).
+    #[inline]
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+}
+
+impl GradApply for Linear {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(self.w.as_mut_slice(), self.gw.as_mut_slice());
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.fill_zero();
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// Two-layer MLP `Linear → act → Linear` (the paper's classification and
+/// contrastive mapping heads are both "MLP"s).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    /// Hidden layer (with activation).
+    pub hidden: Linear,
+    /// Output layer (no activation; callers add softmax / l2-norm).
+    pub out: Linear,
+}
+
+impl Mlp {
+    /// Builds `in_dim → hidden_dim → out_dim` with the given hidden
+    /// activation.
+    pub fn new(
+        in_dim: usize,
+        hidden_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        rng: &mut UltraRng,
+    ) -> Self {
+        Self {
+            hidden: Linear::new(in_dim, hidden_dim, act, rng),
+            out: Linear::new(hidden_dim, out_dim, Activation::None, rng),
+        }
+    }
+
+    /// Projection-head variant: bias-free throughout (see
+    /// [`Linear::new_no_bias`]) so the l2-normalized contrastive space has
+    /// no loss-flat collapse direction.
+    pub fn new_projection(
+        in_dim: usize,
+        hidden_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        rng: &mut UltraRng,
+    ) -> Self {
+        Self {
+            hidden: Linear::new_no_bias(in_dim, hidden_dim, act, rng),
+            out: Linear::new_no_bias(hidden_dim, out_dim, Activation::None, rng),
+        }
+    }
+
+    /// Forward pass returning `(hidden activation, output)`; the hidden
+    /// activation must be fed back to [`backward`](Self::backward).
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let h = self.hidden.forward(x);
+        let y = self.out.forward(&h);
+        (h, y)
+    }
+
+    /// Backward pass; returns gradient w.r.t. the input.
+    pub fn backward(&mut self, x: &[f32], h: &[f32], y: &[f32], dy: &[f32]) -> Vec<f32> {
+        let dh = self.out.backward(h, y, dy);
+        self.hidden.backward(x, h, &dh)
+    }
+}
+
+impl GradApply for Mlp {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.hidden.visit(f);
+        self.out.visit(f);
+    }
+
+    fn zero_grads(&mut self) {
+        self.hidden.zero_grads();
+        self.out.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use ultra_core::derive_rng;
+
+    /// Numerically checks dL/dx for L = sum(y) through a tanh linear layer.
+    #[test]
+    fn linear_backward_matches_finite_differences() {
+        let mut rng = derive_rng(3, 0);
+        let mut layer = Linear::new(3, 2, Activation::Tanh, &mut rng);
+        let x = vec![0.3f32, -0.7, 0.2];
+        let y = layer.forward(&x);
+        let dy = vec![1.0f32; 2];
+        let dx = layer.backward(&x, &y, &dy);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let fp: f32 = layer.forward(&xp).iter().sum();
+            let fm: f32 = layer.forward(&xm).iter().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - dx[i]).abs() < 1e-2, "dx[{i}]: fd {fd} vs {}", dx[i]);
+        }
+    }
+
+    /// One SGD step on a tiny regression problem must reduce the loss.
+    #[test]
+    fn sgd_step_reduces_squared_error() {
+        let mut rng = derive_rng(4, 0);
+        let mut layer = Linear::new(2, 1, Activation::None, &mut rng);
+        let x = vec![1.0f32, -1.0];
+        let target = 0.75f32;
+        let loss = |l: &Linear| {
+            let y = l.forward(&x)[0];
+            (y - target) * (y - target)
+        };
+        let before = loss(&layer);
+        let y = layer.forward(&x);
+        let dy = vec![2.0 * (y[0] - target)];
+        layer.backward(&x, &y, &dy);
+        Sgd::new(0.05).step(&mut layer);
+        assert!(loss(&layer) < before);
+    }
+
+    #[test]
+    fn mlp_shapes_compose() {
+        let mut rng = derive_rng(5, 0);
+        let mlp = Mlp::new(4, 8, 3, Activation::Relu, &mut rng);
+        let (h, y) = mlp.forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(h.len(), 8);
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn relu_backward_gates_negative_outputs() {
+        assert_eq!(Activation::Relu.backward_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.backward_from_output(1.5), 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Row-major dense matrix on a flat `Vec<f32>`.
+
+use rand::Rng;
+use ultra_core::rng::UltraRng;
+
+/// Row-major dense matrix.
+///
+/// Kept deliberately small: the substrate needs matrix-vector products,
+/// row views, and in-place axpy-style updates — nothing else. All hot loops
+/// operate on slices so the compiler elides bounds checks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialised matrix, deterministic under `rng`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut UltraRng) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Builds from a flat row-major buffer. Panics if sizes disagree.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat parameter buffer (for optimizers).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat parameter buffer (for optimizers).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `y = self · x` (matrix-vector product). `x.len()` must equal `cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// `y = selfᵀ · x` (transposed matrix-vector product).
+    /// `x.len()` must equal `rows`; result has length `cols`.
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0f32; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            for (yc, &w) in y.iter_mut().zip(self.row(r).iter()) {
+                *yc += xr * w;
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `self += alpha · u vᵀ`
+    /// (`u.len() == rows`, `v.len() == cols`). The workhorse of gradient
+    /// accumulation for linear layers.
+    pub fn add_outer(&mut self, alpha: f32, u: &[f32], v: &[f32]) {
+        assert_eq!(u.len(), self.rows);
+        assert_eq!(v.len(), self.cols);
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let coef = alpha * ur;
+            for (w, &vc) in self.row_mut(r).iter_mut().zip(v.iter()) {
+                *w += coef * vc;
+            }
+        }
+    }
+
+    /// Sets every element to zero (gradient reset).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_core::derive_rng;
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_of_matvec() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates_rank_one_update() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(2.0, &[1.0, 0.5], &[3.0, 4.0]);
+        assert_eq!(m.as_slice(), &[6.0, 8.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_and_bounded() {
+        let mut r1 = derive_rng(7, 0);
+        let mut r2 = derive_rng(7, 0);
+        let a = Matrix::xavier(4, 4, &mut r1);
+        let b = Matrix::xavier(4, 4, &mut r2);
+        assert_eq!(a, b);
+        let bound = (6.0f64 / 8.0).sqrt() as f32;
+        assert!(a.as_slice().iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_shapes() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut m = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Vector kernels shared by the encoder and both frameworks.
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine similarity; returns 0 for zero vectors instead of NaN so that
+/// never-mentioned entities rank last rather than poisoning sorts.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// In-place l2 normalization; zero vectors are left untouched.
+/// Returns the original norm.
+pub fn l2_normalize(v: &mut [f32]) -> f32 {
+    let n = dot(v, v).sqrt();
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+/// Backward pass of l2 normalization.
+///
+/// Given the *normalized* output `y`, the pre-normalization norm `n`, and
+/// the loss gradient w.r.t. `y`, returns the gradient w.r.t. the
+/// unnormalized input: `(dy - y·(y·dy)) / n`.
+pub fn l2_normalize_backward(y: &[f32], norm: f32, dy: &[f32]) -> Vec<f32> {
+    if norm == 0.0 {
+        return dy.to_vec();
+    }
+    let proj = dot(y, dy);
+    y.iter()
+        .zip(dy)
+        .map(|(&yi, &di)| (di - yi * proj) / norm)
+        .collect()
+}
+
+/// Mean of a set of equal-length vectors; `None` if the set is empty.
+pub fn mean_pool<'a, I>(vectors: I, dim: usize) -> Option<Vec<f32>>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut acc = vec![0.0f32; dim];
+    let mut count = 0usize;
+    for v in vectors {
+        debug_assert_eq!(v.len(), dim);
+        for (a, &x) in acc.iter_mut().zip(v) {
+            *a += x;
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return None;
+    }
+    let inv = 1.0 / count as f32;
+    acc.iter_mut().for_each(|a| *a *= inv);
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal_vectors() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 3.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero_not_nan() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm_and_returns_old_norm() {
+        let mut v = vec![3.0, 4.0];
+        let n = l2_normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-6);
+        assert!((dot(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_backward_matches_finite_differences() {
+        let x = [0.8f32, -0.4, 1.3];
+        let dy = [0.3f32, 0.9, -0.2];
+        // Analytic gradient.
+        let mut y = x.to_vec();
+        let n = l2_normalize(&mut y);
+        let dx = l2_normalize_backward(&y, n, &dy);
+        // Finite differences on f(x) = dy · normalize(x).
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.to_vec();
+            xp[i] += eps;
+            l2_normalize(&mut xp);
+            let mut xm = x.to_vec();
+            xm[i] -= eps;
+            l2_normalize(&mut xm);
+            let fd = (dot(&xp, &dy) - dot(&xm, &dy)) / (2.0 * eps);
+            assert!(
+                (fd - dx[i]).abs() < 1e-2,
+                "component {i}: fd {fd} vs analytic {}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mean_pool_averages_and_rejects_empty() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 6.0];
+        let m = mean_pool([a.as_slice(), b.as_slice()], 2).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean_pool(std::iter::empty::<&[f32]>(), 2).is_none());
+    }
+}

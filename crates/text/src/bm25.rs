@@ -1,0 +1,202 @@
+//! Okapi BM25 over an inverted index.
+//!
+//! Used in two places, matching the paper:
+//!
+//! * **Hard-negative mining** (Section 4.2): distractor entities whose
+//!   context documents score highly against in-class entity contexts are
+//!   promoted into the candidate vocabulary as hard negatives.
+//! * **Retrieval augmentation**: fetching the most relevant introduction
+//!   documents for an entity.
+
+use std::collections::HashMap;
+use ultra_core::TokenId;
+
+/// BM25 free parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`), conventionally 1.2–2.0.
+    pub k1: f32,
+    /// Length normalization strength (`b`), conventionally 0.75.
+    pub b: f32,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Posting {
+    doc: u32,
+    tf: u32,
+}
+
+/// Immutable BM25 inverted index over token-id documents.
+#[derive(Clone, Debug)]
+pub struct Bm25Index {
+    params: Bm25Params,
+    postings: HashMap<TokenId, Vec<Posting>>,
+    doc_len: Vec<u32>,
+    avg_len: f32,
+}
+
+impl Bm25Index {
+    /// Builds the index from documents given as token-id slices.
+    pub fn build<'a, I>(docs: I, params: Bm25Params) -> Self
+    where
+        I: IntoIterator<Item = &'a [TokenId]>,
+    {
+        let mut postings: HashMap<TokenId, Vec<Posting>> = HashMap::new();
+        let mut doc_len = Vec::new();
+        let mut tf_scratch: HashMap<TokenId, u32> = HashMap::new();
+        for (doc_idx, doc) in docs.into_iter().enumerate() {
+            doc_len.push(doc.len() as u32);
+            tf_scratch.clear();
+            for &tok in doc {
+                *tf_scratch.entry(tok).or_insert(0) += 1;
+            }
+            for (&tok, &tf) in &tf_scratch {
+                postings.entry(tok).or_default().push(Posting {
+                    doc: doc_idx as u32,
+                    tf,
+                });
+            }
+        }
+        let avg_len = if doc_len.is_empty() {
+            0.0
+        } else {
+            doc_len.iter().map(|&l| l as f64).sum::<f64>() as f32 / doc_len.len() as f32
+        };
+        Self {
+            params,
+            postings,
+            doc_len,
+            avg_len,
+        }
+    }
+
+    /// Number of indexed documents.
+    #[inline]
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Robertson-Sparck-Jones idf with the standard +1 floor (never negative).
+    fn idf(&self, term: TokenId) -> f32 {
+        let n = self.num_docs() as f32;
+        let df = self.postings.get(&term).map_or(0, Vec::len) as f32;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Scores every document against `query`, returning the top-`k`
+    /// `(doc index, score)` pairs, best first. Documents with zero overlap
+    /// are omitted.
+    pub fn search(&self, query: &[TokenId], k: usize) -> Vec<(usize, f32)> {
+        let mut scores: HashMap<u32, f32> = HashMap::new();
+        // Deduplicate query terms; repeated query terms in BM25's classic
+        // form contribute linearly, which over-weights our synthetic
+        // repeated markers, so we score unique terms.
+        let mut seen = std::collections::HashSet::new();
+        for &term in query {
+            if !seen.insert(term) {
+                continue;
+            }
+            let Some(plist) = self.postings.get(&term) else {
+                continue;
+            };
+            let idf = self.idf(term);
+            for p in plist {
+                let tf = p.tf as f32;
+                let dl = self.doc_len[p.doc as usize] as f32;
+                let denom = tf
+                    + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / self.avg_len);
+                *scores.entry(p.doc).or_insert(0.0) +=
+                    idf * tf * (self.params.k1 + 1.0) / denom;
+            }
+        }
+        let mut out: Vec<(usize, f32)> = scores
+            .into_iter()
+            .map(|(d, s)| (d as usize, s))
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u32) -> TokenId {
+        TokenId::new(x)
+    }
+
+    fn index(docs: &[Vec<TokenId>]) -> Bm25Index {
+        Bm25Index::build(docs.iter().map(Vec::as_slice), Bm25Params::default())
+    }
+
+    #[test]
+    fn exact_match_outranks_partial_match() {
+        let idx = index(&[
+            vec![t(1), t(2), t(3)],
+            vec![t(1), t(9), t(9)],
+            vec![t(7), t(8)],
+        ]);
+        let hits = idx.search(&[t(1), t(2)], 3);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits.len(), 2, "doc 2 has no overlap and is omitted");
+    }
+
+    #[test]
+    fn rare_terms_weigh_more_than_common_terms() {
+        // t(1) appears in all docs, t(5) only in doc 1.
+        let idx = index(&[
+            vec![t(1), t(2)],
+            vec![t(1), t(5)],
+            vec![t(1), t(3)],
+            vec![t(1), t(4)],
+        ]);
+        let hits = idx.search(&[t(5)], 4);
+        assert_eq!(hits[0].0, 1);
+        let common = idx.search(&[t(1)], 4);
+        assert!(hits[0].1 > common[0].1);
+    }
+
+    #[test]
+    fn length_normalization_prefers_shorter_doc_with_same_tf() {
+        let idx = index(&[
+            vec![t(1), t(2), t(3), t(4), t(5), t(6), t(7), t(8)],
+            vec![t(1), t(2)],
+        ]);
+        let hits = idx.search(&[t(1)], 2);
+        assert_eq!(hits[0].0, 1, "shorter document ranks first");
+    }
+
+    #[test]
+    fn empty_query_and_empty_index_are_harmless() {
+        let idx = index(&[vec![t(1)]]);
+        assert!(idx.search(&[], 5).is_empty());
+        let empty = index(&[]);
+        assert!(empty.search(&[t(1)], 5).is_empty());
+    }
+
+    #[test]
+    fn duplicate_query_terms_do_not_double_count() {
+        let idx = index(&[vec![t(1), t(2)], vec![t(2), t(3)]]);
+        let once = idx.search(&[t(1)], 2);
+        let twice = idx.search(&[t(1), t(1)], 2);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let idx = index(&[vec![t(1)], vec![t(1)], vec![t(1)]]);
+        assert_eq!(idx.search(&[t(1)], 2).len(), 2);
+    }
+}

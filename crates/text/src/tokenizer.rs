@@ -1,0 +1,151 @@
+//! Rule-based tokenizer with greedy-subword fallback.
+//!
+//! The reproduction's corpus is synthesized directly as token ids, so the
+//! tokenizer's jobs are (1) tokenizing entity surface forms and prompt
+//! templates, and (2) degrading gracefully on unseen words via greedy
+//! longest-prefix subword splitting (the WordPiece idea) instead of mapping
+//! whole words to `[UNK]`.
+
+use crate::vocab::Vocab;
+use ultra_core::TokenId;
+
+/// Tokenizer over an interning vocabulary.
+///
+/// Splitting rule: lowercase, split on whitespace and punctuation (keeping
+/// no punctuation tokens). In `encode` mode unknown words are decomposed by
+/// greedy longest-known-prefix matching; pieces after the first are interned
+/// with a `##` continuation marker, mirroring WordPiece.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Tokenizer;
+
+impl Tokenizer {
+    /// Splits raw text into lowercase word strings.
+    pub fn words(text: &str) -> Vec<String> {
+        let mut words = Vec::new();
+        let mut cur = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() || ch == '\'' || ch == '-' {
+                cur.extend(ch.to_lowercase());
+            } else if !cur.is_empty() {
+                words.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            words.push(cur);
+        }
+        words
+    }
+
+    /// Tokenizes text, interning every produced token (training-time use).
+    pub fn encode_interning(vocab: &mut Vocab, text: &str) -> Vec<TokenId> {
+        Self::words(text)
+            .iter()
+            .map(|w| vocab.intern(w))
+            .collect()
+    }
+
+    /// Tokenizes text against a frozen vocabulary (inference-time use).
+    ///
+    /// Unknown words are split by greedy longest-known-prefix matching over
+    /// the frozen vocabulary; if no prefix at all is known the word becomes
+    /// a single `[UNK]`.
+    pub fn encode(vocab: &Vocab, text: &str) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        for word in Self::words(text) {
+            if let Some(id) = vocab.get(&word) {
+                out.push(id);
+                continue;
+            }
+            Self::subword_split(vocab, &word, &mut out);
+        }
+        out
+    }
+
+    /// Greedy longest-prefix subword split of one unknown word.
+    fn subword_split(vocab: &Vocab, word: &str, out: &mut Vec<TokenId>) {
+        let mut rest = word;
+        let mut first = true;
+        let mut produced = false;
+        while !rest.is_empty() {
+            let mut matched = None;
+            // Longest known prefix; continuation pieces carry the ## marker.
+            for end in (1..=rest.len()).rev() {
+                if !rest.is_char_boundary(end) {
+                    continue;
+                }
+                let cand = if first {
+                    rest[..end].to_owned()
+                } else {
+                    format!("##{}", &rest[..end])
+                };
+                if let Some(id) = vocab.get(&cand) {
+                    matched = Some((id, end));
+                    break;
+                }
+            }
+            match matched {
+                Some((id, end)) => {
+                    out.push(id);
+                    produced = true;
+                    rest = &rest[end..];
+                    first = false;
+                }
+                None => {
+                    if !produced {
+                        out.push(vocab.unk());
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_lowercase_and_strip_punctuation() {
+        let w = Tokenizer::words("In 2021, Nokia employed 92,000 people!");
+        assert_eq!(w, vec!["in", "2021", "nokia", "employed", "92", "000", "people"]);
+    }
+
+    #[test]
+    fn words_keep_internal_hyphens_and_apostrophes() {
+        let w = Tokenizer::words("Guinea-Bissau's coast");
+        assert_eq!(w, vec!["guinea-bissau's", "coast"]);
+    }
+
+    #[test]
+    fn encode_interning_grows_vocab() {
+        let mut v = Vocab::new();
+        let ids = Tokenizer::encode_interning(&mut v, "alpha beta alpha");
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn encode_frozen_falls_back_to_subwords() {
+        let mut v = Vocab::new();
+        v.intern("xin");
+        v.intern("##yang");
+        let ids = Tokenizer::encode(&v, "xinyang");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(v.resolve(ids[0]), "xin");
+        assert_eq!(v.resolve(ids[1]), "##yang");
+    }
+
+    #[test]
+    fn encode_frozen_unknown_word_is_unk() {
+        let v = Vocab::new();
+        let ids = Tokenizer::encode(&v, "zzz");
+        assert_eq!(ids, vec![v.unk()]);
+    }
+
+    #[test]
+    fn empty_text_yields_no_tokens() {
+        let v = Vocab::new();
+        assert!(Tokenizer::encode(&v, "  ,. !").is_empty());
+    }
+}

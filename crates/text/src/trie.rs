@@ -1,0 +1,213 @@
+//! Token-level prefix trie over candidate entity names (Figure 6).
+//!
+//! "The root node represents the beginning, and each path from the root to a
+//! leaf node represents a complete candidate entity. During decoding, the
+//! process must follow a specific path from root to leaf" — GenExpan's
+//! prefix-constrained beam search queries this structure at every step for
+//! the set of tokens allowed next.
+
+use std::collections::HashMap;
+use ultra_core::{EntityId, TokenId};
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: HashMap<TokenId, usize>,
+    /// Entity completed exactly at this node, if any.
+    terminal: Option<EntityId>,
+}
+
+/// Prefix tree over token sequences, each sequence naming one entity.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie {
+    nodes: Vec<Node>,
+    len: usize,
+}
+
+impl Default for PrefixTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixTrie {
+    /// Creates an empty trie with just the root.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::default()],
+            len: 0,
+        }
+    }
+
+    /// Inserts an entity name given as its token sequence.
+    ///
+    /// Empty sequences are rejected (an entity must have a surface form).
+    /// Re-inserting a sequence overwrites the terminal entity.
+    pub fn insert(&mut self, tokens: &[TokenId], entity: EntityId) {
+        assert!(!tokens.is_empty(), "entity names must be non-empty");
+        let mut cur = 0usize;
+        for &tok in tokens {
+            let next = match self.nodes[cur].children.get(&tok) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(tok, n);
+                    n
+                }
+            };
+            cur = next;
+        }
+        if self.nodes[cur].terminal.replace(entity).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Number of stored entity names.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no names.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Walks a prefix; returns the internal node handle if the prefix is a
+    /// valid path.
+    fn walk(&self, prefix: &[TokenId]) -> Option<usize> {
+        let mut cur = 0usize;
+        for tok in prefix {
+            cur = *self.nodes[cur].children.get(tok)?;
+        }
+        Some(cur)
+    }
+
+    /// Tokens allowed immediately after `prefix` (empty prefix = first
+    /// tokens of all names). Returns an empty vec for invalid prefixes.
+    /// The result is sorted for determinism.
+    pub fn allowed_continuations(&self, prefix: &[TokenId]) -> Vec<TokenId> {
+        match self.walk(prefix) {
+            Some(node) => {
+                let mut toks: Vec<TokenId> = self.nodes[node].children.keys().copied().collect();
+                toks.sort_unstable();
+                toks
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The entity completed exactly by `prefix`, if any.
+    ///
+    /// Note a completed entity may still have longer extensions
+    /// (e.g. "Xin" vs "Xinyang" as two entities).
+    pub fn complete(&self, prefix: &[TokenId]) -> Option<EntityId> {
+        self.walk(prefix).and_then(|n| self.nodes[n].terminal)
+    }
+
+    /// Whether `prefix` is a valid path (prefix of at least one name).
+    pub fn is_valid_prefix(&self, prefix: &[TokenId]) -> bool {
+        self.walk(prefix).is_some()
+    }
+
+    /// Enumerates all `(name tokens, entity)` pairs under `prefix`, in
+    /// depth-first token order. Used by tests and diagnostics.
+    pub fn enumerate(&self, prefix: &[TokenId]) -> Vec<(Vec<TokenId>, EntityId)> {
+        let Some(start) = self.walk(prefix) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut stack = vec![(start, prefix.to_vec())];
+        while let Some((node, path)) = stack.pop() {
+            if let Some(e) = self.nodes[node].terminal {
+                out.push((path.clone(), e));
+            }
+            let mut kids: Vec<(TokenId, usize)> = self.nodes[node]
+                .children
+                .iter()
+                .map(|(&t, &n)| (t, n))
+                .collect();
+            // Reverse-sorted so the stack pops in ascending token order.
+            kids.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+            for (tok, next) in kids {
+                let mut p = path.clone();
+                p.push(tok);
+                stack.push((next, p));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u32) -> TokenId {
+        TokenId::new(x)
+    }
+    fn e(x: u32) -> EntityId {
+        EntityId::new(x)
+    }
+
+    fn sample() -> PrefixTrie {
+        let mut trie = PrefixTrie::new();
+        trie.insert(&[t(1), t(2)], e(0)); // "new york"
+        trie.insert(&[t(1), t(3)], e(1)); // "new delhi"
+        trie.insert(&[t(4)], e(2)); // "tokyo"
+        trie.insert(&[t(1)], e(3)); // "new" (a prefix of others)
+        trie
+    }
+
+    #[test]
+    fn allowed_continuations_from_root_and_prefix() {
+        let trie = sample();
+        assert_eq!(trie.allowed_continuations(&[]), vec![t(1), t(4)]);
+        assert_eq!(trie.allowed_continuations(&[t(1)]), vec![t(2), t(3)]);
+        assert!(trie.allowed_continuations(&[t(9)]).is_empty());
+    }
+
+    #[test]
+    fn complete_detects_terminals_including_inner_nodes() {
+        let trie = sample();
+        assert_eq!(trie.complete(&[t(1), t(2)]), Some(e(0)));
+        assert_eq!(trie.complete(&[t(1)]), Some(e(3)));
+        assert_eq!(trie.complete(&[t(4)]), Some(e(2)));
+        assert_eq!(trie.complete(&[t(2)]), None);
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_growing() {
+        let mut trie = sample();
+        let before = trie.len();
+        trie.insert(&[t(4)], e(9));
+        assert_eq!(trie.len(), before);
+        assert_eq!(trie.complete(&[t(4)]), Some(e(9)));
+    }
+
+    #[test]
+    fn enumerate_lists_subtree_in_token_order() {
+        let trie = sample();
+        let all = trie.enumerate(&[]);
+        assert_eq!(all.len(), 4);
+        let under_new = trie.enumerate(&[t(1)]);
+        let ids: Vec<_> = under_new.iter().map(|(_, e)| *e).collect();
+        assert_eq!(ids, vec![e(3), e(0), e(1)]);
+    }
+
+    #[test]
+    fn valid_prefix_check() {
+        let trie = sample();
+        assert!(trie.is_valid_prefix(&[]));
+        assert!(trie.is_valid_prefix(&[t(1), t(3)]));
+        assert!(!trie.is_valid_prefix(&[t(1), t(9)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_name_is_rejected() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(&[], e(0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: generate a world, train both frameworks, expand one query,
+//! and score the result with the paper's metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ultrawiki::prelude::*;
+
+fn main() {
+    // 1. A deterministic UltraWiki-style world (small profile: 10
+    //    fine-grained classes, ~2k candidate entities, ~12k sentences).
+    let world = World::generate(WorldConfig::small()).expect("world generation");
+    println!(
+        "world: {} entities, {} sentences, {} ultra-fine-grained classes",
+        world.num_entities(),
+        world.corpus.len(),
+        world.ultra_classes.len()
+    );
+
+    // 2. Pick one query: positive + negative seeds of the same fine class.
+    let (ultra, query) = world.queries().next().expect("at least one query");
+    let fine = &world.classes[ultra.fine.index()];
+    println!("\nquery on '{}':", fine.name);
+    let names = |ids: &[EntityId]| {
+        ids.iter()
+            .map(|&e| world.entity(e).name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("  positive seeds: {}", names(&query.pos_seeds));
+    println!("  negative seeds: {}", names(&query.neg_seeds));
+
+    // 3. RetExpan: representation → expansion → re-ranking.
+    let ret = RetExpan::train(&world, EncoderConfig::default(), RetExpanConfig::default());
+    let expansion = ret.expand(&world, query);
+    println!("\nRetExpan top-10:");
+    for (i, e) in expansion.entities().take(10).enumerate() {
+        let mark = if ultra.pos_targets.contains(&e) {
+            "+++"
+        } else if ultra.neg_targets.contains(&e) {
+            "---"
+        } else {
+            "   "
+        };
+        println!("  {:2} {mark} {}", i + 1, world.entity(e).name);
+    }
+
+    // 4. GenExpan: constrained generation → selection → re-ranking.
+    let gen = GenExpan::train(&world, GenExpanConfig::default());
+    let expansion = gen.expand(&world, ultra, query);
+    println!("\nGenExpan top-10:");
+    for (i, e) in expansion.entities().take(10).enumerate() {
+        let mark = if ultra.pos_targets.contains(&e) {
+            "+++"
+        } else if ultra.neg_targets.contains(&e) {
+            "---"
+        } else {
+            "   "
+        };
+        println!("  {:2} {mark} {}", i + 1, world.entity(e).name);
+    }
+
+    // 5. Full evaluation over every query (Table 2 metrics).
+    let report = evaluate_method(&world, |_u, q| ret.expand(&world, q));
+    println!(
+        "\nRetExpan over all {} queries: PosAvg {:.2}  NegAvg {:.2}  CombAvg {:.2}",
+        report.num_queries,
+        report.avg_pos(),
+        report.avg_neg(),
+        report.avg_comb()
+    );
+}

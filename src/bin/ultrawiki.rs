@@ -1,0 +1,242 @@
+//! `ultrawiki` — command-line interface to the reproduction.
+//!
+//! ```text
+//! ultrawiki stats   [--profile small|paper|tiny] [--seed N]
+//! ultrawiki classes [--profile …]
+//! ultrawiki expand  [--profile …] [--method retexpan|genexpan|gpt4|setexpan]
+//!                   [--query N] [--top K]
+//! ultrawiki eval    [--profile …] [--method …]
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency) and deterministic:
+//! the same profile + seed always yields the same world, model, and output.
+
+use std::collections::HashMap;
+use ultrawiki::prelude::*;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn build_world(flags: &HashMap<String, String>) -> World {
+    let profile = flags.get("profile").map(String::as_str).unwrap_or("small");
+    let seed: u64 = flags
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let cfg = match profile {
+        "paper" => WorldConfig::paper(),
+        "tiny" => WorldConfig::tiny(),
+        _ => WorldConfig::small(),
+    };
+    eprintln!("generating world (profile={profile}, seed={seed})…");
+    World::generate(cfg.with_seed(seed)).expect("world generation")
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) {
+    let world = build_world(flags);
+    let stats = WorldStats::compute(&world);
+    println!("entities              {}", stats.num_entities);
+    println!("  in fine classes     {}", stats.num_class_entities);
+    println!("sentences             {}", stats.num_sentences);
+    println!("tokens                {}", stats.num_tokens);
+    println!("fine-grained classes  {}", stats.num_fine_classes);
+    println!("ultra-fine classes    {}", stats.num_ultra_classes);
+    println!("queries               {}", stats.num_queries);
+    println!("avg |P| / |N|         {:.1} / {:.1}", stats.avg_pos_targets, stats.avg_neg_targets);
+    println!("class overlap         {:.1}%", 100.0 * stats.overlap_fraction);
+}
+
+fn cmd_classes(flags: &HashMap<String, String>) {
+    let world = build_world(flags);
+    for class in &world.classes {
+        let attrs: Vec<String> = class
+            .attributes
+            .iter()
+            .map(|&a| {
+                let schema = &world.attributes[a.index()];
+                format!("{}({} values)", schema.name, schema.values.len())
+            })
+            .collect();
+        let ultra = world
+            .ultra_classes
+            .iter()
+            .filter(|u| u.fine == class.id)
+            .count();
+        println!(
+            "{:<24} {:>4} entities  {:>3} ultra classes  attrs: {}",
+            class.name,
+            class.entities.len(),
+            ultra,
+            attrs.join(", ")
+        );
+    }
+}
+
+enum AnyMethod {
+    Ret(RetExpan),
+    Gen(GenExpan),
+    Gpt(Gpt4Baseline),
+    Set(SetExpan),
+}
+
+impl AnyMethod {
+    fn build(name: &str, world: &World) -> AnyMethod {
+        match name {
+            "genexpan" => {
+                eprintln!("training GenExpan LM…");
+                AnyMethod::Gen(GenExpan::train(world, GenExpanConfig::default()))
+            }
+            "gpt4" => AnyMethod::Gpt(Gpt4Baseline::new(world, OracleConfig::default())),
+            "setexpan" => AnyMethod::Set(SetExpan::new(world)),
+            _ => {
+                eprintln!("training RetExpan encoder…");
+                AnyMethod::Ret(RetExpan::train(
+                    world,
+                    EncoderConfig::default(),
+                    RetExpanConfig::default(),
+                ))
+            }
+        }
+    }
+
+    fn expand(&self, world: &World, ultra: &UltraClass, query: &Query) -> RankedList {
+        match self {
+            AnyMethod::Ret(m) => m.expand(world, query),
+            AnyMethod::Gen(m) => m.expand(world, ultra, query),
+            AnyMethod::Gpt(m) => m.expand(query),
+            AnyMethod::Set(m) => m.expand(world, query),
+        }
+    }
+}
+
+fn cmd_expand(flags: &HashMap<String, String>) {
+    let world = build_world(flags);
+    let method_name = flags.get("method").map(String::as_str).unwrap_or("retexpan");
+    let query_idx: usize = flags
+        .get("query")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let top: usize = flags.get("top").and_then(|s| s.parse().ok()).unwrap_or(15);
+    let method = AnyMethod::build(method_name, &world);
+    let Some((ultra, query)) = world.queries().nth(query_idx) else {
+        eprintln!("query index {query_idx} out of range");
+        std::process::exit(2);
+    };
+    println!("query #{query_idx}: {}", world.describe_ultra(ultra));
+    let names = |ids: &[EntityId]| {
+        ids.iter()
+            .map(|&e| world.entity(e).name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("  + seeds: {}", names(&query.pos_seeds));
+    println!("  - seeds: {}", names(&query.neg_seeds));
+    let out = method.expand(&world, ultra, query);
+    println!("\n{method_name} expansion:");
+    for (i, e) in out.entities().take(top).enumerate() {
+        let tag = if ultra.pos_targets.contains(&e) {
+            "+++"
+        } else if ultra.neg_targets.contains(&e) {
+            "---"
+        } else if e.index() >= world.num_entities() {
+            "???"
+        } else {
+            "   "
+        };
+        let name = if e.index() < world.num_entities() {
+            world.entity(e).name.clone()
+        } else {
+            "<hallucination>".to_string()
+        };
+        println!("  {:2} {tag} {name}", i + 1);
+    }
+}
+
+fn cmd_export(flags: &HashMap<String, String>) {
+    let world = build_world(flags);
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "ultrawiki-dataset".to_string());
+    let dir = std::path::Path::new(&out);
+    ultrawiki::data::export::export_dataset(&world, dir).expect("export");
+    println!(
+        "exported {} entities / {} queries / {} sentences to {}",
+        world.num_entities(),
+        world.ultra_classes.iter().map(|u| u.queries.len()).sum::<usize>(),
+        world.corpus.len(),
+        dir.display()
+    );
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) {
+    let world = build_world(flags);
+    let method_name = flags.get("method").map(String::as_str).unwrap_or("retexpan");
+    let method = AnyMethod::build(method_name, &world);
+    eprintln!("evaluating over every query…");
+    let report = evaluate_method(&world, |u, q| method.expand(&world, u, q));
+    println!("method: {method_name} ({} queries)", report.num_queries);
+    println!("          @10     @20     @50     @100");
+    println!(
+        "PosMAP  {:6.2}  {:6.2}  {:6.2}  {:6.2}",
+        report.pos_map[0], report.pos_map[1], report.pos_map[2], report.pos_map[3]
+    );
+    println!(
+        "NegMAP  {:6.2}  {:6.2}  {:6.2}  {:6.2}",
+        report.neg_map[0], report.neg_map[1], report.neg_map[2], report.neg_map[3]
+    );
+    println!(
+        "Comb    {:6.2}  {:6.2}  {:6.2}  {:6.2}",
+        report.comb_map[0], report.comb_map[1], report.comb_map[2], report.comb_map[3]
+    );
+    println!(
+        "averages: Pos {:.2}  Neg {:.2}  Comb {:.2}",
+        report.avg_pos(),
+        report.avg_neg(),
+        report.avg_comb()
+    );
+}
+
+const USAGE: &str = "\
+ultrawiki — Ultra-ESE reproduction CLI
+
+USAGE:
+  ultrawiki stats   [--profile small|paper|tiny] [--seed N]
+  ultrawiki classes [--profile ...] [--seed N]
+  ultrawiki expand  [--profile ...] [--method retexpan|genexpan|gpt4|setexpan]
+                    [--query N] [--top K]
+  ultrawiki eval    [--profile ...] [--method ...]
+  ultrawiki export  [--profile ...] [--out DIR]
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "stats" => cmd_stats(&flags),
+        "classes" => cmd_classes(&flags),
+        "expand" => cmd_expand(&flags),
+        "eval" => cmd_eval(&flags),
+        "export" => cmd_export(&flags),
+        _ => {
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! **ultrawiki** — a pure-Rust reproduction of *UltraWiki: Ultra-fine-grained
+//! Entity Set Expansion with Negative Seed Entities* (ICDE 2025).
+//!
+//! Ultra-fine-grained Entity Set Expansion (Ultra-ESE) asks: given a few
+//! *positive* seed entities and a few *negative* seed entities of the same
+//! fine-grained class (e.g. mobile phone brands), expand the set of
+//! entities that share the positives' attribute values while avoiding the
+//! negatives'. This crate re-creates the paper's full stack from scratch:
+//!
+//! * a synthetic **UltraWiki-style dataset** generator
+//!   ([`data::World`]) mirroring the published dataset's structure,
+//! * the retrieval-based framework **RetExpan**
+//!   ([`retexpan::RetExpan`]) with contrastive learning and retrieval
+//!   augmentation,
+//! * the generation-based framework **GenExpan**
+//!   ([`genexpan::GenExpan`]) with prefix-constrained decoding,
+//!   chain-of-thought reasoning, and retrieval augmentation,
+//! * every compared **baseline** ([`baselines`]): SetExpan, CaSE, CGExpan,
+//!   ProbExpan, and a simulated GPT-4,
+//! * the paper's **metrics** ([`eval`]): MAP/P, NegMAP/NegP, CombMAP.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ultrawiki::prelude::*;
+//!
+//! // A deterministic miniature world (10 fine-grained classes).
+//! let world = World::generate(WorldConfig::tiny()).unwrap();
+//!
+//! // Train RetExpan (entity-prediction task) and expand one query.
+//! let ret = RetExpan::train(
+//!     &world,
+//!     EncoderConfig { epochs: 1, dim: 32, neg_samples: 16, ..Default::default() },
+//!     RetExpanConfig::default(),
+//! );
+//! let (ultra, query) = world.queries().next().unwrap();
+//! let expansion = ret.expand(&world, query);
+//! assert!(!expansion.is_empty());
+//! let _ = ultra;
+//! ```
+//!
+//! See `examples/` for realistic end-to-end scenarios and `crates/bench`
+//! for the binaries regenerating every table and figure of the paper.
+
+pub use ultra_baselines as baselines;
+pub use ultra_core as core;
+pub use ultra_data as data;
+pub use ultra_embed as embed;
+pub use ultra_eval as eval;
+pub use ultra_genexpan as genexpan;
+pub use ultra_lm as lm;
+pub use ultra_nn as nn;
+pub use ultra_retexpan as retexpan;
+pub use ultra_text as text;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ultra_baselines::{CaSE, CgExpan, Gpt4Baseline, ProbExpan, SetExpan};
+    pub use ultra_core::{
+        AttrConstraint, EntityId, Query, RankedList, UltraClass, UltraError,
+    };
+    pub use ultra_data::{KnowledgeOracle, OracleConfig, World, WorldConfig, WorldStats};
+    pub use ultra_embed::{Augmentation, EncoderConfig, EntityEncoder, PairConfig};
+    pub use ultra_eval::{evaluate_method, evaluate_method_filtered, MetricReport};
+    pub use ultra_genexpan::{CotConfig, GenExpan, GenExpanConfig, GenRaSource};
+    pub use ultra_retexpan::{mine_lists, RetExpan, RetExpanConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let world = World::generate(WorldConfig::tiny()).unwrap();
+        assert_eq!(world.classes.len(), 10);
+        let stats = WorldStats::compute(&world);
+        assert!(stats.num_ultra_classes > 0);
+    }
+}

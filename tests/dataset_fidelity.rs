@@ -1,0 +1,106 @@
+//! Paper-profile dataset fidelity: the generated world must match the
+//! published UltraWiki composition (Tables 1, 11, 12 and Section 4.2).
+
+use ultrawiki::data::{simulated_annotation_kappa, WorldStats};
+use ultrawiki::prelude::*;
+
+fn paper_world() -> World {
+    World::generate(WorldConfig::paper()).expect("paper world")
+}
+
+#[test]
+fn table_11_entity_counts_are_exact() {
+    let world = paper_world();
+    let expected = [
+        ("Canada universities", 99),
+        ("China cities", 675),
+        ("Countries", 190),
+        ("US airports", 370),
+        ("US national monuments", 112),
+        ("Mobile phone brands", 159),
+        ("Percussion instruments", 128),
+        ("Nobel laureates", 952),
+        ("US presidents", 45),
+        ("Chemical elements", 118),
+    ];
+    assert_eq!(world.classes.len(), expected.len());
+    for (class, (name, count)) in world.classes.iter().zip(expected) {
+        assert_eq!(class.name, name);
+        assert_eq!(class.entities.len(), count, "{name}");
+    }
+}
+
+#[test]
+fn ultra_class_count_matches_the_paper() {
+    let world = paper_world();
+    // The abstract's headline number (the intro also mentions 236; the
+    // dataset tables settle on 261).
+    assert_eq!(world.ultra_classes.len(), 261);
+    let queries: usize = world.ultra_classes.iter().map(|u| u.queries.len()).sum();
+    assert_eq!(queries, 261 * 3);
+}
+
+#[test]
+fn arity_histogram_matches_table_12_shape() {
+    let world = paper_world();
+    let stats = WorldStats::compute(&world);
+    let hist: std::collections::HashMap<(usize, usize), usize> =
+        stats.arity_histogram.iter().copied().collect();
+    let one_one = hist.get(&(1, 1)).copied().unwrap_or(0);
+    // Table 12: 238 of 261 are (1,1).
+    assert!(
+        one_one * 10 >= 261 * 8,
+        "(1,1) should dominate: {one_one}/261"
+    );
+    // The exotic arities exist.
+    assert!(hist.keys().any(|&(p, n)| p >= 2 || n >= 2));
+}
+
+#[test]
+fn target_set_sizes_match_section_4_2() {
+    let world = paper_world();
+    let stats = WorldStats::compute(&world);
+    // Paper: average 63 positive and 60 negative targets.
+    assert!(
+        (40.0..=90.0).contains(&stats.avg_pos_targets),
+        "avg |P| = {:.1}",
+        stats.avg_pos_targets
+    );
+    assert!(
+        (40.0..=90.0).contains(&stats.avg_neg_targets),
+        "avg |N| = {:.1}",
+        stats.avg_neg_targets
+    );
+    // Paper: ~99% of ultra classes intersect.
+    assert!(stats.overlap_fraction > 0.95);
+    // Every class meets n_thred after seed removal.
+    for u in &world.ultra_classes {
+        assert!(u.pos_targets.len() >= 6);
+        assert!(u.neg_targets.len() >= 6);
+    }
+}
+
+#[test]
+fn annotation_quality_matches_the_papers_kappa() {
+    let world = paper_world();
+    let kappa = simulated_annotation_kappa(&world, 3, 0.96);
+    assert!(
+        (0.85..=0.97).contains(&kappa),
+        "Fleiss kappa should land near the paper's 0.90, got {kappa:.3}"
+    );
+}
+
+#[test]
+fn corpus_scale_is_in_the_paper_band() {
+    let world = paper_world();
+    // Scaled-down corpus (DESIGN.md §1) but same order of structure:
+    // thousands of candidates, tens of thousands of sentences.
+    assert!(world.num_entities() > 10_000);
+    assert!(world.corpus.len() > 50_000);
+    // Every in-class entity has context.
+    for class in &world.classes {
+        for &e in &class.entities {
+            assert!(world.corpus.mention_count(e) >= 3);
+        }
+    }
+}
