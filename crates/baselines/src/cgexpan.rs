@@ -37,8 +37,8 @@ impl CgExpan {
     /// "Generates the class name": the features present in *every* seed's
     /// top profile — class-topic tokens by construction.
     fn probe_class_features(&self, query: &Query) -> Vec<(TokenId, f32)> {
-        let mut merged: std::collections::HashMap<u32, (f32, usize)> =
-            std::collections::HashMap::new();
+        let mut merged: std::collections::BTreeMap<u32, (f32, usize)> =
+            std::collections::BTreeMap::new();
         for &s in &query.pos_seeds {
             for (t, w) in self.profiles.top_features(s, 40) {
                 let slot = merged.entry(t.0).or_insert((0.0, 0));
@@ -52,11 +52,7 @@ impl CgExpan {
             .filter(|(_, (_, n))| *n >= quorum) // shared by every seed
             .map(|(t, (w, _))| (TokenId::new(t), w))
             .collect();
-        feats.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        feats.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         feats.truncate(self.class_features);
         feats
     }

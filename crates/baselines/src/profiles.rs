@@ -93,11 +93,7 @@ impl ContextProfiles {
             .iter()
             .map(|&(t, w)| (TokenId::new(t), w))
             .collect();
-        v.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v.truncate(k);
         v
     }

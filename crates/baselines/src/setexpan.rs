@@ -46,7 +46,7 @@ impl SetExpan {
     /// Context features shared by the positive seeds, scored by summed
     /// weight, strongest first.
     fn seed_features(&self, query: &Query) -> Vec<(TokenId, f32)> {
-        let mut merged: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();
+        let mut merged: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
         for &s in &query.pos_seeds {
             for (t, w) in self.profiles.top_features(s, self.selected_features) {
                 *merged.entry(t.0).or_insert(0.0) += w;
@@ -56,11 +56,7 @@ impl SetExpan {
             .into_iter()
             .map(|(t, w)| (TokenId::new(t), w))
             .collect();
-        feats.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        feats.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         feats.truncate(self.selected_features);
         feats
     }
@@ -76,9 +72,7 @@ impl SetExpan {
         for _ in 0..self.ensembles {
             let mut sampled = features.clone();
             sampled.shuffle(&mut rng);
-            sampled.truncate(
-                ((features.len() as f64) * self.feature_frac).ceil() as usize
-            );
+            sampled.truncate(((features.len() as f64) * self.feature_frac).ceil() as usize);
             // Rank candidates by overlap with the sampled feature set.
             let mut scores: Vec<(EntityId, f32)> = world
                 .entities
@@ -86,11 +80,7 @@ impl SetExpan {
                 .filter(|e| !query.is_seed(e.id))
                 .map(|e| (e.id, self.profiles.feature_overlap(e.id, &sampled)))
                 .collect();
-            scores.sort_unstable_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
+            scores.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             for (rank, (e, s)) in scores.into_iter().take(self.top_k * 2).enumerate() {
                 if s > 0.0 {
                     mrr[e.index()] += 1.0 / (rank as f32 + 10.0);

@@ -44,7 +44,11 @@ fn bench_bm25(c: &mut Criterion) {
         .map(|s| s.tokens.as_slice())
         .collect();
     let index = Bm25Index::build(docs.iter().copied(), Bm25Params::default());
-    let query = world.corpus.sentence(ultra_core::SentenceId::new(0)).tokens.clone();
+    let query = world
+        .corpus
+        .sentence(ultra_core::SentenceId::new(0))
+        .tokens
+        .clone();
     c.bench_function("bm25_search_top20", |b| {
         b.iter(|| std::hint::black_box(index.search(&query, 20)))
     });
@@ -52,7 +56,11 @@ fn bench_bm25(c: &mut Criterion) {
 
 fn bench_beam(c: &mut Criterion) {
     let world = bench_world();
-    let mut lm = NgramLm::new(5, ultra_lm::Smoothing::AbsoluteDiscount(0.75), world.vocab.len());
+    let mut lm = NgramLm::new(
+        5,
+        ultra_lm::Smoothing::AbsoluteDiscount(0.75),
+        world.vocab.len(),
+    );
     let docs = world.further_pretrain_docs();
     lm.train(docs.iter().map(Vec::as_slice));
     let mut trie = PrefixTrie::new();
@@ -82,9 +90,7 @@ fn bench_rerank(c: &mut Criterion) {
         .map(|i| (ultra_core::EntityId::new(i), 200.0 - i as f32))
         .collect();
     c.bench_function("segmented_rerank_200", |b| {
-        b.iter(|| {
-            std::hint::black_box(segmented_rerank(&list, 20, |e| (e.0 % 17) as f32))
-        })
+        b.iter(|| std::hint::black_box(segmented_rerank(&list, 20, |e| (e.0 % 17) as f32)))
     });
 }
 

@@ -40,7 +40,11 @@ fn main() {
             RetExpan::from_encoder(&suite.world, ret.encoder.clone(), ret.config.clone());
         model.config.segment_len = l;
         let r = evaluate_method(&suite.world, |_u, q| model.expand(&suite.world, q));
-        let label = if l == 0 { "global".to_string() } else { l.to_string() };
+        let label = if l == 0 {
+            "global".to_string()
+        } else {
+            l.to_string()
+        };
         t.row(vec![
             label.clone(),
             format!("{:.2}", r.avg_pos_map()),
@@ -89,7 +93,11 @@ fn main() {
     for l in [5usize, 10, 20, 50, 0] {
         let model = methods::genexpan_with(&mut suite, |g| g.config.segment_len = l);
         let r = evaluate_method(&suite.world, |u, q| model.expand(&suite.world, u, q));
-        let label = if l == 0 { "global".to_string() } else { l.to_string() };
+        let label = if l == 0 {
+            "global".to_string()
+        } else {
+            l.to_string()
+        };
         t.row(vec![
             label.clone(),
             format!("{:.2}", r.avg_pos_map()),

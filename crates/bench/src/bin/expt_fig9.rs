@@ -42,12 +42,16 @@ fn main() {
     let cot = methods::genexpan_with(&mut suite, |g| g.config.cot = CotConfig::default_cot());
     let world = &suite.world;
 
-    println!("\nFigure 9 — Case studies (+++ positive target, --- negative target, !!! same fine class)");
+    println!(
+        "\nFigure 9 — Case studies (+++ positive target, --- negative target, !!! same fine class)"
+    );
     // Show-case the two classes the paper uses: China cities and Countries.
     for class_name in ["China cities", "Countries"] {
-        let Some(u) = world.ultra_classes.iter().find(|u| {
-            world.classes[u.fine.index()].name == class_name
-        }) else {
+        let Some(u) = world
+            .ultra_classes
+            .iter()
+            .find(|u| world.classes[u.fine.index()].name == class_name)
+        else {
             continue;
         };
         let q = &u.queries[0];

@@ -11,7 +11,12 @@ fn main() {
     let stats = WorldStats::compute(&world);
 
     let mut t = TableWriter::new(vec![
-        "", "Wiki", "APR", "CoNLL", "ONs", "UltraWiki (generated)",
+        "",
+        "Wiki",
+        "APR",
+        "CoNLL",
+        "ONs",
+        "UltraWiki (generated)",
     ]);
     t.row(vec![
         "# Semantic Classes".to_string(),

@@ -43,11 +43,7 @@ fn main() {
             .preliminary_list(&suite.world, q, None)
             .entities()
             .collect();
-        let pooled = GenExpan::train_with_pool(
-            &suite.world,
-            GenExpanConfig::default(),
-            Some(pool),
-        );
+        let pooled = GenExpan::train_with_pool(&suite.world, GenExpanConfig::default(), Some(pool));
         pooled.expand(&suite.world, u, q)
     });
     fmt::push_map_rows(&mut t, "RetExpan + GenExpan", &r);

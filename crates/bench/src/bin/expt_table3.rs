@@ -47,7 +47,9 @@ fn main() {
             ..GenExpanConfig::default()
         },
     );
-    let r = evaluate_method(&suite.world, |u, q| unconstrained.expand(&suite.world, u, q));
+    let r = evaluate_method(&suite.world, |u, q| {
+        unconstrained.expand(&suite.world, u, q)
+    });
     fmt::push_comb_row(&mut t, "- Prefix constrain", &r);
     json.insert("GenExpan - Prefix constrain".into(), r);
 

@@ -14,8 +14,14 @@ fn main() {
     let mut json: BTreeMap<String, MetricReport> = BTreeMap::new();
 
     for (name, source) in [
-        ("RetExpan +RA (Entity Introduction)", Augmentation::Introduction),
-        ("RetExpan +RA (Wikidata Attributes)", Augmentation::WikidataAttrs),
+        (
+            "RetExpan +RA (Entity Introduction)",
+            Augmentation::Introduction,
+        ),
+        (
+            "RetExpan +RA (Wikidata Attributes)",
+            Augmentation::WikidataAttrs,
+        ),
         ("RetExpan +RA (GT Attributes)", Augmentation::GtAttrs),
     ] {
         let model = methods::retexpan_ra(&mut suite, source);
@@ -25,8 +31,14 @@ fn main() {
     }
 
     for (name, source) in [
-        ("GenExpan +RA (Entity Introduction)", GenRaSource::Introduction),
-        ("GenExpan +RA (Wikidata Attributes)", GenRaSource::WikidataAttrs),
+        (
+            "GenExpan +RA (Entity Introduction)",
+            GenRaSource::Introduction,
+        ),
+        (
+            "GenExpan +RA (Wikidata Attributes)",
+            GenRaSource::WikidataAttrs,
+        ),
         ("GenExpan +RA (GT Attributes)", GenRaSource::GtAttrs),
     ] {
         let model = methods::genexpan_with(&mut suite, |g| g.config.ra = source);

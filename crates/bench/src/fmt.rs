@@ -69,7 +69,10 @@ mod tests {
         push_map_rows(&mut t, "X", &report());
         assert_eq!(t.len(), 3);
         let rendered = t.render();
-        assert!(rendered.contains("65.00"), "CombMAP = (40+100-10)/2: {rendered}");
+        assert!(
+            rendered.contains("65.00"),
+            "CombMAP = (40+100-10)/2: {rendered}"
+        );
     }
 
     #[test]

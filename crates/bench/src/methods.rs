@@ -40,8 +40,17 @@ impl Method {
     pub fn table2() -> Vec<Method> {
         use Method::*;
         vec![
-            SetExpan, CaSE, CgExpan, ProbExpan, Gpt4, RetExpan, RetExpanContrast, RetExpanRa,
-            GenExpan, GenExpanCot, GenExpanRa,
+            SetExpan,
+            CaSE,
+            CgExpan,
+            ProbExpan,
+            Gpt4,
+            RetExpan,
+            RetExpanContrast,
+            RetExpanRa,
+            GenExpan,
+            GenExpanCot,
+            GenExpanRa,
         ]
     }
 

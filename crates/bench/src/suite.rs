@@ -23,7 +23,11 @@ pub fn world_from_env() -> World {
         world.num_entities(),
         world.corpus.len(),
         world.ultra_classes.len(),
-        world.ultra_classes.iter().map(|u| u.queries.len()).sum::<usize>()
+        world
+            .ultra_classes
+            .iter()
+            .map(|u| u.queries.len())
+            .sum::<usize>()
     );
     world
 }
@@ -35,8 +39,11 @@ pub fn dump_json(name: &str, value: &impl serde::Serialize) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap());
+    if let (Ok(mut f), Ok(json)) = (
+        std::fs::File::create(&path),
+        serde_json::to_string_pretty(value),
+    ) {
+        let _ = writeln!(f, "{json}");
         eprintln!("[suite] wrote {}", path.display());
     }
 }
@@ -64,39 +71,43 @@ impl Suite {
 
     /// The shared plain RetExpan (trained once on first use).
     pub fn retexpan(&mut self) -> std::rc::Rc<ultra_retexpan::RetExpan> {
-        if self.retexpan.is_none() {
-            eprintln!("[suite] training shared RetExpan encoder…");
-            let ret = ultra_retexpan::RetExpan::train(
-                &self.world,
-                ultra_embed::EncoderConfig::default(),
-                ultra_retexpan::RetExpanConfig::default(),
-            );
-            self.retexpan = Some(std::rc::Rc::new(ret));
+        if let Some(ret) = &self.retexpan {
+            return ret.clone();
         }
-        self.retexpan.as_ref().unwrap().clone()
+        eprintln!("[suite] training shared RetExpan encoder…");
+        let ret = std::rc::Rc::new(ultra_retexpan::RetExpan::train(
+            &self.world,
+            ultra_embed::EncoderConfig::default(),
+            ultra_retexpan::RetExpanConfig::default(),
+        ));
+        self.retexpan = Some(ret.clone());
+        ret
     }
 
     /// The shared plain GenExpan (LM trained once on first use).
     pub fn genexpan(&mut self) -> std::rc::Rc<ultra_genexpan::GenExpan> {
-        if self.genexpan.is_none() {
-            eprintln!("[suite] training shared GenExpan LM…");
-            let gen = ultra_genexpan::GenExpan::train(
-                &self.world,
-                ultra_genexpan::GenExpanConfig::default(),
-            );
-            self.genexpan = Some(std::rc::Rc::new(gen));
+        if let Some(gen) = &self.genexpan {
+            return gen.clone();
         }
-        self.genexpan.as_ref().unwrap().clone()
+        eprintln!("[suite] training shared GenExpan LM…");
+        let gen = std::rc::Rc::new(ultra_genexpan::GenExpan::train(
+            &self.world,
+            ultra_genexpan::GenExpanConfig::default(),
+        ));
+        self.genexpan = Some(gen.clone());
+        gen
     }
 
     /// The shared GPT-4 oracle.
     pub fn oracle(&mut self) -> std::rc::Rc<ultra_data::KnowledgeOracle> {
-        if self.oracle.is_none() {
-            self.oracle = Some(std::rc::Rc::new(ultra_data::KnowledgeOracle::new(
-                &self.world,
-                ultra_data::OracleConfig::default(),
-            )));
+        if let Some(o) = &self.oracle {
+            return o.clone();
         }
-        self.oracle.as_ref().unwrap().clone()
+        let o = std::rc::Rc::new(ultra_data::KnowledgeOracle::new(
+            &self.world,
+            ultra_data::OracleConfig::default(),
+        ));
+        self.oracle = Some(o.clone());
+        o
     }
 }

@@ -101,11 +101,7 @@ impl UltraClass {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        format!(
-            "{fine_name} [{} | NOT {}]",
-            fmt(&self.pos),
-            fmt(&self.neg)
-        )
+        format!("{fine_name} [{} | NOT {}]", fmt(&self.pos), fmt(&self.neg))
     }
 }
 

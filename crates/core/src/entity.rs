@@ -35,10 +35,7 @@ impl Entity {
 
     /// Looks up this entity's value for one attribute.
     pub fn value_of(&self, attr: AttributeId) -> Option<AttributeValueId> {
-        self.attrs
-            .iter()
-            .find(|(a, _)| *a == attr)
-            .map(|(_, v)| *v)
+        self.attrs.iter().find(|(a, _)| *a == attr).map(|(_, v)| *v)
     }
 
     /// Whether the entity satisfies an attribute-value constraint.

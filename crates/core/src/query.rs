@@ -31,10 +31,7 @@ impl Query {
     /// All seeds, positives first. Seeds must never be returned as expansion
     /// results, so rankers exclude exactly this set.
     pub fn all_seeds(&self) -> impl Iterator<Item = EntityId> + '_ {
-        self.pos_seeds
-            .iter()
-            .chain(self.neg_seeds.iter())
-            .copied()
+        self.pos_seeds.iter().chain(self.neg_seeds.iter()).copied()
     }
 
     /// Whether `e` is one of the query's seeds.

@@ -19,11 +19,7 @@ impl RankedList {
     /// Sorts by descending score with entity id as a deterministic
     /// tie-breaker, and keeps only the first occurrence of each entity.
     pub fn from_scores(mut scores: Vec<(EntityId, f32)>) -> Self {
-        scores.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scores.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut seen = std::collections::HashSet::with_capacity(scores.len());
         scores.retain(|(e, _)| seen.insert(*e));
         Self { entries: scores }
@@ -91,6 +87,30 @@ impl RankedList {
     /// Consumes the list, returning the underlying pairs.
     pub fn into_entries(self) -> Vec<(EntityId, f32)> {
         self.entries
+    }
+
+    /// Debug-build invariant check for pipeline exit points: every score
+    /// finite, scores non-increasing, no duplicate entity ids.
+    ///
+    /// `context` names the producing pipeline for the assertion message.
+    /// Compiles to nothing in release builds.
+    pub fn debug_validate(&self, context: &str) {
+        debug_assert!(
+            self.entries.iter().all(|(_, s)| s.is_finite()),
+            "{context}: ranked list contains a non-finite score"
+        );
+        debug_assert!(
+            self.entries.windows(2).all(|w| w[0].1 >= w[1].1),
+            "{context}: ranked-list scores are not non-increasing"
+        );
+        debug_assert!(
+            {
+                let mut seen = std::collections::HashSet::with_capacity(self.entries.len());
+                self.entries.iter().all(|(e, _)| seen.insert(*e))
+            },
+            "{context}: ranked list contains a duplicate entity id"
+        );
+        let _ = context; // referenced only by the debug-build assertions
     }
 }
 

@@ -37,11 +37,7 @@ where
         scratch.extend(chunk.iter().map(|(e, _)| (*e, neg_score(*e))));
         // Ascending by neg similarity; entity id breaks ties for
         // determinism.
-        scratch.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scratch.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         out.extend(scratch.iter().map(|(e, _)| *e));
     }
     RankedList::from_sorted(

@@ -163,7 +163,15 @@ mod tests {
         // Spot-check a rendered sentence contains a known entity name word.
         let first = &world.entities[0];
         assert!(
-            corpus.contains(&first.name.to_lowercase().split(' ').next().unwrap().to_string()),
+            corpus.contains(
+                &first
+                    .name
+                    .to_lowercase()
+                    .split(' ')
+                    .next()
+                    .unwrap()
+                    .to_string()
+            ),
             "corpus should mention entity surface forms"
         );
         let _ = std::fs::remove_dir_all(&dir);

@@ -205,7 +205,9 @@ mod tests {
         let toks = KnowledgeBase::gt_attr_tokens(&w.lexicon, e, one_attr);
         assert_eq!(toks.len(), 2);
         let val = e.value_of(class.attributes[0]).unwrap();
-        let markers = w.lexicon.markers_of(class.attributes[0].index(), val.index());
+        let markers = w
+            .lexicon
+            .markers_of(class.attributes[0].index(), val.index());
         assert!(toks.iter().all(|t| markers.contains(t)));
     }
 

@@ -143,8 +143,7 @@ impl Lexicon {
             .map(|schema| {
                 // Pool scales with cardinality so values stay separable;
                 // `marker_tokens_per_value` sets the pool-per-value ratio.
-                let pool_size =
-                    (schema.cardinality() * cfg.marker_tokens_per_value / 4).max(16);
+                let pool_size = (schema.cardinality() * cfg.marker_tokens_per_value / 4).max(16);
                 let pool: Vec<TokenId> = (0..pool_size).map(|_| word(vocab, rng)).collect();
                 AttrMarkers::build(pool, schema.cardinality(), 1.1, rng)
             })
@@ -255,7 +254,11 @@ mod tests {
             }
         }
         // Top-10% of a Zipf(1.1) pool should absorb far more than 10% of draws.
-        assert!(head as f64 / n as f64 > 0.3, "head share {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.3,
+            "head share {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! `expt_table1` statistics lean on.
 
 use crate::world::World;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ultra_core::{ClassId, EntityId, TokenId};
 use ultra_text::{Bm25Index, Bm25Params};
 
@@ -70,7 +70,7 @@ impl EntityBm25 {
         k: usize,
     ) -> Vec<(EntityId, f32)> {
         let members = &world.classes[class.index()].entities;
-        let mut scores: HashMap<EntityId, f32> = HashMap::new();
+        let mut scores: BTreeMap<EntityId, f32> = BTreeMap::new();
         for &m in members.iter().take(sample) {
             for (e, s) in self.similar_entities(m, 50) {
                 if world.entity(e).class.is_none() {
@@ -79,11 +79,7 @@ impl EntityBm25 {
             }
         }
         let mut out: Vec<(EntityId, f32)> = scores.into_iter().collect();
-        out.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }

@@ -11,10 +11,12 @@ use std::collections::HashSet;
 use ultra_core::rng::UltraRng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
-    "pr", "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "x", "y", "z", "zh",
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr",
+    "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "x", "y", "z", "zh",
 ];
-const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ao", "ei", "ia", "ou", "ua", "uo"];
+const NUCLEI: &[&str] = &[
+    "a", "e", "i", "o", "u", "ai", "ao", "ei", "ia", "ou", "ua", "uo",
+];
 const CODAS: &[&str] = &["", "", "", "n", "ng", "r", "s", "l", "k", "m"];
 
 /// Uniqueness-enforcing name factory.
@@ -146,7 +148,10 @@ mod tests {
         let mut f1 = NameFactory::new();
         let mut f2 = NameFactory::new();
         for _ in 0..50 {
-            assert_eq!(f1.unique_entity_name(&mut r1), f2.unique_entity_name(&mut r2));
+            assert_eq!(
+                f1.unique_entity_name(&mut r1),
+                f2.unique_entity_name(&mut r2)
+            );
         }
     }
 

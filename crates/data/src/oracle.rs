@@ -18,7 +18,7 @@
 use crate::names::NameFactory;
 use crate::world::World;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use ultra_core::rng::{derive_rng, stream_label, UltraRng};
 use ultra_core::{AttributeId, AttributeValueId, ClassId, EntityId};
 
@@ -162,7 +162,7 @@ impl KnowledgeOracle {
     /// *beliefs*: for each attribute, the modal believed value if at least
     /// two thirds of the known seeds agree on it.
     pub fn infer_shared_values(&self, seeds: &[EntityId]) -> Vec<(AttributeId, AttributeValueId)> {
-        let mut counts: HashMap<(AttributeId, AttributeValueId), usize> = HashMap::new();
+        let mut counts: BTreeMap<(AttributeId, AttributeValueId), usize> = BTreeMap::new();
         let mut known_seeds = 0usize;
         for &s in seeds {
             if !self.knows(s) {
@@ -177,7 +177,7 @@ impl KnowledgeOracle {
             return Vec::new();
         }
         let threshold = (2 * known_seeds).div_ceil(3);
-        let mut best: HashMap<AttributeId, (AttributeValueId, usize)> = HashMap::new();
+        let mut best: BTreeMap<AttributeId, (AttributeValueId, usize)> = BTreeMap::new();
         for ((a, v), c) in counts {
             let slot = best.entry(a).or_insert((v, 0));
             if c > slot.1 {
@@ -195,7 +195,7 @@ impl KnowledgeOracle {
 
     /// The believed fine class of the majority of known seeds.
     pub fn infer_class(&self, seeds: &[EntityId]) -> Option<ClassId> {
-        let mut counts: HashMap<ClassId, usize> = HashMap::new();
+        let mut counts: BTreeMap<ClassId, usize> = BTreeMap::new();
         for &s in seeds {
             if let Some(c) = self.believed_class[s.index()] {
                 *counts.entry(c).or_insert(0) += 1;
@@ -266,11 +266,7 @@ impl KnowledgeOracle {
                 (e, score)
             })
             .collect();
-        scored.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut factory = NameFactory::new();
         let mut out = Vec::with_capacity(k);
         let mut iter = scored.into_iter();
@@ -402,7 +398,7 @@ mod tests {
             .filter(|e| !q.is_seed(**e))
             .copied()
             .collect();
-        let neg: Vec<EntityId> = u.neg_targets.iter().copied().collect();
+        let neg: Vec<EntityId> = u.neg_targets.to_vec();
         let pos_labels = oracle.classify_consistent(&q.pos_seeds, &pos, &mut rng);
         let neg_labels = oracle.classify_consistent(&q.pos_seeds, &neg, &mut rng);
         let pos_rate = pos_labels.iter().filter(|b| **b).count() as f64 / pos.len() as f64;
@@ -424,9 +420,7 @@ mod tests {
         let b = oracle.expand(&q.pos_seeds, &q.neg_seeds, 50, &mut r2);
         assert_eq!(a, b);
         assert_eq!(a.len(), 50);
-        assert!(a
-            .iter()
-            .any(|e| matches!(e, OracleEntry::Hallucinated(_))));
+        assert!(a.iter().any(|e| matches!(e, OracleEntry::Hallucinated(_))));
         // No seed leaks into the expansion.
         for entry in &a {
             if let OracleEntry::Known(e) = entry {

@@ -62,7 +62,12 @@ pub fn simulated_annotation_kappa(world: &World, annotators: usize, accuracy: f6
                 continue;
             }
             for &e in &class.entities {
-                let truth = world.entity(e).value_of(schema.id).unwrap().index();
+                // Every member of a class carrying this attribute has a
+                // value by world construction; skip defensively if not.
+                let Some(value) = world.entity(e).value_of(schema.id) else {
+                    continue;
+                };
+                let truth = value.index();
                 let mut row = vec![0usize; card];
                 for _ in 0..annotators {
                     let label = if rng.gen_bool(accuracy) {

@@ -2,7 +2,7 @@
 
 use crate::world::World;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate statistics of a generated world.
 #[derive(Clone, Debug, Serialize)]
@@ -54,7 +54,7 @@ impl WorldStats {
             .sum::<f64>()
             / n_ultra.max(1) as f64;
 
-        let mut hist: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut hist: BTreeMap<(usize, usize), usize> = BTreeMap::new();
         for u in &world.ultra_classes {
             *hist.entry(u.arity()).or_insert(0) += 1;
         }

@@ -22,13 +22,17 @@ const ARITY_MENU: &[(usize, usize, f64)] = &[
     (3, 3, 0.008),
 ];
 
+/// A deduplication key: the (attribute, value) pairs of the positive and
+/// negative constraints.
+type ConstraintKey = (Vec<(u16, u16)>, Vec<(u16, u16)>);
+
 /// Generates every class's ultra-fine-grained classes with queries.
 pub fn generate_ultra_classes(world: &World, rng: &mut UltraRng) -> Result<Vec<UltraClass>> {
     let mut out = Vec::new();
     for (ci, spec) in world.config.classes.iter().enumerate() {
         let fine = &world.classes[ci];
         let attrs = &fine.attributes;
-        let mut seen: HashSet<(Vec<(u16, u16)>, Vec<(u16, u16)>)> = HashSet::new();
+        let mut seen: HashSet<ConstraintKey> = HashSet::new();
         let mut produced = 0usize;
         let max_attempts = spec.ultra_classes * 400;
         let mut attempts = 0usize;
@@ -128,7 +132,9 @@ fn sample_constraint(
         .map(|aid| {
             let card = world.attributes[aid.index()].cardinality();
             // Mirror the generator's Zipf(0.8) value skew.
-            let weights: Vec<f64> = (0..card).map(|i| 1.0 / ((i + 1) as f64).powf(0.8)).collect();
+            let weights: Vec<f64> = (0..card)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(0.8))
+                .collect();
             let total: f64 = weights.iter().sum();
             let mut x = rng.gen_range(0.0..total);
             let mut v = card - 1;

@@ -126,11 +126,13 @@ impl World {
                     .iter()
                     .map(|&aid| {
                         let card = attributes[aid.index()].cardinality();
-                        (aid, AttributeValueId(sample_zipf_value(card, &mut rng_attrs)))
+                        (
+                            aid,
+                            AttributeValueId(sample_zipf_value(card, &mut rng_attrs)),
+                        )
                     })
                     .collect();
-                let weight =
-                    (1.0 / ((rank + 1) as f64).powf(config.zipf_exponent)) / norm;
+                let weight = (1.0 / ((rank + 1) as f64).powf(config.zipf_exponent)) / norm;
                 let name = {
                     let roll: f64 = rng_names.gen();
                     let pool = &class_affixes[ci];
@@ -194,7 +196,13 @@ impl World {
         }
 
         // ── Lexicon, mention tokens, name tokens ─────────────────────────
-        let lexicon = Lexicon::build(&config, &attributes, &mut vocab, &mut factory, &mut rng_names);
+        let lexicon = Lexicon::build(
+            &config,
+            &attributes,
+            &mut vocab,
+            &mut factory,
+            &mut rng_names,
+        );
         let mut mention_tokens = Vec::with_capacity(entities.len());
         let mut name_tokens = Vec::with_capacity(entities.len());
         let mut mention_to_entity = HashMap::new();
@@ -211,8 +219,9 @@ impl World {
         let mut corpus = Corpus::with_entities(entities.len());
         for e in &entities {
             let n_sent = match (e.class, hard_neg_class.get(&e.id.0)) {
-                (Some(_), _) => ((config.sentences_per_entity * e.freq_weight).round() as usize)
-                    .clamp(3, 150),
+                (Some(_), _) => {
+                    ((config.sentences_per_entity * e.freq_weight).round() as usize).clamp(3, 150)
+                }
                 (None, Some(_)) => rng_corpus.gen_range(4..=6),
                 (None, None) => rng_corpus.gen_range(2..=3),
             };
@@ -407,12 +416,7 @@ impl World {
     pub fn expand_mentions(&self, s: &Sentence) -> Vec<TokenId> {
         let mut out = Vec::with_capacity(s.tokens.len() + 2);
         for (i, &tok) in s.tokens.iter().enumerate() {
-            if let Some(e) = s
-                .mentions
-                .iter()
-                .find(|(p, _)| *p == i)
-                .map(|(_, e)| *e)
-            {
+            if let Some(e) = s.mentions.iter().find(|(p, _)| *p == i).map(|(_, e)| *e) {
                 out.extend_from_slice(&self.name_tokens[e.index()]);
             } else {
                 out.push(tok);

@@ -9,8 +9,8 @@ use ultra_core::rng::{derive_rng, stream_label, UltraRng};
 use ultra_core::{EntityId, Sentence, TokenId};
 use ultra_data::World;
 use ultra_nn::{
-    l2_normalize, l2_normalize_backward, label_smoothed_ce, Activation, EmbeddingBag,
-    Matrix, Mlp, Sgd,
+    l2_normalize, l2_normalize_backward, label_smoothed_ce, Activation, EmbeddingBag, Matrix, Mlp,
+    Sgd,
 };
 
 /// The trainable entity encoder (Section 5.1.1).
@@ -236,12 +236,14 @@ impl EntityEncoder {
         let g = ultra_nn::infonce_weighted(&a.3, &p.3, &neg_views, weights, self.cfg.tau);
 
         // Backward each branch through l2norm → proj → tanh → embeddings.
-        let backward_fn =
-            |enc: &mut Self, bag: &[TokenId], st: &(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, f32), dz: &[f32]| {
-                let dpre = l2_normalize_backward(&st.3, st.4, dz);
-                let dh = enc.proj.backward(&st.0, &st.1, &st.2, &dpre);
-                enc.encode_bag_backward(bag, &st.0, &dh);
-            };
+        let backward_fn = |enc: &mut Self,
+                           bag: &[TokenId],
+                           st: &(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, f32),
+                           dz: &[f32]| {
+            let dpre = l2_normalize_backward(&st.3, st.4, dz);
+            let dh = enc.proj.backward(&st.0, &st.1, &st.2, &dpre);
+            enc.encode_bag_backward(bag, &st.0, &dh);
+        };
         backward_fn(self, anchor_bag, &a, &g.d_anchor);
         backward_fn(self, pos_bag, &p, &g.d_pos);
         for (k, n) in negs.iter().enumerate() {
@@ -251,12 +253,17 @@ impl EntityEncoder {
         Sgd::new(lr)
             .with_weight_decay(self.cfg.weight_decay)
             .step(&mut self.proj);
-        self.emb.apply_sparse_sgd(lr, self.cfg.weight_decay, self.cfg.clip);
+        self.emb
+            .apply_sparse_sgd(lr, self.cfg.weight_decay, self.cfg.clip);
         g.loss
     }
 
     /// Gathers `(sentence, entity)` training examples, capped per entity.
-    fn collect_examples(&self, world: &World, rng: &mut UltraRng) -> Vec<(ultra_core::SentenceId, EntityId)> {
+    fn collect_examples(
+        &self,
+        world: &World,
+        rng: &mut UltraRng,
+    ) -> Vec<(ultra_core::SentenceId, EntityId)> {
         let mut examples = Vec::new();
         for e in &world.entities {
             let sids = world.corpus.sentences_of(e.id);
@@ -324,7 +331,7 @@ impl EntityEncoder {
         for (_, e) in exps.iter_mut() {
             *e /= sum;
         }
-        exps.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        exps.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
         exps.truncate(top_k);
         exps.sort_unstable_by_key(|(i, _)| *i);
         exps

@@ -79,11 +79,7 @@ mod tests {
     }
 
     fn embeddings() -> EntityEmbeddings {
-        EntityEmbeddings::new(Matrix::from_vec(
-            3,
-            2,
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
-        ))
+        EntityEmbeddings::new(Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]))
     }
 
     #[test]

@@ -147,7 +147,7 @@ mod tests {
     fn rows_render_nine_columns() {
         let r = MetricReport::aggregate(&[qe(50.0, 25.0)]);
         for row in r.rows() {
-            assert_eq!(row.matches(char::is_whitespace).count() >= 8, true);
+            assert!(row.matches(char::is_whitespace).count() >= 8);
             assert!(row.contains('|'));
         }
         assert!(MetricReport::header().contains("M@10"));

@@ -70,11 +70,7 @@ impl CoocIndex {
         if tokens.is_empty() {
             return 0.0;
         }
-        tokens
-            .iter()
-            .map(|&t| self.prob(e, t).ln())
-            .sum::<f64>()
-            / tokens.len() as f64
+        tokens.iter().map(|&t| self.prob(e, t).ln()).sum::<f64>() / tokens.len() as f64
     }
 
     /// Pointwise mutual information of `t` with an entity set: how much
@@ -128,11 +124,7 @@ impl CoocIndex {
             .filter(|t| !exclude.contains(t) && world.entity_of_mention(*t).is_none())
             .map(|t| (t, self.pmi(entities, t)))
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.into_iter().take(k).map(|(t, _)| t).collect()
     }
 }
@@ -175,10 +167,7 @@ mod tests {
             .iter()
             .filter(|t| {
                 w.lexicon.class_topics[fine].contains(t)
-                    || w.lexicon
-                        .markers
-                        .iter()
-                        .any(|m| m.pool.contains(t))
+                    || w.lexicon.markers.iter().any(|m| m.pool.contains(t))
             })
             .count();
         assert!(

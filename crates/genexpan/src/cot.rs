@@ -99,8 +99,11 @@ pub fn reason(
     match cfg.class_name {
         ClassNameSource::None => {}
         ClassNameSource::GroundTruth => {
-            out.positive
-                .extend(world.lexicon.class_topics[ultra.fine.index()].iter().take(CN_TOKENS));
+            out.positive.extend(
+                world.lexicon.class_topics[ultra.fine.index()]
+                    .iter()
+                    .take(CN_TOKENS),
+            );
         }
         ClassNameSource::Generated => {
             out.positive
@@ -112,13 +115,19 @@ pub fn reason(
         AttrInfoSource::None => {}
         AttrInfoSource::Generated => {
             // The next-ranked PMI tokens beyond the class name.
-            let more = cooc.top_pmi_tokens(world, pos_seeds, CN_TOKENS + ATTR_TOKENS, &out.positive);
+            let more =
+                cooc.top_pmi_tokens(world, pos_seeds, CN_TOKENS + ATTR_TOKENS, &out.positive);
             out.positive.extend(more.into_iter().take(ATTR_TOKENS));
         }
         AttrInfoSource::GroundTruth => {
             for &(aid, val) in &ultra.pos.required {
-                out.positive
-                    .extend(world.lexicon.markers_of(aid.index(), val.index()).iter().take(2));
+                out.positive.extend(
+                    world
+                        .lexicon
+                        .markers_of(aid.index(), val.index())
+                        .iter()
+                        .take(2),
+                );
             }
         }
     }
@@ -135,8 +144,13 @@ pub fn reason(
         }
         AttrInfoSource::GroundTruth => {
             for &(aid, val) in &ultra.neg.required {
-                out.negative
-                    .extend(world.lexicon.markers_of(aid.index(), val.index()).iter().take(2));
+                out.negative.extend(
+                    world
+                        .lexicon
+                        .markers_of(aid.index(), val.index())
+                        .iter()
+                        .take(2),
+                );
             }
         }
     }
@@ -205,11 +219,22 @@ mod tests {
         let (w, idx) = setup();
         let u = &w.ultra_classes[0];
         let q = &u.queries[0];
-        let t = reason(&CotConfig::default_cot(), &w, &idx, u, &q.pos_seeds, &q.neg_seeds);
+        let t = reason(
+            &CotConfig::default_cot(),
+            &w,
+            &idx,
+            u,
+            &q.pos_seeds,
+            &q.neg_seeds,
+        );
         assert_eq!(t.positive.len(), CN_TOKENS + ATTR_TOKENS);
         let mut uniq = t.positive.clone();
         uniq.sort_unstable();
         uniq.dedup();
-        assert_eq!(uniq.len(), t.positive.len(), "no duplicate reasoning tokens");
+        assert_eq!(
+            uniq.len(),
+            t.positive.len(),
+            "no duplicate reasoning tokens"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! 1. **Entity generation** — a list-continuation prompt built from 3
 //!    sampled entities (first round: positive seeds; later rounds: 2 seeds
-//!    + 1 expanded entity) is decoded with prefix-trie-constrained beam
+//!    plus 1 expanded entity) is decoded with prefix-trie-constrained beam
 //!    search, so every generated entity is a valid candidate (Figure 6).
 //! 2. **Entity selection** — generated entities are scored by Eq. 7: the
 //!    geometric-mean probability of generating each positive seed after the
@@ -17,16 +17,16 @@
 //! Strategies:
 //!
 //! * **Chain-of-thought reasoning** ([`cot`]) — the model first "reasons
-//!    out" class-name and attribute tokens from the seeds, which then
-//!    condition generation. An n-gram window cannot attend to distant
-//!    prompt tokens the way a transformer does, so prompt conditioning is
-//!    realized as a product-of-experts: reasoned tokens contribute
-//!    per-entity conditioning scores from a sentence co-occurrence index
-//!    (see [`cooc`]).
+//!   out" class-name and attribute tokens from the seeds, which then
+//!   condition generation. An n-gram window cannot attend to distant
+//!   prompt tokens the way a transformer does, so prompt conditioning is
+//!   realized as a product-of-experts: reasoned tokens contribute
+//!   per-entity conditioning scores from a sentence co-occurrence index
+//!   (see [`cooc`]).
 //! * **Retrieval augmentation** — introduction/Wikidata/ground-truth
-//!    knowledge of the seed entities conditions generation the same way
-//!    (Section 5.2.3: knowledge is "exclusively utilized during entity
-//!    generation", never for LM training).
+//!   knowledge of the seed entities conditions generation the same way
+//!   (Section 5.2.3: knowledge is "exclusively utilized during entity
+//!   generation", never for LM training).
 
 pub mod cooc;
 pub mod cot;

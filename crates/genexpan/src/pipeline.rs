@@ -138,7 +138,11 @@ impl GenExpan {
         config: GenExpanConfig,
         pool: Option<Vec<EntityId>>,
     ) -> Self {
-        let mut lm = NgramLm::new(config.model.order, config.model.smoothing, world.vocab.len());
+        let mut lm = NgramLm::new(
+            config.model.order,
+            config.model.smoothing,
+            world.vocab.len(),
+        );
         let base = world.base_lm_docs();
         lm.train(base.iter().map(Vec::as_slice));
         if config.further_pretrain {
@@ -229,11 +233,7 @@ impl GenExpan {
         // selection score — which the paper also uses to admit entities —
         // orders the final list. Round decay keeps the iterative-expansion
         // flavour: later rounds still rank lower on average.)
-        expansion.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        expansion.sort_by(|a, b| b.score.total_cmp(&a.score));
         let n = expansion.len();
         let mut fake_id = world.num_entities() as u32;
         let entries: Vec<(EntityId, f32)> = expansion
@@ -253,10 +253,11 @@ impl GenExpan {
             .collect();
         let list = RankedList::from_sorted(entries);
         if !self.config.rerank || query.neg_seeds.is_empty() {
+            list.debug_validate("genexpan::expand (selection order)");
             return list;
         }
         let lambda = self.config.cond_weight;
-        segmented_rerank(&list, self.config.segment_len, |e| {
+        let reranked = segmented_rerank(&list, self.config.segment_len, |e| {
             if e.index() >= world.num_entities() {
                 // Hallucinations: no evidence either way.
                 return 0.0;
@@ -272,7 +273,9 @@ impl GenExpan {
                 s += lambda * self.cooc.condition_logscore(e, &neg_cond);
             }
             s as f32
-        })
+        });
+        reranked.debug_validate("genexpan::expand (reranked)");
+        reranked
     }
 
     /// The iterative generation + selection loop.
@@ -321,13 +324,9 @@ impl GenExpan {
                     new_items.push((ExpKind::Real(e), score));
                 }
             } else {
-                for g in unconstrained_beam(
-                    &self.lm,
-                    &prompt,
-                    &self.trie,
-                    self.sep,
-                    self.config.beam,
-                ) {
+                for g in
+                    unconstrained_beam(&self.lm, &prompt, &self.trie, self.sep, self.config.beam)
+                {
                     // Unconstrained decoding has no candidate trie to anchor
                     // plausibility: the beam freely emits fluent-but-invalid
                     // recombinations, and the model cannot tell them apart
@@ -336,8 +335,7 @@ impl GenExpan {
                     // (Table 3's largest ablation drop).
                     match g.entity {
                         Some(e) if !real_set.contains(&e) => {
-                            let mut score =
-                                self.seed_logscore(world, &g.tokens, &query.pos_seeds);
+                            let mut score = self.seed_logscore(world, &g.tokens, &query.pos_seeds);
                             if let Some(e) = g.entity {
                                 if !pos_cond.is_empty() {
                                     score += lambda * self.cooc.condition_logscore(e, pos_cond);
@@ -350,38 +348,35 @@ impl GenExpan {
                             if fake_set.insert(g.tokens.clone()) {
                                 // A fluent hallucination is indistinguishable
                                 // from a real generation *to the model* — it
-                                // receives the round's median real confidence
-                                // (scored after the loop).
+                                // receives the round's upper-quartile real
+                                // confidence (scored after the loop).
                                 new_items.push((ExpKind::Hallucinated, f64::NAN));
                             }
                         }
                     }
                 }
             }
-            // Hallucinations take the round-median real confidence.
             let mut real_scores: Vec<f64> = new_items
                 .iter()
                 .filter(|(k, s)| matches!(k, ExpKind::Real(_)) && s.is_finite())
                 .map(|(_, s)| *s)
                 .collect();
-            real_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            real_scores.sort_by(f64::total_cmp);
             // Upper-quartile confidence: the beam surfaces recombinations
             // precisely because they are *more* fluent than typical real
             // continuations, so the model trusts them at least as much as
             // most of its real generations.
-            let median = real_scores
+            let upper_quartile = real_scores
                 .get(real_scores.len() * 3 / 4)
                 .copied()
                 .unwrap_or(-10.0);
             for (kind, score) in new_items.iter_mut() {
                 if matches!(kind, ExpKind::Hallucinated) {
-                    *score = median;
+                    *score = upper_quartile;
                 }
             }
             // Entity selection: keep the top-p fraction.
-            new_items.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            new_items.sort_by(|a, b| b.1.total_cmp(&a.1));
             let admit = ((new_items.len() as f64) * self.config.top_p_frac).ceil() as usize;
             let mut admitted_any = false;
             for (kind, score) in new_items.into_iter().take(admit) {
@@ -485,11 +480,23 @@ impl GenExpan {
             GenRaSource::GtAttrs => {
                 let mut pos = Vec::new();
                 for &(aid, val) in &ultra.pos.required {
-                    pos.extend(world.lexicon.markers_of(aid.index(), val.index()).iter().take(2));
+                    pos.extend(
+                        world
+                            .lexicon
+                            .markers_of(aid.index(), val.index())
+                            .iter()
+                            .take(2),
+                    );
                 }
                 let mut neg = Vec::new();
                 for &(aid, val) in &ultra.neg.required {
-                    neg.extend(world.lexicon.markers_of(aid.index(), val.index()).iter().take(2));
+                    neg.extend(
+                        world
+                            .lexicon
+                            .markers_of(aid.index(), val.index())
+                            .iter()
+                            .take(2),
+                    );
                 }
                 (pos, neg)
             }
@@ -501,7 +508,6 @@ impl GenExpan {
 mod tests {
     use super::*;
     use ultra_data::WorldConfig;
-
 
     fn world() -> World {
         World::generate(WorldConfig::tiny()).unwrap()

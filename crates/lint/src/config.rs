@@ -1,0 +1,255 @@
+//! The `lint.toml` allowlist.
+//!
+//! Format (a TOML subset parsed without external crates — the build
+//! environment has no crates.io access):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "no-panic-in-lib"
+//! path = "crates/data/src/export.rs"
+//! line = 42            # optional: omit to waive the rule file-wide
+//! reason = "why this is sound"
+//! ```
+//!
+//! Every entry must carry a non-empty `reason`: a waiver without a
+//! justification is a violation of the policy, not an exception to it.
+//! Entries that match nothing are reported as stale so the allowlist cannot
+//! quietly outlive the code it excuses.
+
+use crate::rules::{Diagnostic, Rule};
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// The rule being waived.
+    pub rule: Rule,
+    /// Workspace-relative path the waiver applies to.
+    pub path: String,
+    /// Specific line, or `None` for the whole file.
+    pub line: Option<u32>,
+    /// Human justification (required, non-empty).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry waives the given diagnostic.
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule && self.path == d.path && self.line.is_none_or(|l| l == d.line)
+    }
+}
+
+/// Parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A `lint.toml` parse failure, with its 1-based line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// Line the error occurred on.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// An `[[allow]]` entry mid-parse: optional rule/path/line/reason fields
+/// plus the line number of the entry header (for error messages).
+type PartialEntry = (
+    Option<Rule>,
+    Option<String>,
+    Option<u32>,
+    Option<String>,
+    u32,
+);
+
+impl Allowlist {
+    /// Parses the `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Allowlist, ConfigError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        // Fields of the entry currently being assembled:
+        // (rule, path, line, reason, line number of the `[[allow]]` header).
+        let mut current: Option<PartialEntry> = None;
+        let finish =
+            |cur: Option<PartialEntry>, entries: &mut Vec<AllowEntry>| -> Result<(), ConfigError> {
+                let Some((rule, path, line, reason, at)) = cur else {
+                    return Ok(());
+                };
+                let err = |message: String| ConfigError { line: at, message };
+                let rule = rule.ok_or_else(|| err("entry is missing `rule`".into()))?;
+                let path = path.ok_or_else(|| err("entry is missing `path`".into()))?;
+                let reason = reason.ok_or_else(|| err("entry is missing `reason`".into()))?;
+                if reason.trim().is_empty() {
+                    return Err(err("`reason` must not be empty".into()));
+                }
+                entries.push(AllowEntry {
+                    rule,
+                    path,
+                    line,
+                    reason,
+                });
+                Ok(())
+            };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(current.take(), &mut entries)?;
+                current = Some((None, None, None, None, lineno));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown table `{line}` (only [[allow]] is supported)"),
+                });
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let Some(cur) = current.as_mut() else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: "key outside any [[allow]] entry".into(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" => {
+                    let name = parse_string(value, lineno)?;
+                    let rule = Rule::from_name(&name).ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!("unknown rule `{name}`"),
+                    })?;
+                    cur.0 = Some(rule);
+                }
+                "path" => cur.1 = Some(parse_string(value, lineno)?),
+                "line" => {
+                    let n: u32 = value.parse().map_err(|_| ConfigError {
+                        line: lineno,
+                        message: format!("`line` must be an integer, got `{value}`"),
+                    })?;
+                    cur.2 = Some(n);
+                }
+                "reason" => cur.3 = Some(parse_string(value, lineno)?),
+                other => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        finish(current.take(), &mut entries)?;
+        Ok(Allowlist { entries })
+    }
+}
+
+/// Strips a `#` comment, respecting `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Parses a double-quoted TOML basic string (escapes limited to `\"` and
+/// `\\`, which is all the allowlist needs).
+fn parse_string(value: &str, line: u32) -> Result<String, ConfigError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ConfigError {
+            line,
+            message: format!("expected a double-quoted string, got `{value}`"),
+        })?;
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let toml = r#"
+# workspace waivers
+[[allow]]
+rule = "no-panic-in-lib"
+path = "crates/x/src/lib.rs"
+line = 10
+reason = "slice length checked on the previous line"
+
+[[allow]]
+rule = "no-hash-iteration-order"
+path = "crates/y/src/a.rs"
+reason = "feeds a commutative integer sum"
+"#;
+        let list = Allowlist::parse(toml).expect("parses");
+        assert_eq!(list.entries.len(), 2);
+        let d = Diagnostic {
+            rule: Rule::NoPanicInLib,
+            severity: Severity::Warn,
+            path: "crates/x/src/lib.rs".into(),
+            line: 10,
+            message: String::new(),
+            suggestion: "",
+        };
+        assert!(list.entries[0].matches(&d));
+        assert!(!list.entries[1].matches(&d));
+        // File-wide entry matches any line of its rule+path.
+        let d2 = Diagnostic {
+            rule: Rule::NoHashIterationOrder,
+            severity: Severity::Error,
+            path: "crates/y/src/a.rs".into(),
+            line: 999,
+            message: String::new(),
+            suggestion: "",
+        };
+        assert!(list.entries[1].matches(&d2));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let toml = "[[allow]]\nrule = \"no-panic-in-lib\"\npath = \"x.rs\"\n";
+        assert!(Allowlist::parse(toml).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let toml = "[[allow]]\nrule = \"no-such-rule\"\npath = \"x.rs\"\nreason = \"r\"\n";
+        let err = Allowlist::parse(toml).unwrap_err();
+        assert!(err.message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_parse() {
+        assert!(Allowlist::parse("").expect("ok").entries.is_empty());
+        assert!(Allowlist::parse("# nothing\n")
+            .expect("ok")
+            .entries
+            .is_empty());
+    }
+}

@@ -1,0 +1,461 @@
+//! A small Rust lexer, sufficient for token-level lint rules.
+//!
+//! The build environment has no crates.io access, so `syn` is unavailable;
+//! instead the analyzer works on a token stream with line numbers. The lexer
+//! handles everything that would make naive text matching lie: string
+//! literals (plain, raw, byte), char literals vs. lifetimes, nested block
+//! comments, and line comments. Comments are not tokens, but
+//! `ultra-lint: allow(rule)` directives inside them are collected so rules
+//! can honour inline waivers.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`.`, `:`, `(`, …).
+    Punct(char),
+    /// String/char/byte literal (contents dropped).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// Lifetime such as `'a`.
+    Lifetime,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// An `ultra-lint: allow(...)` directive found in a comment.
+#[derive(Clone, Debug)]
+pub struct InlineAllow {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Rule names listed in the directive.
+    pub rules: Vec<String>,
+}
+
+/// Lexer output: tokens plus inline allow directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream.
+    pub tokens: Vec<Tok>,
+    /// Inline waivers, in source order.
+    pub allows: Vec<InlineAllow>,
+}
+
+/// Lexes Rust source. Unterminated literals or comments simply end the
+/// affected token at end-of-file — good enough for analysis of code that
+/// `rustc` already accepts.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Helper: number of newlines inside a consumed span.
+    let count_lines = |from: usize, to: usize| -> u32 {
+        bytes[from..to].iter().filter(|&&b| b == b'\n').count() as u32
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                scan_directive(&src[i..end], line, &mut out.allows);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                scan_directive(&src[start..i], start_line, &mut out.allows);
+                line += count_lines(start, i.min(bytes.len()));
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                line += count_lines(start, i.min(bytes.len()));
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start = i;
+                // Skip `r`/`br`/`rb` prefix.
+                while matches!(bytes.get(i), Some(b'r' | b'b')) {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(i) == Some(&b'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while i < bytes.len() && !bytes[i..].starts_with(&closer) {
+                    i += 1;
+                }
+                i = (i + closer.len()).min(bytes.len());
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                line += count_lines(start, i);
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                    (Some(c), next) if is_ident_start(*c) => next != Some(&b'\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1;
+                    while matches!(bytes.get(i), Some(&c) if is_ident_continue(c)) {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        line,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while matches!(bytes.get(i), Some(&c) if is_ident_continue(c)) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (incl. hex/underscores/floats); precise shape is
+                // irrelevant to the rules, so consume greedily.
+                while matches!(bytes.get(i), Some(&c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'.')
+                {
+                    // Stop a method call on a literal (`1.max(2)`) from
+                    // swallowing the ident: only consume `.` when followed
+                    // by a digit.
+                    if bytes[i] == b'.'
+                        && !matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Number,
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Raw-string starts: `r"`, `r#`, `br"`, `br#`, `rb"` (future-proof).
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    for prefix in [&b"r"[..], &b"br"[..], &b"rb"[..]] {
+        if rest.starts_with(prefix) {
+            match rest.get(prefix.len()) {
+                Some(b'"') | Some(b'#') => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Extracts `ultra-lint: allow(rule-a, rule-b)` from a comment's text.
+fn scan_directive(comment: &str, line: u32, allows: &mut Vec<InlineAllow>) {
+    let Some(pos) = comment.find("ultra-lint:") else {
+        return;
+    };
+    let rest = &comment[pos + "ultra-lint:".len()..];
+    let rest = rest.trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(end) = args.find(')') else {
+        return;
+    };
+    let rules: Vec<String> = args[..end]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if !rules.is_empty() {
+        allows.push(InlineAllow { line, rules });
+    }
+}
+
+/// Marks tokens that belong to test-only code: the bodies of items annotated
+/// `#[cfg(test)]` or `#[test]` (including whole `mod tests` blocks).
+///
+/// Returns one flag per token. The scan finds each test attribute, then
+/// marks everything from the attribute through the end of the next balanced
+/// `{...}` block.
+pub fn test_code_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_len) = test_attribute_at(tokens, i) {
+            // Find the opening brace of the annotated item, skipping over
+            // any further attributes and the item header.
+            let mut j = i + attr_len;
+            let mut depth = 0i32;
+            let mut opened = false;
+            while j < tokens.len() {
+                match &tokens[j].kind {
+                    TokKind::Punct('{') => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                    }
+                    // An item-level `;` before any `{` means a body-less item
+                    // (e.g. `#[cfg(test)] use …;`): stop at the semicolon.
+                    TokKind::Punct(';') if !opened => {
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+                if opened && depth == 0 {
+                    break;
+                }
+            }
+            for flag in mask.iter_mut().take(j.min(tokens.len())).skip(i) {
+                *flag = true;
+            }
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `tokens[i..]` starts a `#[test]`, `#[cfg(test)]`, or `#[cfg(any(test,…))]`
+/// attribute, returns the attribute's token length.
+fn test_attribute_at(tokens: &[Tok], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.is_punct('#') || !tokens.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    // Collect the bracketed attribute tokens.
+    let mut j = i + 2;
+    let mut depth = 1i32;
+    let mut body: Vec<&Tok> = Vec::new();
+    while j < tokens.len() && depth > 0 {
+        match &tokens[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => depth -= 1,
+            _ => {}
+        }
+        if depth > 0 {
+            body.push(&tokens[j]);
+        }
+        j += 1;
+    }
+    let is_test = match body.first().and_then(|t| t.ident()) {
+        Some("test") => true,
+        Some("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    };
+    if is_test {
+        Some(j - i)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let s = "thread_rng inside a string";
+            // thread_rng inside a line comment
+            /* thread_rng inside /* a nested */ block comment */
+            let r = r#"thread_rng inside a raw string"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = \"x\ny\";\nafter();";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("token");
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn method_calls_on_numbers_are_not_swallowed() {
+        let ids = idents("let x = 1.max(2);");
+        assert!(ids.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn directives_are_collected() {
+        let src = "// ultra-lint: allow(no-panic-in-lib, no-unseeded-rng) reason\nfoo();";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(
+            lexed.allows[0].rules,
+            vec!["no-panic-in-lib", "no-unseeded-rng"]
+        );
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn lib2() {}";
+        let lexed = lex(src);
+        let mask = test_code_mask(&lexed.tokens);
+        let pos_of = |name: &str| lexed.tokens.iter().position(|t| t.is_ident(name)).unwrap();
+        assert!(!mask[pos_of("x")]);
+        assert!(mask[pos_of("y")]);
+        assert!(!mask[pos_of("lib2")]);
+    }
+
+    #[test]
+    fn test_mask_covers_test_fn_only() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn lib() { b.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_code_mask(&lexed.tokens);
+        let pos_of = |name: &str| lexed.tokens.iter().position(|t| t.is_ident(name)).unwrap();
+        assert!(mask[pos_of("a")]);
+        assert!(!mask[pos_of("b")]);
+    }
+}

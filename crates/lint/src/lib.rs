@@ -1,0 +1,261 @@
+//! `ultra-lint`: workspace-wide determinism & panic-safety analyzer.
+//!
+//! The UltraWiki reproduction promises byte-identical ranked output for a
+//! fixed `(input, seed)` pair, and library crates that never abort callers.
+//! Those properties erode one innocuous line at a time — an unseeded RNG in
+//! a helper, a `HashMap` iteration feeding a ranking, a `partial_cmp()
+//! .unwrap()` that panics the first time a score goes NaN. `ultra-lint`
+//! enforces them mechanically over every `.rs` file in the workspace:
+//!
+//! * **L1 `no-unseeded-rng`** — `thread_rng()` / `from_entropy()` outside
+//!   tests.
+//! * **L2 `no-hash-iteration-order`** — `HashMap`/`HashSet` iteration in
+//!   crates whose output ordering matters.
+//! * **L3 `no-nan-unwrap-sort`** — `partial_cmp` + unwrap/default inside
+//!   sort comparators.
+//! * **L4 `no-panic-in-lib`** — `unwrap`/`expect`/panic macros in non-test
+//!   library code.
+//! * **L5 `no-wallclock-in-scoring`** — `Instant::now`/`SystemTime` in
+//!   library code.
+//!
+//! Findings carry `file:line` locations, severities, and fix suggestions.
+//! Audited exceptions live in the workspace-root `lint.toml` (each with a
+//! mandatory justification) or as inline `// ultra-lint: allow(rule)`
+//! comments. The analyzer runs as `cargo run -p ultra-lint` and as a
+//! `#[test]` (`crates/lint/tests/workspace_clean.rs`), so tier-1 fails on
+//! any new violation.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::Allowlist;
+use rules::{Diagnostic, FileContext, Severity};
+use std::path::{Path, PathBuf};
+
+/// Crates whose ranked output must be reproducible (L2's scope).
+pub const RANKED_CRATES: [&str; 6] = ["core", "retexpan", "genexpan", "baselines", "eval", "data"];
+
+/// Directory names never scanned.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+
+/// Full analyzer outcome for one workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by any waiver, most severe first.
+    pub violations: Vec<Diagnostic>,
+    /// Findings waived by `lint.toml` or inline directives.
+    pub allowed: Vec<Diagnostic>,
+    /// Allowlist entries that matched nothing (stale).
+    pub stale_allows: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run should fail the build. Errors always fail, as do
+    /// stale allowlist entries (an allowlist that outlives the code it
+    /// excuses has rotted); warnings fail when `deny_warnings` is set (the
+    /// tier-1 gate's mode).
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        !self.stale_allows.is_empty()
+            || self.violations.iter().any(|d| {
+                d.severity == Severity::Error || (deny_warnings && d.severity == Severity::Warn)
+            })
+    }
+}
+
+/// Errors from the analyzer itself (I/O, config syntax).
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a file or directory failed.
+    Io(PathBuf, std::io::Error),
+    /// `lint.toml` did not parse.
+    Config(config::ConfigError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            LintError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Runs the analyzer over a workspace rooted at `root`.
+///
+/// Reads `<root>/lint.toml` if present (a missing file means an empty
+/// allowlist). Scans every `.rs` file outside [`SKIP_DIRS`].
+pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
+    let allowlist = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => Allowlist::parse(&text).map_err(LintError::Config)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => return Err(LintError::Io(root.join("lint.toml"), e)),
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort(); // deterministic scan order → deterministic output
+
+    let mut report = Report::default();
+    let mut allow_used = vec![false; allowlist.entries.len()];
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(file).map_err(|e| LintError::Io(file.clone(), e))?;
+        report.files_scanned += 1;
+        for d in check_source(&rel, &source) {
+            let mut waived = false;
+            for (i, entry) in allowlist.entries.iter().enumerate() {
+                if entry.matches(&d) {
+                    allow_used[i] = true;
+                    waived = true;
+                }
+            }
+            if waived {
+                report.allowed.push(d);
+            } else {
+                report.violations.push(d);
+            }
+        }
+    }
+    for (i, entry) in allowlist.entries.iter().enumerate() {
+        if !allow_used[i] {
+            report.stale_allows.push(format!(
+                "{} @ {}{} ({})",
+                entry.rule.name(),
+                entry.path,
+                entry.line.map(|l| format!(":{l}")).unwrap_or_default(),
+                entry.reason
+            ));
+        }
+    }
+    // Most severe first, then by location, so CI output leads with blockers.
+    report.violations.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)))
+    });
+    Ok(report)
+}
+
+/// Lints one file's source text (the unit tests' and fixtures' entry point).
+/// Inline `ultra-lint: allow(...)` directives are applied here; `lint.toml`
+/// waivers are applied by [`run_workspace`].
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let mask = lexer::test_code_mask(&lexed.tokens);
+    let ctx = FileContext {
+        path: rel_path,
+        tokens: &lexed.tokens,
+        in_test: &mask,
+        is_lib: classify_lib(rel_path),
+        is_ranked_crate: classify_ranked(rel_path),
+    };
+    let mut diags = rules::check_file(&ctx);
+    // An inline directive waives its rules on the comment's own line and the
+    // line that follows it (so a directive can sit above the flagged line).
+    diags.retain(|d| {
+        !lexed.allows.iter().any(|a| {
+            (a.line == d.line || a.line + 1 == d.line) && a.rules.iter().any(|r| r == d.rule.name())
+        })
+    });
+    diags
+}
+
+/// Library code: `crates/*/src/**` and the root facade `src/**`, excluding
+/// per-crate `src/bin/` trees (CLI entry points may exit loudly).
+fn classify_lib(rel: &str) -> bool {
+    let in_src = rel.starts_with("src/")
+        || (rel.starts_with("crates/") && rel.split('/').nth(2) == Some("src"));
+    in_src && !rel.contains("/bin/")
+}
+
+/// Whether the file belongs to a ranked-output crate (L2's scope).
+fn classify_ranked(rel: &str) -> bool {
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return false;
+    };
+    let Some((krate, rest)) = rest.split_once('/') else {
+        return false;
+    };
+    RANKED_CRATES.contains(&krate) && rest.starts_with("src/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_workspace_layout() {
+        assert!(classify_lib("crates/core/src/ranking.rs"));
+        assert!(classify_lib("src/lib.rs"));
+        assert!(!classify_lib("crates/bench/src/bin/expt_table1.rs"));
+        assert!(!classify_lib("src/bin/ultrawiki.rs"));
+        assert!(!classify_lib("tests/end_to_end.rs"));
+        assert!(!classify_lib("crates/core/tests/x.rs"));
+
+        assert!(classify_ranked("crates/core/src/ranking.rs"));
+        assert!(classify_ranked("crates/eval/src/metrics.rs"));
+        assert!(!classify_ranked("crates/lm/src/decode.rs"));
+        assert!(!classify_ranked("crates/core/tests/x.rs"));
+        assert!(!classify_ranked("tests/end_to_end.rs"));
+    }
+
+    #[test]
+    fn inline_allow_waives_same_and_next_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // ultra-lint: allow(no-panic-in-lib) invariant: checked by caller\n    x.unwrap()\n}";
+        assert!(check_source("crates/x/src/lib.rs", src).is_empty());
+        let trailing =
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // ultra-lint: allow(no-panic-in-lib) ok";
+        assert!(check_source("crates/x/src/lib.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_only_waives_named_rules() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // ultra-lint: allow(no-unseeded-rng) wrong rule\n    x.unwrap()\n}";
+        let diags = check_source("crates/x/src/lib.rs", src);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn report_failure_logic_honours_severity() {
+        let warn = Diagnostic {
+            rule: rules::Rule::NoPanicInLib,
+            severity: Severity::Warn,
+            path: "p".into(),
+            line: 1,
+            message: String::new(),
+            suggestion: "",
+        };
+        let mut r = Report::default();
+        r.violations.push(warn);
+        assert!(!r.failed(false));
+        assert!(r.failed(true));
+    }
+}

@@ -1,0 +1,72 @@
+//! CLI entry point: `cargo run -p ultra-lint [-- --root <dir>] [--allow-warnings]`.
+//!
+//! Exit codes: 0 = clean (or warnings only, with `--allow-warnings`),
+//! 1 = violations, 2 = analyzer/config error. Tier-1 runs the strict mode
+//! via `crates/lint/tests/workspace_clean.rs`.
+
+use std::path::PathBuf;
+use ultra_lint::run_workspace;
+
+fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut deny_warnings = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow-warnings" => deny_warnings = false,
+            "--help" | "-h" => {
+                println!(
+                    "ultra-lint: determinism & panic-safety analyzer\n\n\
+                     USAGE: ultra-lint [--root <dir>] [--allow-warnings]\n\n\
+                     Scans every .rs file under the workspace root (default:\n\
+                     the directory containing this crate's workspace) and\n\
+                     enforces rules L1-L5; see README.md for the rule list\n\
+                     and lint.toml for the audited allowlist."
+                );
+                return;
+            }
+            other => {
+                eprintln!("ultra-lint: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // crates/lint -> workspace root.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let report = match run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ultra-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    for d in &report.violations {
+        println!("{d}");
+    }
+    for s in &report.stale_allows {
+        println!("lint.toml: stale allowlist entry: {s}");
+    }
+    let errors = report
+        .violations
+        .iter()
+        .filter(|d| d.severity == ultra_lint::rules::Severity::Error)
+        .count();
+    let warns = report.violations.len() - errors;
+    println!(
+        "ultra-lint: {} files scanned, {errors} errors, {warns} warnings, {} allowed, {} stale allowlist entries",
+        report.files_scanned,
+        report.allowed.len(),
+        report.stale_allows.len()
+    );
+    if report.failed(deny_warnings) {
+        std::process::exit(1);
+    }
+}

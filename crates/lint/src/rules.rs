@@ -1,0 +1,557 @@
+//! The five ultra-lint rules.
+//!
+//! Each rule is a pure function over a file's token stream (plus its
+//! test-code mask) producing [`Diagnostic`]s. Rules are heuristic by design:
+//! they over-approximate slightly and rely on the allowlist / inline
+//! directives for audited exceptions, which keeps every waiver visible and
+//! justified in the repo.
+
+use crate::lexer::{Tok, TokKind};
+use std::fmt;
+
+/// Rule identifiers, used in diagnostics, `lint.toml`, and inline waivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// L1: `thread_rng()` / `from_entropy()` outside tests.
+    NoUnseededRng,
+    /// L2: iteration over `HashMap`/`HashSet` in ranked-output crates.
+    NoHashIterationOrder,
+    /// L3: `partial_cmp().unwrap()` inside sort/min/max comparators.
+    NoNanUnwrapSort,
+    /// L4: `unwrap`/`expect`/panic macros in non-test library code.
+    NoPanicInLib,
+    /// L5: wall-clock reads (`Instant::now`, `SystemTime`) in library code.
+    NoWallclockInScoring,
+}
+
+impl Rule {
+    /// Every rule, in documentation order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NoUnseededRng,
+        Rule::NoHashIterationOrder,
+        Rule::NoNanUnwrapSort,
+        Rule::NoPanicInLib,
+        Rule::NoWallclockInScoring,
+    ];
+
+    /// The kebab-case name used in configuration and output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnseededRng => "no-unseeded-rng",
+            Rule::NoHashIterationOrder => "no-hash-iteration-order",
+            Rule::NoNanUnwrapSort => "no-nan-unwrap-sort",
+            Rule::NoPanicInLib => "no-panic-in-lib",
+            Rule::NoWallclockInScoring => "no-wallclock-in-scoring",
+        }
+    }
+
+    /// Parses a rule name as written in `lint.toml` or inline directives.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Default severity. Everything is deny by default except L4, whose
+    /// violations in practice include audited boundary cases; it still fails
+    /// the build unless allowlisted, but reads as "warn" semantics in docs.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::NoPanicInLib => Severity::Warn,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// Diagnostic severity. `Error`s fail the run unless allowlisted; `Warn`s
+/// are reported but only fail the run under `--deny-warnings` (which the
+/// tier-1 gate uses, so in practice every finding must be fixed or waived).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported; fails only under `--deny-warnings`.
+    Warn,
+    /// Always fails the run unless allowlisted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: rule, location, message, and a suggested fix.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Severity at the point of firing.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: &'static str,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: {}\n    help: {}",
+            self.path,
+            self.line,
+            self.severity,
+            self.rule.name(),
+            self.message,
+            self.suggestion
+        )
+    }
+}
+
+/// Per-file context the rules need beyond the tokens themselves.
+pub struct FileContext<'a> {
+    /// Workspace-relative path (`crates/core/src/ranking.rs`).
+    pub path: &'a str,
+    /// Tokens from [`crate::lexer::lex`].
+    pub tokens: &'a [Tok],
+    /// Parallel mask from [`crate::lexer::test_code_mask`].
+    pub in_test: &'a [bool],
+    /// Whether the file is library code (see [`crate::walk`] for the
+    /// classification: `crates/*/src/**` minus bins, not tests/benches/
+    /// examples).
+    pub is_lib: bool,
+    /// Whether the file belongs to a crate whose output ranking must be
+    /// deterministic (L2's scope).
+    pub is_ranked_crate: bool,
+}
+
+/// Runs every rule over one file.
+pub fn check_file(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    rule_no_unseeded_rng(ctx, &mut out);
+    rule_no_hash_iteration_order(ctx, &mut out);
+    rule_no_nan_unwrap_sort(ctx, &mut out);
+    rule_no_panic_in_lib(ctx, &mut out);
+    rule_no_wallclock(ctx, &mut out);
+    out
+}
+
+fn diag(
+    ctx: &FileContext<'_>,
+    rule: Rule,
+    line: u32,
+    message: String,
+    suggestion: &'static str,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: rule.severity(),
+        path: ctx.path.to_string(),
+        line,
+        message,
+        suggestion,
+    }
+}
+
+/// L1 — unseeded randomness is nondeterministic by construction.
+fn rule_no_unseeded_rng(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        if name == "thread_rng"
+            || name == "from_entropy"
+            || name == "random" && is_rand_random(ctx.tokens, i)
+        {
+            out.push(diag(
+                ctx,
+                Rule::NoUnseededRng,
+                tok.line,
+                format!("`{name}` draws entropy from the OS; results are not reproducible"),
+                "seed explicitly: `ultra_core::rng::derive_rng(seed, stream_label(\"...\"))`",
+            ));
+        }
+    }
+}
+
+/// `rand::random` / `rand :: random` — but not an arbitrary ident `random`.
+fn is_rand_random(tokens: &[Tok], i: usize) -> bool {
+    i >= 3
+        && tokens[i - 1].is_punct(':')
+        && tokens[i - 2].is_punct(':')
+        && tokens[i - 3].is_ident("rand")
+}
+
+/// Iteration adapters whose order reflects the hash map's internal layout.
+const HASH_ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// L2 — `HashMap`/`HashSet` iteration order varies run-to-run (and with the
+/// hasher's DoS-resistance seed), so anything order-sensitive downstream of
+/// a ranked-output crate must iterate a `BTreeMap`/`BTreeSet` or sort after
+/// collecting.
+fn rule_no_hash_iteration_order(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_ranked_crate {
+        return;
+    }
+    // Pass 1: identifiers bound to hash-ordered collections, from type
+    // ascriptions (`x: HashMap<…>`, struct fields included) and constructor
+    // bindings (`let x = HashMap::new()` / `HashMap::from(...)` /
+    // `…collect::<HashMap<_,_>>()` within the same `let`).
+    let mut hash_idents: Vec<&str> = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        // Walk back over a qualified path (`std :: collections ::`) so both
+        // bare and fully-qualified spellings anchor at the path start.
+        let mut start = i;
+        while start >= 3
+            && ctx.tokens[start - 1].is_punct(':')
+            && ctx.tokens[start - 2].is_punct(':')
+            && ctx.tokens[start - 3].ident().is_some()
+        {
+            start -= 3;
+        }
+        // `ident : [path::]HashMap` — type ascription / struct field / fn
+        // param.
+        if start >= 2 && ctx.tokens[start - 1].is_punct(':') && !ctx.tokens[start - 2].is_punct(':')
+        {
+            if let Some(id) = ctx.tokens[start - 2].ident() {
+                hash_idents.push(id);
+            }
+        }
+        // `let (mut)? ident = [path::]HashMap::…` constructor binding. The
+        // `=` must directly precede the constructor so that container types
+        // like `Vec<HashMap<…>>` (whose own iteration order is
+        // deterministic) do not bind the outer identifier.
+        if start >= 1 && ctx.tokens[start - 1].is_punct('=') {
+            for back in 2..=6usize {
+                let Some(j) = start.checked_sub(back) else {
+                    break;
+                };
+                if ctx.tokens[j].is_punct(';') || ctx.tokens[j].is_punct('{') {
+                    break;
+                }
+                if ctx.tokens[j].is_ident("let") {
+                    let mut k = j + 1;
+                    if ctx.tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+                        k += 1;
+                    }
+                    if let Some(id) = ctx.tokens.get(k).and_then(|t| t.ident()) {
+                        hash_idents.push(id);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    hash_idents.sort_unstable();
+    hash_idents.dedup();
+
+    // Pass 2: flag order-sensitive iteration over those identifiers.
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        let flagged = if HASH_ITER_METHODS.contains(&name) {
+            // `x . iter ( )` — receiver ident two tokens back.
+            i >= 2
+                && ctx.tokens[i - 1].is_punct('.')
+                && ctx.tokens[i - 2]
+                    .ident()
+                    .is_some_and(|id| hash_idents.binary_search(&id).is_ok())
+        } else if name == "in" {
+            // `for pat in (&(mut)?)? x {` or `for pat in x.…`.
+            let mut k = i + 1;
+            while ctx
+                .tokens
+                .get(k)
+                .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+            {
+                k += 1;
+            }
+            ctx.tokens
+                .get(k)
+                .and_then(|t| t.ident())
+                .is_some_and(|id| hash_idents.binary_search(&id).is_ok())
+                && ctx.tokens.get(k + 1).is_some_and(|t| t.is_punct('{'))
+        } else {
+            false
+        };
+        if flagged {
+            out.push(diag(
+                ctx,
+                Rule::NoHashIterationOrder,
+                tok.line,
+                "iteration over a HashMap/HashSet: order depends on hasher state".to_string(),
+                "use BTreeMap/BTreeSet, or collect and sort by a stable key",
+            ));
+        }
+    }
+}
+
+/// Comparator-taking methods L3 inspects.
+const COMPARATOR_METHODS: [&str; 7] = [
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_cached_key",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+    "select_nth_unstable_by",
+];
+
+/// L3 — `partial_cmp().unwrap()` in a comparator panics on NaN and, worse,
+/// `unwrap_or(Equal)` silently produces non-total orderings that make sort
+/// output depend on input order. `f64::total_cmp` is total and portable.
+fn rule_no_nan_unwrap_sort(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if !COMPARATOR_METHODS.contains(&name) {
+            continue;
+        }
+        let Some(open) = ctx.tokens.get(i + 1).filter(|t| t.is_punct('(')) else {
+            continue;
+        };
+        let _ = open;
+        // Scan the balanced argument list for partial_cmp + unwrap family.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut saw_partial: Option<u32> = None;
+        let mut saw_unwrap = false;
+        while j < ctx.tokens.len() {
+            match &ctx.tokens[j].kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(id) => {
+                    if id == "partial_cmp" {
+                        saw_partial.get_or_insert(ctx.tokens[j].line);
+                    }
+                    if id == "unwrap" || id == "expect" || id == "unwrap_or" {
+                        saw_unwrap = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(line), true) = (saw_partial, saw_unwrap) {
+            out.push(diag(
+                ctx,
+                Rule::NoNanUnwrapSort,
+                line,
+                format!("`partial_cmp` + unwrap/default inside `{name}` comparator"),
+                "use `f64::total_cmp` (total order, NaN-safe, no panic)",
+            ));
+        }
+    }
+}
+
+/// Panicking macro names L4 flags (with a following `!`).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// L4 — panics in library code abort callers that could have handled an
+/// `UltraError`. Tests may panic freely (that's what assertions are).
+fn rule_no_panic_in_lib(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib {
+        return;
+    }
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        let finding = if (name == "unwrap" || name == "expect")
+            && i >= 1
+            && ctx.tokens[i - 1].is_punct('.')
+            && ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            Some(format!("`.{name}()` panics on the error path"))
+        } else if PANIC_MACROS.contains(&name)
+            && ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            Some(format!("`{name}!` in library code"))
+        } else {
+            None
+        };
+        if let Some(message) = finding {
+            out.push(diag(
+                ctx,
+                Rule::NoPanicInLib,
+                tok.line,
+                message,
+                "propagate `ultra_core::UltraError` (or document the invariant and allowlist)",
+            ));
+        }
+    }
+}
+
+/// L5 — wall-clock reads in scoring paths make outputs time-dependent.
+/// Timing belongs in `ultra-bench`; everything else must be clock-free.
+fn rule_no_wallclock(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib {
+        return;
+    }
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        // The clock *read* is the nondeterminism source: `Instant::now()` /
+        // `SystemTime::now()`. (Merely naming the type, e.g. in a `use`
+        // item, does not fire.)
+        let is_clock_read = (name == "Instant" || name == "SystemTime")
+            && ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && ctx.tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && ctx.tokens.get(i + 3).is_some_and(|t| t.is_ident("now"));
+        if is_clock_read {
+            out.push(diag(
+                ctx,
+                Rule::NoWallclockInScoring,
+                tok.line,
+                format!("`{name}::now()` read in library code: output becomes time-dependent"),
+                "move timing into ultra-bench; scoring must be a pure function of (input, seed)",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_code_mask};
+
+    fn check(src: &str, is_lib: bool, is_ranked: bool) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let mask = test_code_mask(&lexed.tokens);
+        check_file(&FileContext {
+            path: "crates/x/src/lib.rs",
+            tokens: &lexed.tokens,
+            in_test: &mask,
+            is_lib,
+            is_ranked_crate: is_ranked,
+        })
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn l1_flags_thread_rng_outside_tests_only() {
+        let src = "fn f() { let r = thread_rng(); }\n#[cfg(test)]\nmod tests { fn t() { let r = thread_rng(); } }";
+        let diags = check(src, true, false);
+        assert_eq!(rules_of(&diags), vec![Rule::NoUnseededRng]);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn l2_flags_hash_iteration_in_ranked_crates() {
+        let src = "fn f(m: HashMap<u32, f64>) { for (k, v) in &m { use_it(k, v); }\n let s: HashSet<u32> = HashSet::new();\n for x in s.iter() { g(x); } }";
+        let diags = check(src, true, true);
+        assert_eq!(
+            rules_of(&diags),
+            vec![Rule::NoHashIterationOrder, Rule::NoHashIterationOrder]
+        );
+        // Not flagged outside ranked crates.
+        assert!(check(src, true, false).is_empty());
+    }
+
+    #[test]
+    fn l2_catches_qualified_path_declarations() {
+        let src = "fn f() { let mut m: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();\n let v: Vec<(u32, f32)> = m.into_iter().collect(); }";
+        assert_eq!(
+            rules_of(&check(src, true, true)),
+            vec![Rule::NoHashIterationOrder]
+        );
+    }
+
+    #[test]
+    fn l2_does_not_bind_vec_of_hashmaps() {
+        let src = "fn f() { let mut counts: Vec<HashMap<u32, u32>> = vec![HashMap::new(); 4];\n for slot in &counts { g(slot); } }";
+        assert!(check(src, true, true).is_empty());
+    }
+
+    #[test]
+    fn l2_ignores_point_lookups() {
+        let src = "fn f(m: HashMap<u32, f64>) -> Option<f64> { m.get(&3).copied() }";
+        assert!(check(src, true, true).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_partial_cmp_unwrap_in_sort() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let diags = check(src, true, false);
+        assert_eq!(
+            rules_of(&diags),
+            vec![Rule::NoNanUnwrapSort, Rule::NoPanicInLib]
+        );
+    }
+
+    #[test]
+    fn l3_flags_unwrap_or_equal_too() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)); }";
+        let diags = check(src, true, false);
+        assert_eq!(rules_of(&diags), vec![Rule::NoNanUnwrapSort]);
+    }
+
+    #[test]
+    fn l3_accepts_total_cmp() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(check(src, true, false).is_empty());
+    }
+
+    #[test]
+    fn l4_flags_unwrap_expect_and_panic_macros_in_lib_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { let y = x.unwrap(); if y > 3 { panic!(\"no\"); } x.expect(\"msg\") }";
+        let diags = check(src, true, false);
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.rule == Rule::NoPanicInLib));
+        assert!(
+            check(src, false, false).is_empty(),
+            "non-lib code is exempt"
+        );
+    }
+
+    #[test]
+    fn l4_does_not_flag_unwrap_or_variants() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default() }";
+        assert!(check(src, true, false).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_wallclock_in_lib() {
+        let src =
+            "fn f() -> u64 { let t = std::time::Instant::now(); t.elapsed().as_nanos() as u64 }";
+        let diags = check(src, true, false);
+        assert_eq!(rules_of(&diags), vec![Rule::NoWallclockInScoring]);
+    }
+
+    #[test]
+    fn severities_follow_rule_defaults() {
+        assert_eq!(Rule::NoPanicInLib.severity(), Severity::Warn);
+        assert_eq!(Rule::NoUnseededRng.severity(), Severity::Error);
+    }
+}

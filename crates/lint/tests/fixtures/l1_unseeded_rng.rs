@@ -1,0 +1,23 @@
+// Fixture: L1 no-unseeded-rng must fire on OS-entropy constructors in
+// non-test code and stay quiet inside #[cfg(test)].
+
+fn entropy_in_lib() -> u64 {
+    let mut rng = rand::thread_rng(); // <- violation
+    let from = StdRng::from_entropy(); // <- violation
+    let _ = from;
+    rng.gen()
+}
+
+fn seeded_is_fine() -> u64 {
+    let mut rng = ultra_core::rng::derive_rng(42, stream_label("fixture"));
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_entropy() {
+        let mut rng = rand::thread_rng(); // allowed: test code
+        let _ = rng;
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: L3 no-nan-unwrap-sort must flag partial_cmp-based comparators
+// that unwrap or default on NaN.
+
+fn sort_panics_on_nan(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // <- violation
+}
+
+fn sort_breaks_total_order(v: &mut [(u32, f32)]) {
+    v.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1) // <- violation
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+fn max_by_panics(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).expect("NaN")) // <- violation
+}
+
+fn total_cmp_is_fine(v: &mut Vec<f64>) {
+    v.sort_by(f64::total_cmp);
+    v.sort_by(|a, b| b.total_cmp(a));
+}
+
+fn partial_cmp_outside_comparators_is_fine(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(std::cmp::Ordering::Less)
+}

@@ -1,0 +1,32 @@
+// Fixture: L4 no-panic-in-lib must flag panicking calls in non-test library
+// code (checked as if this file were crates/<x>/src/<f>.rs).
+
+fn unwraps(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // <- violation
+    let b = r.expect("always ok"); // <- violation
+    a + b
+}
+
+fn macros(flag: bool) -> u32 {
+    if flag {
+        panic!("boom"); // <- violation
+    }
+    unreachable!() // <- violation
+}
+
+fn non_panicking_variants(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+
+fn propagating_is_fine(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let x: Option<u32> = Some(3);
+        assert_eq!(x.unwrap(), 3); // allowed: test code
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: L5 no-wallclock-in-scoring must flag wall-clock reads in library
+// code — scores must be pure functions of (input, seed).
+
+use std::time::{Instant, SystemTime};
+
+fn timed_score(x: f64) -> f64 {
+    let t0 = Instant::now(); // <- violation
+    let s = x * 2.0;
+    let _ = t0.elapsed();
+    s
+}
+
+fn timestamped(x: f64) -> (f64, SystemTime) {
+    (x, SystemTime::now()) // <- violation (any SystemTime use)
+}
+
+fn pure_scoring_is_fine(x: f64, seed: u64) -> f64 {
+    x * (seed as f64).sqrt()
+}

@@ -1,0 +1,103 @@
+//! Each fixture under `tests/fixtures/` must trigger exactly its rule's
+//! expected findings — this pins both directions: the rules fire on real
+//! violations, and they stay quiet on the adjacent compliant code.
+
+use std::path::Path;
+use ultra_lint::check_source;
+use ultra_lint::rules::Rule;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Fixtures are checked as if they were library files inside a
+/// ranked-output crate, so every rule's scope applies.
+fn check(name: &str) -> Vec<(Rule, u32)> {
+    let diags = check_source(&format!("crates/core/src/{name}"), &fixture(name));
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn l1_fixture_fires_twice_outside_tests() {
+    let hits = check("l1_unseeded_rng.rs");
+    let l1: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoUnseededRng)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        l1,
+        vec![5, 6],
+        "thread_rng + from_entropy, not the test mod"
+    );
+}
+
+#[test]
+fn l2_fixture_fires_on_each_iteration_site() {
+    let hits = check("l2_hash_iteration.rs");
+    let l2: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoHashIterationOrder)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        l2,
+        vec![12, 21, 25],
+        "for-loop, .iter() on a set, .keys() on a field"
+    );
+}
+
+#[test]
+fn l3_fixture_fires_on_each_comparator() {
+    let hits = check("l3_nan_unwrap_sort.rs");
+    let l3: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoNanUnwrapSort)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(l3, vec![5, 10, 16], "sort_by, sort_unstable_by, max_by");
+}
+
+#[test]
+fn l4_fixture_fires_on_unwraps_and_macros() {
+    let hits = check("l4_panic_in_lib.rs");
+    let l4: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoPanicInLib)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        l4,
+        vec![5, 6, 12, 14],
+        "unwrap, expect, panic!, unreachable! — but no *_or variants, no tests"
+    );
+}
+
+#[test]
+fn l5_fixture_fires_on_clock_reads_only() {
+    let hits = check("l5_wallclock.rs");
+    let l5: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoWallclockInScoring)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        l5,
+        vec![7, 14],
+        "Instant::now and SystemTime::now, not the use item"
+    );
+}
+
+#[test]
+fn fixtures_outside_lib_scope_relax_scoped_rules() {
+    // The same L4 fixture seen as a test file produces no panic findings…
+    let as_test = check_source("tests/l4_panic_in_lib.rs", &fixture("l4_panic_in_lib.rs"));
+    assert!(as_test.iter().all(|d| d.rule != Rule::NoPanicInLib));
+    // …and the L2 fixture outside a ranked crate produces no order findings.
+    let as_lm = check_source("crates/lm/src/l2.rs", &fixture("l2_hash_iteration.rs"));
+    assert!(as_lm.iter().all(|d| d.rule != Rule::NoHashIterationOrder));
+}

@@ -1,0 +1,30 @@
+//! The tier-1 gate: the workspace must be free of un-allowlisted ultra-lint
+//! findings. `cargo test` runs this, so a new violation (or a stale
+//! `lint.toml` entry) fails the build with the same `file:line` diagnostics
+//! the CLI prints.
+
+use std::path::Path;
+use ultra_lint::run_workspace;
+
+#[test]
+fn workspace_has_no_unallowed_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run_workspace(&root).expect("ultra-lint must run");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks incomplete: {} files",
+        report.files_scanned
+    );
+
+    let mut failure = String::new();
+    for d in &report.violations {
+        failure.push_str(&format!("{d}\n"));
+    }
+    for s in &report.stale_allows {
+        failure.push_str(&format!("stale lint.toml entry: {s}\n"));
+    }
+    assert!(
+        report.violations.is_empty() && report.stale_allows.is_empty(),
+        "ultra-lint found problems (fix them or allowlist with a reason in lint.toml):\n{failure}"
+    );
+}

@@ -72,7 +72,7 @@ pub fn constrained_entity_beam(
         }
         // All hypotheses at this step share the same length: raw log-prob
         // pruning is fair.
-        next.sort_unstable_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap_or(std::cmp::Ordering::Equal));
+        next.sort_unstable_by(|a, b| b.logp.total_cmp(&a.logp));
         next.truncate(params.beam_size);
         beams = next;
     }
@@ -141,7 +141,7 @@ pub fn unconstrained_beam(
         if next.is_empty() {
             break;
         }
-        next.sort_unstable_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap_or(std::cmp::Ordering::Equal));
+        next.sort_unstable_by(|a, b| b.logp.total_cmp(&a.logp));
         next.truncate(params.beam_size);
         beams = next;
     }
@@ -155,7 +155,7 @@ pub fn unconstrained_beam(
             });
         }
     }
-    done.sort_unstable_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    done.sort_unstable_by(|a, b| b.score.total_cmp(&a.score));
     // Deduplicate identical token sequences, keeping the best-scored.
     let mut seen = std::collections::HashSet::new();
     done.retain(|g| seen.insert(g.tokens.clone()));
@@ -165,11 +165,7 @@ pub fn unconstrained_beam(
 
 /// Keeps the best score per entity, sorted descending, truncated to `k`.
 fn dedup_best(mut scored: Vec<(EntityId, f64)>, k: usize) -> Vec<(EntityId, f64)> {
-    scored.sort_unstable_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let mut seen = std::collections::HashSet::new();
     scored.retain(|(e, _)| seen.insert(*e));
     scored.truncate(k);

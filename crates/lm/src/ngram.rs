@@ -90,9 +90,7 @@ impl NgramLm {
 
     /// Total observed unigram tokens (diagnostic).
     pub fn tokens_seen(&self) -> u64 {
-        self.tables[0]
-            .get(&[][..] as &[u32])
-            .map_or(0, |c| c.total)
+        self.tables[0].get(&[][..] as &[u32]).map_or(0, |c| c.total)
     }
 
     /// `P(next | context)` under interpolated back-off smoothing.

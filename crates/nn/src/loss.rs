@@ -155,7 +155,10 @@ mod tests {
         let logits = [0.0f32, 0.0, 0.0];
         let (_, g0) = label_smoothed_ce(&logits, 0, 0.0);
         let (_, g1) = label_smoothed_ce(&logits, 0, 0.3);
-        assert!(g1[0] > g0[0], "smoothed target pulls less on the gold logit");
+        assert!(
+            g1[0] > g0[0],
+            "smoothed target pulls less on the gold logit"
+        );
     }
 
     #[test]

@@ -80,11 +80,7 @@ impl DynamicRaRetExpan {
                 (t, (p_seed / p_bg).ln())
             })
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored
             .into_iter()
             .take(self.query_tokens)
@@ -173,8 +169,7 @@ mod tests {
         // At least one inferred token is a topic or marker of the class.
         let topics = &world.lexicon.class_topics[u.fine.index()];
         let informative = toks.iter().any(|t| {
-            topics.contains(t)
-                || world.lexicon.markers.iter().any(|m| m.pool.contains(t))
+            topics.contains(t) || world.lexicon.markers.iter().any(|m| m.pool.contains(t))
         });
         assert!(informative, "inferred tokens should include class signal");
     }

@@ -109,11 +109,14 @@ impl RetExpan {
     ) -> RankedList {
         let l0 = self.preliminary_list(world, query, restrict);
         if !self.config.rerank || query.neg_seeds.is_empty() {
+            l0.debug_validate("retexpan::expand (preliminary)");
             return l0;
         }
-        segmented_rerank(&l0, self.config.segment_len, |e| {
+        let reranked = segmented_rerank(&l0, self.config.segment_len, |e| {
             self.reps.seed_score(e, &query.neg_seeds)
-        })
+        });
+        reranked.debug_validate("retexpan::expand (reranked)");
+        reranked
     }
 }
 
@@ -154,7 +157,11 @@ mod tests {
             report.avg_pos(),
             report.avg_neg()
         );
-        assert!(report.avg_comb() > 50.0, "CombAvg = {:.2}", report.avg_comb());
+        assert!(
+            report.avg_comb() > 50.0,
+            "CombAvg = {:.2}",
+            report.avg_comb()
+        );
     }
 
     #[test]
@@ -206,7 +213,12 @@ mod tests {
             RetExpanConfig::default(),
         );
         let (u, q) = world.queries().next().unwrap();
-        let pool: Vec<EntityId> = u.pos_targets.iter().chain(&u.neg_targets).copied().collect();
+        let pool: Vec<EntityId> = u
+            .pos_targets
+            .iter()
+            .chain(&u.neg_targets)
+            .copied()
+            .collect();
         let out = ret.expand_restricted(&world, q, Some(&pool));
         for e in out.entities() {
             assert!(pool.contains(&e));

@@ -109,21 +109,13 @@ impl Bm25Index {
             for p in plist {
                 let tf = p.tf as f32;
                 let dl = self.doc_len[p.doc as usize] as f32;
-                let denom = tf
-                    + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / self.avg_len);
-                *scores.entry(p.doc).or_insert(0.0) +=
-                    idf * tf * (self.params.k1 + 1.0) / denom;
+                let denom =
+                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / self.avg_len);
+                *scores.entry(p.doc).or_insert(0.0) += idf * tf * (self.params.k1 + 1.0) / denom;
             }
         }
-        let mut out: Vec<(usize, f32)> = scores
-            .into_iter()
-            .map(|(d, s)| (d as usize, s))
-            .collect();
-        out.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        let mut out: Vec<(usize, f32)> = scores.into_iter().map(|(d, s)| (d as usize, s)).collect();
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }

@@ -38,10 +38,7 @@ impl Tokenizer {
 
     /// Tokenizes text, interning every produced token (training-time use).
     pub fn encode_interning(vocab: &mut Vocab, text: &str) -> Vec<TokenId> {
-        Self::words(text)
-            .iter()
-            .map(|w| vocab.intern(w))
-            .collect()
+        Self::words(text).iter().map(|w| vocab.intern(w)).collect()
     }
 
     /// Tokenizes text against a frozen vocabulary (inference-time use).
@@ -108,7 +105,10 @@ mod tests {
     #[test]
     fn words_lowercase_and_strip_punctuation() {
         let w = Tokenizer::words("In 2021, Nokia employed 92,000 people!");
-        assert_eq!(w, vec!["in", "2021", "nokia", "employed", "92", "000", "people"]);
+        assert_eq!(
+            w,
+            vec!["in", "2021", "nokia", "employed", "92", "000", "people"]
+        );
     }
 
     #[test]

@@ -129,7 +129,7 @@ impl PrefixTrie {
                 .map(|(&t, &n)| (t, n))
                 .collect();
             // Reverse-sorted so the stack pops in ascending token order.
-            kids.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+            kids.sort_unstable_by_key(|&(t, _)| std::cmp::Reverse(t));
             for (tok, next) in kids {
                 let mut p = path.clone();
                 p.push(tok);

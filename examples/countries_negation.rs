@@ -19,9 +19,7 @@ fn main() {
     let u = world
         .ultra_classes
         .iter()
-        .find(|u| {
-            world.classes[u.fine.index()].name == "Countries" && !u.same_attribute_sets()
-        })
+        .find(|u| world.classes[u.fine.index()].name == "Countries" && !u.same_attribute_sets())
         .expect("a Countries class with A_pos != A_neg");
     let attr_name = |a: ultra_core::AttributeId| world.attributes[a.index()].name.clone();
     println!("== {}", u.describe("Countries", attr_name));

@@ -21,7 +21,10 @@ fn main() {
     let solo_ret = evaluate_method(&world, |_u, q| ret.expand(&world, q));
     let solo_gen = evaluate_method(&world, |u, q| gen.expand(&world, u, q));
     let composed = evaluate_method(&world, |u, q| {
-        let pool: Vec<EntityId> = recall.preliminary_list(&world, q, None).entities().collect();
+        let pool: Vec<EntityId> = recall
+            .preliminary_list(&world, q, None)
+            .entities()
+            .collect();
         let pooled = GenExpan::train_with_pool(&world, GenExpanConfig::default(), Some(pool));
         pooled.expand(&world, u, q)
     });

@@ -31,10 +31,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn build_world(flags: &HashMap<String, String>) -> World {
     let profile = flags.get("profile").map(String::as_str).unwrap_or("small");
-    let seed: u64 = flags
-        .get("seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
     let cfg = match profile {
         "paper" => WorldConfig::paper(),
         "tiny" => WorldConfig::tiny(),
@@ -54,8 +51,14 @@ fn cmd_stats(flags: &HashMap<String, String>) {
     println!("fine-grained classes  {}", stats.num_fine_classes);
     println!("ultra-fine classes    {}", stats.num_ultra_classes);
     println!("queries               {}", stats.num_queries);
-    println!("avg |P| / |N|         {:.1} / {:.1}", stats.avg_pos_targets, stats.avg_neg_targets);
-    println!("class overlap         {:.1}%", 100.0 * stats.overlap_fraction);
+    println!(
+        "avg |P| / |N|         {:.1} / {:.1}",
+        stats.avg_pos_targets, stats.avg_neg_targets
+    );
+    println!(
+        "class overlap         {:.1}%",
+        100.0 * stats.overlap_fraction
+    );
 }
 
 fn cmd_classes(flags: &HashMap<String, String>) {
@@ -85,8 +88,8 @@ fn cmd_classes(flags: &HashMap<String, String>) {
 }
 
 enum AnyMethod {
-    Ret(RetExpan),
-    Gen(GenExpan),
+    Ret(Box<RetExpan>),
+    Gen(Box<GenExpan>),
     Gpt(Gpt4Baseline),
     Set(SetExpan),
 }
@@ -96,17 +99,17 @@ impl AnyMethod {
         match name {
             "genexpan" => {
                 eprintln!("training GenExpan LM…");
-                AnyMethod::Gen(GenExpan::train(world, GenExpanConfig::default()))
+                AnyMethod::Gen(Box::new(GenExpan::train(world, GenExpanConfig::default())))
             }
             "gpt4" => AnyMethod::Gpt(Gpt4Baseline::new(world, OracleConfig::default())),
             "setexpan" => AnyMethod::Set(SetExpan::new(world)),
             _ => {
                 eprintln!("training RetExpan encoder…");
-                AnyMethod::Ret(RetExpan::train(
+                AnyMethod::Ret(Box::new(RetExpan::train(
                     world,
                     EncoderConfig::default(),
                     RetExpanConfig::default(),
-                ))
+                )))
             }
         }
     }
@@ -123,11 +126,11 @@ impl AnyMethod {
 
 fn cmd_expand(flags: &HashMap<String, String>) {
     let world = build_world(flags);
-    let method_name = flags.get("method").map(String::as_str).unwrap_or("retexpan");
-    let query_idx: usize = flags
-        .get("query")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let method_name = flags
+        .get("method")
+        .map(String::as_str)
+        .unwrap_or("retexpan");
+    let query_idx: usize = flags.get("query").and_then(|s| s.parse().ok()).unwrap_or(0);
     let top: usize = flags.get("top").and_then(|s| s.parse().ok()).unwrap_or(15);
     let method = AnyMethod::build(method_name, &world);
     let Some((ultra, query)) = world.queries().nth(query_idx) else {
@@ -175,7 +178,11 @@ fn cmd_export(flags: &HashMap<String, String>) {
     println!(
         "exported {} entities / {} queries / {} sentences to {}",
         world.num_entities(),
-        world.ultra_classes.iter().map(|u| u.queries.len()).sum::<usize>(),
+        world
+            .ultra_classes
+            .iter()
+            .map(|u| u.queries.len())
+            .sum::<usize>(),
         world.corpus.len(),
         dir.display()
     );
@@ -183,7 +190,10 @@ fn cmd_export(flags: &HashMap<String, String>) {
 
 fn cmd_eval(flags: &HashMap<String, String>) {
     let world = build_world(flags);
-    let method_name = flags.get("method").map(String::as_str).unwrap_or("retexpan");
+    let method_name = flags
+        .get("method")
+        .map(String::as_str)
+        .unwrap_or("retexpan");
     let method = AnyMethod::build(method_name, &world);
     eprintln!("evaluating over every query…");
     let report = evaluate_method(&world, |u, q| method.expand(&world, u, q));

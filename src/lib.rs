@@ -56,9 +56,7 @@ pub use ultra_text as text;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ultra_baselines::{CaSE, CgExpan, Gpt4Baseline, ProbExpan, SetExpan};
-    pub use ultra_core::{
-        AttrConstraint, EntityId, Query, RankedList, UltraClass, UltraError,
-    };
+    pub use ultra_core::{AttrConstraint, EntityId, Query, RankedList, UltraClass, UltraError};
     pub use ultra_data::{KnowledgeOracle, OracleConfig, World, WorldConfig, WorldStats};
     pub use ultra_embed::{Augmentation, EncoderConfig, EntityEncoder, PairConfig};
     pub use ultra_eval::{evaluate_method, evaluate_method_filtered, MetricReport};

@@ -1,0 +1,152 @@
+//! End-to-end determinism guarantees.
+//!
+//! Two independent runs of the same pipeline on the same seed must produce
+//! *byte-identical* ranked output — not merely similar metrics. This is the
+//! behavioural contract behind the `ultra-lint` no-unseeded-rng and
+//! no-hash-iteration-order rules: if either class of bug sneaks in, these
+//! tests catch it at the output level.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use ultrawiki::eval::QueryEval;
+use ultrawiki::prelude::*;
+
+/// Seed for the paired runs; overridable the same way the experiment
+/// binaries are (`ULTRA_SEED`).
+fn seed_from_env() -> u64 {
+    std::env::var("ULTRA_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// World profile for the paired runs. Defaults to `tiny` so the paired
+/// trainings stay fast in CI; `ULTRA_PROFILE=small` (or `paper`) runs the
+/// same byte-identity checks at scale.
+fn world(seed: u64) -> World {
+    let cfg = match std::env::var("ULTRA_PROFILE").as_deref() {
+        Ok("paper") => WorldConfig::paper(),
+        Ok("small") => WorldConfig::small(),
+        _ => WorldConfig::tiny(),
+    };
+    World::generate(cfg.with_seed(seed)).expect("world generation")
+}
+
+/// Cheap-but-nontrivial encoder settings: byte-identity does not need a
+/// well-trained model, it needs the full training + expansion path to run.
+fn quick_encoder() -> EncoderConfig {
+    EncoderConfig {
+        epochs: 2,
+        dim: 32,
+        neg_samples: 16,
+        max_sentences_per_entity: 6,
+        ..EncoderConfig::default()
+    }
+}
+
+/// Bit-exact fingerprint of a ranked list: entity ids plus the raw IEEE-754
+/// bits of every score, so `-0.0` vs `0.0` or any last-ulp drift fails.
+fn fingerprint(list: &RankedList) -> String {
+    list.entries()
+        .iter()
+        .map(|(e, s)| format!("{}:{:08x}", e.index(), s.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Fingerprint of every query's ranked list under `expand`, in query order.
+fn run_fingerprint(world: &World, mut expand: impl FnMut(&Query) -> RankedList) -> String {
+    world
+        .queries()
+        .map(|(_, q)| fingerprint(&expand(q)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn retexpan_pipeline_is_byte_identical_across_runs() {
+    let seed = seed_from_env();
+    let run = || {
+        let world = world(seed);
+        let model = RetExpan::train(&world, quick_encoder(), RetExpanConfig::default());
+        run_fingerprint(&world, |q| model.expand(&world, q))
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "fingerprint must cover at least one query");
+    assert_eq!(
+        a, b,
+        "RetExpan ranked output must be byte-identical across runs with seed {seed}"
+    );
+}
+
+#[test]
+fn setexpan_pipeline_is_byte_identical_across_runs() {
+    let seed = seed_from_env();
+    let run = || {
+        let world = world(seed);
+        let model = SetExpan::new(&world);
+        run_fingerprint(&world, |q| model.expand(&world, q))
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "fingerprint must cover at least one query");
+    assert_eq!(
+        a, b,
+        "SetExpan ranked output must be byte-identical across runs with seed {seed}"
+    );
+}
+
+#[test]
+fn world_generation_is_deterministic_in_corpus_and_queries() {
+    let seed = seed_from_env();
+    let a = world(seed);
+    let b = world(seed);
+    assert_eq!(a.num_entities(), b.num_entities());
+    assert_eq!(a.corpus.len(), b.corpus.len());
+    let qa: Vec<_> = a.queries().map(|(_, q)| q.clone()).collect();
+    let qb: Vec<_> = b.queries().map(|(_, q)| q.clone()).collect();
+    assert_eq!(qa.len(), qb.len());
+    for (x, y) in qa.iter().zip(&qb) {
+        assert_eq!(x.pos_seeds, y.pos_seeds);
+        assert_eq!(x.neg_seeds, y.neg_seeds);
+    }
+}
+
+fn entity_scores() -> impl Strategy<Value = Vec<(EntityId, f32)>> {
+    prop::collection::vec((0u32..400, -1e6f32..1e6), 0..100)
+        .prop_map(|v| v.into_iter().map(|(e, s)| (EntityId::new(e), s)).collect())
+}
+
+proptest! {
+    /// No input — empty lists, empty target sets, disjoint sets, huge
+    /// scores — may drive any metric to NaN or ±∞.
+    #[test]
+    fn metrics_are_always_finite(
+        scores in entity_scores(),
+        pos in prop::collection::hash_set(0u32..400, 0..50),
+        neg in prop::collection::hash_set(0u32..400, 0..50),
+    ) {
+        let list = RankedList::from_scores(scores);
+        let pos: HashSet<EntityId> = pos.into_iter().map(EntityId::new).collect();
+        let neg: HashSet<EntityId> = neg.into_iter().map(EntityId::new).collect();
+        let eval = QueryEval::compute(&list, &pos, &neg);
+        for arr in [eval.pos_map, eval.neg_map, eval.pos_p, eval.neg_p] {
+            for v in arr {
+                prop_assert!(v.is_finite(), "metric must be finite, got {v}");
+                prop_assert!((0.0..=100.0).contains(&v), "metric out of range: {v}");
+            }
+        }
+        let report = MetricReport::aggregate(&[eval]);
+        for v in [
+            report.avg_pos(),
+            report.avg_neg(),
+            report.avg_comb(),
+            report.avg_pos_map(),
+            report.avg_neg_map(),
+            report.avg_comb_map(),
+        ] {
+            prop_assert!(v.is_finite(), "aggregate metric must be finite, got {v}");
+        }
+    }
+}

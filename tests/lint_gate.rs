@@ -1,0 +1,33 @@
+//! Tier-1 gate: the workspace must be `ultra-lint`-clean.
+//!
+//! The same check also runs as `crates/lint/tests/workspace_clean.rs`
+//! (under `cargo test --workspace`) and as `cargo run -p ultra-lint`; this
+//! copy rides the root package's test suite so a plain `cargo test` from
+//! the repository root cannot pass with un-allowlisted violations.
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = ultra_lint::run_workspace(root).expect("ultra-lint run");
+    assert!(
+        report.files_scanned > 50,
+        "expected to scan the whole workspace, saw only {} files",
+        report.files_scanned
+    );
+    assert!(
+        !report.failed(true),
+        "ultra-lint violations:\n{}\nstale allowlist entries:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+        report.stale_allows.join("\n")
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allowlist entries:\n{}",
+        report.stale_allows.join("\n")
+    );
+}

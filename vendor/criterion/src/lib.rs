@@ -1,0 +1,184 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! `criterion` API subset the workspace's benches use: [`Criterion`] with
+//! `sample_size`, `bench_function`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros. Reporting is a simple min/median/mean line per
+//! benchmark — no statistical analysis, plots, or baselines.
+
+use std::time::Instant;
+
+/// How batched inputs are grouped between measurements (accepted for API
+/// compatibility; this harness always materializes one input per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver: runs registered functions and prints timings.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark closure under `id` and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples_ns: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<32} (no samples)");
+            return;
+        }
+        self.samples_ns.sort_unstable();
+        let n = self.samples_ns.len();
+        let min = self.samples_ns[0];
+        let median = self.samples_ns[n / 2];
+        let mean = self.samples_ns.iter().sum::<u128>() / n as u128;
+        println!(
+            "{id:<32} min {:>12}  median {:>12}  mean {:>12}  ({n} samples)",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean),
+        );
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group as a function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut total = 0u64;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || 21u64,
+                |x| {
+                    total = total.wrapping_add(x);
+                    x * 2
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(500), "500 ns");
+        assert!(format_ns(1_500).contains("µs"));
+        assert!(format_ns(2_000_000).contains("ms"));
+        assert!(format_ns(3_000_000_000).contains(" s"));
+    }
+
+    criterion_group!(simple_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("group_noop", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        simple_group();
+    }
+}

@@ -1,0 +1,69 @@
+//! Deserialization error type and helpers used by derive-generated code.
+
+use crate::value::Value;
+use crate::Deserialize;
+use std::fmt;
+
+/// A structural deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a "expected X, got Y" error.
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Self::new(format!("expected {expected}, got {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Extracts and deserializes a named struct field.
+///
+/// A missing key is treated as `Value::Null`, which lets `Option` fields
+/// default to `None` while all other types report a mismatch.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => {
+            let entry = v.get(name).unwrap_or(&Value::Null);
+            T::from_value(entry).map_err(|e| Error::new(format!("field `{name}`: {e}")))
+        }
+        other => Err(Error::mismatch("object", other)),
+    }
+}
+
+/// Extracts and deserializes the `idx`-th element of a tuple-struct array.
+pub fn seq_field<T: Deserialize>(v: &Value, idx: usize) -> Result<T, Error> {
+    match v {
+        Value::Array(items) => {
+            let entry = items
+                .get(idx)
+                .ok_or_else(|| Error::new(format!("missing tuple element {idx}")))?;
+            T::from_value(entry).map_err(|e| Error::new(format!("tuple element {idx}: {e}")))
+        }
+        other => Err(Error::mismatch("array", other)),
+    }
+}

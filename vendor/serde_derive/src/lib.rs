@@ -1,0 +1,346 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro parses the item by walking raw
+//! [`proc_macro::TokenTree`]s and emits code by formatting a source string.
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! - structs with named fields (serialized as an object in field order),
+//! - tuple structs (newtypes serialize transparently as the inner value;
+//!   wider tuples as an array),
+//! - enums with only unit variants (serialized as the variant-name string).
+//!
+//! Generics, data-carrying enum variants, and `#[serde(...)]` attributes are
+//! rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .expect("serde_derive stub generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! literal"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde_derive stub: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde_derive stub: expected item name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stub: generic type `{name}` is not supported"
+        ));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body)?,
+                })
+            } else {
+                Ok(Shape::UnitEnum {
+                    name,
+                    variants: parse_unit_variants(&body)?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Shape::TupleStruct {
+                name,
+                arity: count_tuple_fields(&body),
+            })
+        }
+        other => Err(format!(
+            "serde_derive stub: unsupported {kind} body for `{name}`: {other:?}"
+        )),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub`/`pub(...)` marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `field: Type, ...` bodies into the ordered field-name list.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected field name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde_derive stub: expected `:`, got {other:?}")),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = body.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // the comma (or one past the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts comma-separated fields of a tuple struct body.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_field_token = false;
+    for tok in body {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_field_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_field_token = true;
+    }
+    if !saw_field_token {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Parses an enum body, requiring every variant to be a unit variant.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected variant, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde_derive stub: variant `{name}` carries data; only unit variants are supported"
+                ))
+            }
+            other => return Err(format!("serde_derive stub: unexpected token {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::de::seq_field(v, {i})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         Ok({name}({items}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::de::Error::new(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::de::Error::mismatch(\"string\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline vendored stub of `serde_json`: JSON text over the vendored
+//! `serde` stub's [`Value`] data model.
+//!
+//! Supports the workspace's API surface: [`to_string`], [`to_string_pretty`],
+//! [`to_writer_pretty`], [`from_str`], [`Value`], and [`Error`]. Writing is
+//! deterministic (object order is preserved; `HashMap`s are sorted by the
+//! serde stub before reaching this crate). Non-finite floats serialize as
+//! `null`, matching upstream `serde_json`.
+
+mod parse;
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write;
+
+/// A JSON serialization/deserialization error.
+#[derive(Debug)]
+pub enum Error {
+    /// An I/O failure while writing.
+    Io(std::io::Error),
+    /// A syntax error while parsing, with byte offset.
+    Syntax { offset: usize, message: String },
+    /// A structural mismatch while deserializing a parsed value.
+    Data(serde::de::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "JSON io error: {e}"),
+            Error::Syntax { offset, message } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            Error::Data(e) => write!(f, "JSON data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty JSON into a writer.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string_pretty(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Serializes `value` as compact JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a JSON string into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::from_value(&value).map_err(Error::Data)
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, level, ('[', ']'), |o, x, l| {
+                write_value(o, x, indent, l)
+            })
+        }
+        Value::Object(pairs) => write_seq(
+            out,
+            pairs.iter(),
+            indent,
+            level,
+            ('{', '}'),
+            |o, (k, x), l| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, l);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    level: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        write_item(out, item, level + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{}` on f64 prints the shortest representation that round-trips,
+        // but renders integral floats without a fraction; add `.0` so the
+        // value re-parses as a float.
+        let s = x.to_string();
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Infinity; upstream serde_json writes null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_round_trip() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("α \"quoted\"\n".into())),
+            (
+                "scores".into(),
+                Value::Array(vec![Value::Float(1.5), Value::UInt(2), Value::Int(-3)]),
+            ),
+            ("flag".into(), Value::Bool(true)),
+            ("missing".into(), Value::Null),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v, "round-trip failed for: {text}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+        assert_eq!(to_string(&v).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        let back: Value = from_str("2.0").unwrap();
+        assert_eq!(back, Value::Float(2.0));
+    }
+
+    #[test]
+    fn writer_api_works() {
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &vec![1u32, 2]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "[\n  1,\n  2\n]");
+    }
+}
