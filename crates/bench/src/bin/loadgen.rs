@@ -1,0 +1,237 @@
+//! `loadgen` — concurrent load generator for `ultrawiki serve`.
+//!
+//! Replays the served world's generated query set over N client threads and
+//! reports throughput plus latency percentiles, split into *cold* (cache
+//! miss) and *hit* requests via the `X-Ultra-Cache` response header. Along
+//! the way it enforces the serving determinism contract: every response for
+//! the same `(method, query_index, top_k)` must be byte-identical to the
+//! first one seen, and every request must come back 200.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--top-k K]
+//! ```
+//!
+//! Without `--addr` it boots an in-process server on an ephemeral port
+//! (profile/seed from `ULTRA_PROFILE` / `ULTRA_SEED`, default `tiny`), so
+//! `cargo run -p ultra-bench --bin loadgen` works standalone. Exits 0 on
+//! success, 1 on any non-200 response or determinism mismatch.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use ultra_serve::http::{read_response, write_json_request};
+use ultra_serve::{EngineConfig, ExpandRequest, ExpansionEngine, Method, Server, ServerConfig};
+
+struct Flags {
+    addr: Option<String>,
+    requests: usize,
+    threads: usize,
+    top_k: usize,
+}
+
+fn parse_args() -> Flags {
+    let mut flags = Flags {
+        addr: None,
+        requests: 300,
+        threads: 8,
+        top_k: 20,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+        match (args[i].as_str(), value) {
+            ("--addr", Some(v)) => flags.addr = Some(v.clone()),
+            ("--requests", Some(v)) => {
+                flags.requests = v.parse().expect("--requests takes a number")
+            }
+            ("--threads", Some(v)) => flags.threads = v.parse().expect("--threads takes a number"),
+            ("--top-k", Some(v)) => flags.top_k = v.parse().expect("--top-k takes a number"),
+            (other, _) => {
+                eprintln!("unknown or valueless flag `{other}`");
+                eprintln!(
+                    "usage: loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--top-k K]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    flags
+}
+
+/// One round trip; returns `(status, cache_header, body, micros)`.
+fn request(addr: &str, body: &[u8]) -> std::io::Result<(u16, String, Vec<u8>, u64)> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr)?;
+    write_json_request(&mut stream, "POST", "/expand", body)?;
+    let response = read_response(&mut BufReader::new(stream))
+        .map_err(|e| std::io::Error::other(format!("{e}")))?;
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let cache = response.header("x-ultra-cache").unwrap_or("").to_string();
+    Ok((response.status, cache, response.body, micros))
+}
+
+fn get_json(addr: &str, path: &str) -> serde_json::Value {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_json_request(&mut stream, "GET", path, b"").expect("write request");
+    let response = read_response(&mut BufReader::new(stream)).expect("read response");
+    assert_eq!(response.status, 200, "{path} must answer 200");
+    serde_json::from_slice(&response.body).expect("valid JSON")
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summarize(label: &str, latencies: &mut [u64]) -> u64 {
+    latencies.sort_unstable();
+    let p50 = percentile(latencies, 0.50);
+    println!(
+        "{label:>5}: n={:<6} p50={p50}µs p90={}µs p99={}µs max={}µs",
+        latencies.len(),
+        percentile(latencies, 0.90),
+        percentile(latencies, 0.99),
+        latencies.last().copied().unwrap_or(0),
+    );
+    p50
+}
+
+fn main() {
+    let flags = parse_args();
+
+    // Either target a running server or boot one in-process.
+    let (addr, _local) = match &flags.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let profile = std::env::var("ULTRA_PROFILE").unwrap_or_else(|_| "tiny".into());
+            let seed: u64 = std::env::var("ULTRA_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
+            eprintln!(
+                "[loadgen] no --addr; booting in-process server (profile={profile}, seed={seed})…"
+            );
+            let engine = ExpansionEngine::build(EngineConfig {
+                profile,
+                seed,
+                ..EngineConfig::default()
+            })
+            .expect("engine build");
+            let handle = Server::start(
+                Arc::new(engine),
+                ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("server start");
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    let health = get_json(&addr, "/healthz");
+    let num_queries = health
+        .get("queries")
+        .and_then(serde_json::Value::as_u64)
+        .expect("healthz reports query count") as usize;
+    assert!(num_queries > 0, "server has no queries to replay");
+    eprintln!("[loadgen] target {addr}: {num_queries} queries available");
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let failed = Arc::new(AtomicBool::new(false));
+    // query_index -> first response body seen (the byte-identity reference).
+    let reference: Arc<Mutex<HashMap<usize, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let cold = Arc::new(Mutex::new(Vec::new()));
+    let hits = Arc::new(Mutex::new(Vec::new()));
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..flags.threads.max(1))
+        .map(|_| {
+            let (addr, next, failed, reference, cold, hits) = (
+                addr.clone(),
+                next.clone(),
+                failed.clone(),
+                reference.clone(),
+                cold.clone(),
+                hits.clone(),
+            );
+            let (requests, top_k) = (flags.requests, flags.top_k);
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests || failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let query_index = i % num_queries;
+                let body = serde_json::to_vec(&ExpandRequest::replay(
+                    Method::RetExpan,
+                    query_index,
+                    top_k,
+                ))
+                .expect("serialize request");
+                match request(&addr, &body) {
+                    Ok((200, cache, response_body, micros)) => {
+                        let mut seen = reference.lock().expect("reference lock");
+                        if let Some(first) = seen.get(&query_index) {
+                            if *first != response_body {
+                                eprintln!("[loadgen] DETERMINISM MISMATCH on query {query_index}");
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                        } else {
+                            seen.insert(query_index, response_body);
+                        }
+                        drop(seen);
+                        let bucket = if cache == "hit" { &hits } else { &cold };
+                        bucket.lock().expect("latency lock").push(micros);
+                    }
+                    Ok((status, _, body, _)) => {
+                        eprintln!(
+                            "[loadgen] non-200 response ({status}): {}",
+                            String::from_utf8_lossy(&body)
+                        );
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("[loadgen] request failed: {e}");
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = started.elapsed();
+
+    let mut cold = cold.lock().expect("cold lock").clone();
+    let mut hits = hits.lock().expect("hits lock").clone();
+    let total = cold.len() + hits.len();
+    println!(
+        "ran {total} requests over {} threads in {:.2}s ({:.0} req/s)",
+        flags.threads,
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    let cold_p50 = summarize("cold", &mut cold);
+    let hit_p50 = summarize("hit", &mut hits);
+    if hit_p50 > 0 {
+        println!(
+            "cold/hit p50 speedup: {:.1}x",
+            cold_p50 as f64 / hit_p50 as f64
+        );
+    }
+
+    if failed.load(Ordering::Relaxed) {
+        eprintln!("[loadgen] FAILED (non-200 or determinism mismatch)");
+        std::process::exit(1);
+    }
+    println!("[loadgen] OK: all responses 200 and byte-identical per query");
+}

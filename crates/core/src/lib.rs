@@ -23,6 +23,7 @@ pub mod query;
 pub mod ranking;
 pub mod rerank;
 pub mod rng;
+pub mod stable;
 
 pub use attr::{AttrConstraint, AttributeSchema, AttributeValueId};
 pub use class::{CoarseType, FineClass, UltraClass};
@@ -34,3 +35,4 @@ pub use query::Query;
 pub use ranking::RankedList;
 pub use rerank::segmented_rerank;
 pub use rng::{derive_rng, mix_seed};
+pub use stable::{stable_hash64, StableBuildHasher, StableHasher};

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Both seed sets come from the same fine-grained semantic class; they differ
 /// only in ultra-fine-grained attribute values. The paper samples 3 queries
 /// per ultra-fine-grained class, each with 3–5 positive and negative seeds.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Query {
     /// The ultra-fine-grained class this query targets.
     pub ultra: UltraClassId,

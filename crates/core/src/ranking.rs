@@ -8,9 +8,39 @@ use serde::{Deserialize, Serialize};
 /// This is the output of every expansion framework and the input of every
 /// metric. The invariant — scores non-increasing, entities unique — is
 /// enforced by the constructors and checked by property tests.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RankedList {
     entries: Vec<(EntityId, f32)>,
+}
+
+/// Equality is *bit-exact*: two lists are equal iff they rank the same
+/// entities in the same order with byte-identical IEEE-754 scores. This is
+/// the determinism contract's notion of "the same output" (see
+/// `tests/determinism.rs`), and it makes `Eq`/`Hash` lawful even though the
+/// score type is `f32` (`NaN` compares equal to itself bit-wise, `0.0` and
+/// `-0.0` differ — both stricter than float value equality, never weaker
+/// for the finite, deterministic scores the constructors guarantee).
+impl PartialEq for RankedList {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
+    }
+}
+
+impl Eq for RankedList {}
+
+impl std::hash::Hash for RankedList {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.entries.len().hash(state);
+        for (e, s) in &self.entries {
+            e.hash(state);
+            s.to_bits().hash(state);
+        }
+    }
 }
 
 impl RankedList {
@@ -156,6 +186,22 @@ mod tests {
     fn rank_of_missing_is_none() {
         let l = RankedList::from_scores(vec![(eid(1), 1.0)]);
         assert_eq!(l.rank_of(eid(9)), None);
+    }
+
+    #[test]
+    fn equality_and_hashing_are_bit_exact() {
+        use crate::stable::stable_hash64;
+        let a = RankedList::from_scores(vec![(eid(1), 1.0), (eid(2), 0.5)]);
+        let b = RankedList::from_scores(vec![(eid(1), 1.0), (eid(2), 0.5)]);
+        assert_eq!(a, b);
+        assert_eq!(stable_hash64(&a), stable_hash64(&b));
+        let c = RankedList::from_scores(vec![(eid(1), 1.0), (eid(2), 0.5000001)]);
+        assert_ne!(a, c);
+        assert_ne!(stable_hash64(&a), stable_hash64(&c));
+        // Bit-exact equality is reflexive even for NaN scores, keeping `Eq`
+        // lawful on lists that escaped the finite-score invariant.
+        let n = RankedList::from_scores(vec![(eid(1), f32::NAN)]);
+        assert_eq!(n, n.clone());
     }
 
     #[test]

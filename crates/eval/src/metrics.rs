@@ -1,5 +1,6 @@
 //! Ranking metrics: P@K and AP@K on positive and negative target sets.
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use ultra_core::{EntityId, RankedList};
 
@@ -45,7 +46,7 @@ pub fn average_precision_at(list: &RankedList, relevant: &HashSet<EntityId>, k: 
 }
 
 /// All metrics of one query at every cutoff (percent scale, 0–100).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct QueryEval {
     /// `MAP@K` per cutoff.
     pub pos_map: [f64; 4],
@@ -143,6 +144,14 @@ mod tests {
         let l = list(&[1, 2]);
         assert_eq!(average_precision_at(&l, &HashSet::new(), 10), 0.0);
         assert_eq!(precision_at(&l, &HashSet::new(), 10), 0.0);
+    }
+
+    #[test]
+    fn query_eval_round_trips_through_json() {
+        let qe = QueryEval::compute(&list(&[1, 2, 3]), &set(&[1, 3]), &set(&[2]));
+        let json = serde_json::to_string(&qe).expect("serialize");
+        let back: QueryEval = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, qe);
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Aggregated metric reports shaped like the paper's result tables.
 
 use crate::metrics::{QueryEval, KS};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Macro-averaged metrics of one method — one Table 2 block
 /// (Pos ↑ / Neg ↓ / Comb ↑ × MAP / P × @{10,20,50,100} + row averages).
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricReport {
     /// `MAP@K`.
     pub pos_map: [f64; 4],
@@ -141,6 +141,14 @@ mod tests {
         let r = MetricReport::aggregate(&[]);
         assert_eq!(r.num_queries, 0);
         assert!((r.comb_map[0] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = MetricReport::aggregate(&[qe(62.5, 12.5), qe(40.0, 5.0)]);
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: MetricReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, r);
     }
 
     #[test]

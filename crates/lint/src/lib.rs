@@ -33,8 +33,19 @@ use config::Allowlist;
 use rules::{Diagnostic, FileContext, Severity};
 use std::path::{Path, PathBuf};
 
-/// Crates whose ranked output must be reproducible (L2's scope).
-pub const RANKED_CRATES: [&str; 6] = ["core", "retexpan", "genexpan", "baselines", "eval", "data"];
+/// Crates whose ranked output must be reproducible (L2's scope). `serve`
+/// belongs here because it hands out cached `RankedList`s: iteration-order
+/// nondeterminism anywhere in its request path would break the byte-identity
+/// contract between served and offline results.
+pub const RANKED_CRATES: [&str; 7] = [
+    "core",
+    "retexpan",
+    "genexpan",
+    "baselines",
+    "eval",
+    "data",
+    "serve",
+];
 
 /// Directory names never scanned.
 const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
@@ -222,6 +233,7 @@ mod tests {
 
         assert!(classify_ranked("crates/core/src/ranking.rs"));
         assert!(classify_ranked("crates/eval/src/metrics.rs"));
+        assert!(classify_ranked("crates/serve/src/cache.rs"));
         assert!(!classify_ranked("crates/lm/src/decode.rs"));
         assert!(!classify_ranked("crates/core/tests/x.rs"));
         assert!(!classify_ranked("tests/end_to_end.rs"));

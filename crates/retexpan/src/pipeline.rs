@@ -67,6 +67,16 @@ impl RetExpan {
         self.reps = self.encoder.entity_embeddings(world);
     }
 
+    /// Consuming form of [`refresh_reps`](Self::refresh_reps) for builder
+    /// pipelines that finish all mutation *before* sharing the trained
+    /// instance (e.g. `ultra-serve` freezes the pipeline behind an `Arc`
+    /// and answers queries through `&self` only).
+    #[must_use]
+    pub fn into_refreshed(mut self, world: &World) -> Self {
+        self.refresh_reps(world);
+        self
+    }
+
     /// Step 2: the preliminary list `L₀` — top-K candidates by `sco^pos`
     /// (Eq. 4), excluding the query's seeds. Negative seeds are *not* used
     /// here, "to ensure the recall of all entities satisfying fine-grained

@@ -1,0 +1,403 @@
+//! The expansion engine: expensive offline phase, cheap online queries.
+//!
+//! [`ExpansionEngine::build`] runs the offline phase once — world
+//! generation plus RetExpan (and optionally GenExpan) training — and the
+//! resulting engine is immutable: every online entry point takes `&self`,
+//! so one engine can sit behind an `Arc` and serve any number of worker
+//! threads. Online answers go through the *same* `expand` methods the
+//! offline pipelines expose, which is what makes a served list
+//! byte-identical to an offline run on the same `(profile, seed)`.
+
+use crate::api::{ExpandRequest, Method};
+use crate::cache::{CacheKey, CacheStats, ShardedLruCache};
+use crate::ServeError;
+use std::sync::Arc;
+use ultra_core::{Query, RankedList, UltraClass, UltraError};
+use ultra_data::{World, WorldConfig};
+use ultra_embed::EncoderConfig;
+use ultra_genexpan::{GenExpan, GenExpanConfig};
+use ultra_retexpan::{RetExpan, RetExpanConfig};
+
+/// Offline-phase configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// World profile: `"tiny"`, `"small"`, or `"paper"`.
+    pub profile: String,
+    /// World seed.
+    pub seed: u64,
+    /// Encoder training configuration for RetExpan.
+    pub encoder: EncoderConfig,
+    /// RetExpan pipeline configuration.
+    pub retexpan: RetExpanConfig,
+    /// Train GenExpan too (slower startup) when `Some`.
+    pub genexpan: Option<GenExpanConfig>,
+    /// Total result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            profile: "small".to_string(),
+            seed: 42,
+            encoder: EncoderConfig::default(),
+            retexpan: RetExpanConfig::default(),
+            genexpan: None,
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The [`WorldConfig`] for this profile + seed.
+    pub fn world_config(&self) -> Result<WorldConfig, ServeError> {
+        let cfg = match self.profile.as_str() {
+            "paper" => WorldConfig::paper(),
+            "tiny" => WorldConfig::tiny(),
+            "small" => WorldConfig::small(),
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown profile `{other}` (expected tiny|small|paper)"
+                )))
+            }
+        };
+        Ok(cfg.with_seed(self.seed))
+    }
+}
+
+/// Whether an answer came from the cache or was computed cold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the result cache.
+    Hit,
+    /// Computed by the pipeline (and inserted into the cache).
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Wire value for the `X-Ultra-Cache` response header.
+    pub fn header_value(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// The trained, immutable serving engine.
+pub struct ExpansionEngine {
+    config: EngineConfig,
+    world: World,
+    retexpan: RetExpan,
+    genexpan: Option<GenExpan>,
+    cache: ShardedLruCache,
+}
+
+impl ExpansionEngine {
+    /// Runs the offline phase: world generation + pipeline training.
+    pub fn build(config: EngineConfig) -> Result<Self, ServeError> {
+        let world = World::generate(config.world_config()?)?;
+        Self::from_world(world, config)
+    }
+
+    /// Offline phase over a pre-built world (test and embedding hook; the
+    /// profile in `config` is informational only in this path).
+    pub fn from_world(world: World, config: EngineConfig) -> Result<Self, ServeError> {
+        let retexpan = RetExpan::train(&world, config.encoder.clone(), config.retexpan.clone());
+        let genexpan = config
+            .genexpan
+            .clone()
+            .map(|cfg| GenExpan::train(&world, cfg));
+        let cache = ShardedLruCache::new(config.cache_capacity, config.cache_shards);
+        Ok(Self {
+            config,
+            world,
+            retexpan,
+            genexpan,
+            cache,
+        })
+    }
+
+    /// The generated world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The trained RetExpan pipeline (the offline comparison baseline).
+    pub fn retexpan(&self) -> &RetExpan {
+        &self.retexpan
+    }
+
+    /// Wire names of the methods this engine can answer.
+    pub fn methods(&self) -> Vec<&'static str> {
+        let mut methods = vec![Method::RetExpan.name()];
+        if self.genexpan.is_some() {
+            methods.push(Method::GenExpan.name());
+        }
+        methods
+    }
+
+    /// Number of generated queries addressable via `query_index`.
+    pub fn num_queries(&self) -> usize {
+        self.world
+            .ultra_classes
+            .iter()
+            .map(|u| u.queries.len())
+            .sum()
+    }
+
+    /// Live cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn ultra_of(&self, query: &Query) -> Result<&UltraClass, ServeError> {
+        self.world
+            .ultra_classes
+            .get(query.ultra.index())
+            .ok_or_else(|| {
+                ServeError::Engine(UltraError::UnknownClass(format!(
+                    "ultra-class id {} out of range (world has {})",
+                    query.ultra,
+                    self.world.ultra_classes.len()
+                )))
+            })
+    }
+
+    /// Validates a query against the world: known ultra class, known seed
+    /// entities, non-empty positive seeds.
+    pub fn validate(&self, query: &Query) -> Result<(), ServeError> {
+        self.ultra_of(query)?;
+        if query.pos_seeds.is_empty() {
+            return Err(ServeError::Engine(UltraError::EmptyInput(
+                "query has no positive seeds".into(),
+            )));
+        }
+        for e in query.all_seeds() {
+            if e.index() >= self.world.num_entities() {
+                return Err(ServeError::Engine(UltraError::UnknownEntity(format!(
+                    "seed entity id {} out of range (vocabulary has {})",
+                    e,
+                    self.world.num_entities()
+                ))));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves an API request into a concrete `(method, query, top_k)`
+    /// triple, validating everything.
+    pub fn resolve(&self, req: &ExpandRequest) -> Result<(Method, Query, usize), ServeError> {
+        let method_name = req.method.as_deref().unwrap_or("retexpan");
+        let method = Method::from_name(method_name).ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "unknown method `{method_name}` (expected retexpan|genexpan)"
+            ))
+        })?;
+        if method == Method::GenExpan && self.genexpan.is_none() {
+            return Err(ServeError::BadRequest(
+                "genexpan is not enabled on this server (start with --methods retexpan,genexpan)"
+                    .into(),
+            ));
+        }
+        let query = match (&req.query, req.query_index) {
+            (Some(_), Some(_)) => {
+                return Err(ServeError::BadRequest(
+                    "give either `query` or `query_index`, not both".into(),
+                ))
+            }
+            (Some(q), None) => q.clone(),
+            (None, Some(idx)) => self
+                .world
+                .queries()
+                .nth(idx)
+                .map(|(_, q)| q.clone())
+                .ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "query_index {idx} out of range (world has {})",
+                        self.num_queries()
+                    ))
+                })?,
+            (None, None) => {
+                return Err(ServeError::BadRequest(
+                    "request needs a `query` or a `query_index`".into(),
+                ))
+            }
+        };
+        self.validate(&query)?;
+        Ok((method, query, req.top_k.unwrap_or(0)))
+    }
+
+    /// The uncached expansion — exactly what the offline pipelines compute.
+    /// `top_k == 0` returns the untruncated list.
+    pub fn expand_uncached(
+        &self,
+        method: Method,
+        query: &Query,
+        top_k: usize,
+    ) -> Result<RankedList, ServeError> {
+        let list = match method {
+            Method::RetExpan => self.retexpan.expand(&self.world, query),
+            Method::GenExpan => {
+                let Some(gen) = &self.genexpan else {
+                    return Err(ServeError::BadRequest(
+                        "genexpan is not enabled on this server".into(),
+                    ));
+                };
+                let ultra = self.ultra_of(query)?;
+                gen.expand(&self.world, ultra, query)
+            }
+        };
+        Ok(if top_k > 0 {
+            list.truncated(top_k)
+        } else {
+            list
+        })
+    }
+
+    /// Cache-aware expansion: hit → the stored list (bit-identical to what
+    /// the cold path produced), miss → compute, store, return.
+    pub fn expand(
+        &self,
+        method: Method,
+        query: &Query,
+        top_k: usize,
+    ) -> Result<(Arc<RankedList>, CacheOutcome), ServeError> {
+        let key = CacheKey {
+            method,
+            query: query.clone(),
+            top_k,
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok((hit, CacheOutcome::Hit));
+        }
+        let list = Arc::new(self.expand_uncached(method, query, top_k)?);
+        self.cache.insert(key, list.clone());
+        Ok((list, CacheOutcome::Miss))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_core::EntityId;
+
+    fn quick_engine() -> ExpansionEngine {
+        let config = EngineConfig {
+            profile: "tiny".into(),
+            encoder: EncoderConfig {
+                epochs: 1,
+                dim: 16,
+                neg_samples: 8,
+                max_sentences_per_entity: 4,
+                ..EncoderConfig::default()
+            },
+            cache_capacity: 64,
+            cache_shards: 2,
+            ..EngineConfig::default()
+        };
+        ExpansionEngine::build(config).expect("engine builds")
+    }
+
+    #[test]
+    fn served_result_matches_offline_pipeline_bit_for_bit() {
+        let engine = quick_engine();
+        let (_u, query) = engine.world().queries().next().expect("has queries");
+        let offline = engine.retexpan().expand(engine.world(), query);
+        let (served, outcome) = engine
+            .expand(Method::RetExpan, query, 0)
+            .expect("expansion succeeds");
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(*served, offline, "cold serve == offline");
+        let (cached, outcome) = engine
+            .expand(Method::RetExpan, query, 0)
+            .expect("expansion succeeds");
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(*cached, offline, "cache hit == offline");
+        // Byte-level too: identical JSON.
+        let a = serde_json::to_string(&*cached).expect("json");
+        let b = serde_json::to_string(&offline).expect("json");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolve_validates_requests() {
+        let engine = quick_engine();
+        let ok = engine
+            .resolve(&ExpandRequest::replay(Method::RetExpan, 0, 10))
+            .expect("valid");
+        assert_eq!(ok.0, Method::RetExpan);
+        assert_eq!(ok.2, 10);
+
+        let bad_method = ExpandRequest {
+            method: Some("gpt5".into()),
+            query_index: Some(0),
+            query: None,
+            top_k: None,
+        };
+        assert!(matches!(
+            engine.resolve(&bad_method),
+            Err(ServeError::BadRequest(_))
+        ));
+
+        let gen_disabled = ExpandRequest::replay(Method::GenExpan, 0, 0);
+        assert!(matches!(
+            engine.resolve(&gen_disabled),
+            Err(ServeError::BadRequest(_))
+        ));
+
+        let out_of_range = ExpandRequest::replay(Method::RetExpan, usize::MAX, 0);
+        assert!(matches!(
+            engine.resolve(&out_of_range),
+            Err(ServeError::BadRequest(_))
+        ));
+
+        let neither = ExpandRequest {
+            method: None,
+            query_index: None,
+            query: None,
+            top_k: None,
+        };
+        assert!(matches!(
+            engine.resolve(&neither),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_ids() {
+        let engine = quick_engine();
+        let (_u, query) = engine.world().queries().next().expect("has queries");
+        let mut bogus = query.clone();
+        bogus.pos_seeds.push(EntityId::new(u32::MAX));
+        assert!(matches!(
+            engine.validate(&bogus),
+            Err(ServeError::Engine(UltraError::UnknownEntity(_)))
+        ));
+        let mut bogus = query.clone();
+        bogus.ultra = ultra_core::UltraClassId::new(u32::MAX);
+        assert!(matches!(
+            engine.validate(&bogus),
+            Err(ServeError::Engine(UltraError::UnknownClass(_)))
+        ));
+    }
+
+    #[test]
+    fn top_k_truncates_and_is_part_of_the_cache_key() {
+        let engine = quick_engine();
+        let (_u, query) = engine.world().queries().next().expect("has queries");
+        let (full, _) = engine.expand(Method::RetExpan, query, 0).expect("full");
+        let (ten, outcome) = engine.expand(Method::RetExpan, query, 10).expect("ten");
+        assert_eq!(outcome, CacheOutcome::Miss, "different key than top_k=0");
+        assert_eq!(ten.len(), 10);
+        assert_eq!(full.truncated(10), *ten);
+    }
+}

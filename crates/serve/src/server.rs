@@ -1,0 +1,322 @@
+//! The TCP accept loop wiring engine, pool, cache, and metrics together.
+//!
+//! One acceptor thread pulls connections off a `TcpListener` and hands each
+//! to the bounded [`WorkerPool`]; a full queue is answered 503 directly on
+//! the acceptor thread (backpressure without head-of-line blocking). Workers
+//! parse one HTTP/1.1 request, route it, and write a `Connection: close`
+//! response. Shutdown is graceful: the flag flips, a self-connect wakes the
+//! acceptor, and the pool drains accepted connections before joining.
+
+use crate::api::{ErrorBody, ExpandResponse, HealthResponse};
+use crate::engine::ExpansionEngine;
+use crate::http::{self, HttpError, Request};
+use crate::metrics::{MetricsSnapshot, ServeMetrics, Stopwatch};
+use crate::pool::{QueueDepthGauge, SubmitError, WorkerPool};
+use crate::ServeError;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Online-phase configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port `0` asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Bound on connections waiting for a worker.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// Per-connection read/write deadline so a stalled peer cannot pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+struct ServerShared {
+    engine: Arc<ExpansionEngine>,
+    metrics: ServeMetrics,
+    shutting_down: AtomicBool,
+    // Set once right after the pool is built (the pool's handler captures
+    // this struct, so the pool cannot be a direct field).
+    pool_view: OnceLock<(QueueDepthGauge<TcpStream>, usize)>,
+}
+
+impl ServerShared {
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let (queue_depth, workers) = self
+            .pool_view
+            .get()
+            .map(|(gauge, workers)| (gauge.depth(), *workers))
+            .unwrap_or((0, 0));
+        self.metrics
+            .snapshot(self.engine.cache_stats(), queue_depth, workers)
+    }
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+/// A running server: bound address, live metrics, and shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the worker pool and acceptor thread, and
+    /// returns immediately.
+    pub fn start(
+        engine: Arc<ExpansionEngine>,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            engine,
+            metrics: ServeMetrics::default(),
+            shutting_down: AtomicBool::new(false),
+            pool_view: OnceLock::new(),
+        });
+
+        let pool = {
+            let shared = shared.clone();
+            WorkerPool::new(config.workers, config.queue_capacity, move |conn| {
+                handle_connection(&shared, conn)
+            })
+        };
+        let _ = shared.pool_view.set((pool.depth_gauge(), pool.workers()));
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ultra-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&shared, &listener, pool))
+                .map_err(ServeError::Io)?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound socket address (the actual port when `addr` asked for `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time metrics (the same numbers `GET /metrics` serves).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics_snapshot()
+    }
+
+    /// Requests shutdown: stops accepting, drains in-flight connections,
+    /// joins the acceptor (and, through it, the pool).
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the acceptor exits (e.g. after a `shutdown` from another
+    /// handle or process signal path).
+    pub fn join(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        // The acceptor is parked in `accept()`; poke it awake.
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            drop(stream);
+        }
+    }
+}
+
+fn accept_loop(shared: &ServerShared, listener: &TcpListener, pool: WorkerPool<TcpStream>) {
+    loop {
+        let conn = match listener.accept() {
+            Ok((conn, _peer)) => conn,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        match pool.try_submit(conn) {
+            Ok(()) => {}
+            Err(SubmitError::QueueFull(mut conn) | SubmitError::ShuttingDown(mut conn)) => {
+                shared
+                    .metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                let body = serde_json::to_vec(&ErrorBody {
+                    error: "request queue full, retry later".to_string(),
+                })
+                .unwrap_or_default();
+                let _ = http::write_json_response(&mut conn, 503, &[], &body);
+            }
+        }
+    }
+    pool.shutdown();
+}
+
+fn handle_connection(shared: &ServerShared, conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(conn);
+    let request = match http::read_request(&mut reader) {
+        Ok(req) => req,
+        Err(err) => {
+            let status = match err {
+                HttpError::TooLarge(_) => 413,
+                _ => 400,
+            };
+            let mut conn = reader.into_inner();
+            write_error(shared, &mut conn, status, &format!("{err}"));
+            return;
+        }
+    };
+    shared
+        .metrics
+        .requests_total
+        .fetch_add(1, Ordering::Relaxed);
+    let mut conn = reader.into_inner();
+    route(shared, &mut conn, &request);
+}
+
+fn route(shared: &ServerShared, conn: &mut TcpStream, request: &Request) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/expand") => {
+            let sw = Stopwatch::start();
+            handle_expand(shared, conn, &request.body);
+            shared.metrics.expand_latency.record(sw.elapsed_micros());
+        }
+        ("GET", "/healthz") => {
+            let sw = Stopwatch::start();
+            handle_healthz(shared, conn);
+            shared.metrics.healthz_latency.record(sw.elapsed_micros());
+        }
+        ("GET", "/metrics") => {
+            let sw = Stopwatch::start();
+            handle_metrics(shared, conn);
+            shared.metrics.metrics_latency.record(sw.elapsed_micros());
+        }
+        (_, "/expand") | (_, "/healthz") | (_, "/metrics") => {
+            write_error(
+                shared,
+                conn,
+                405,
+                &format!("method {} not allowed here", request.method),
+            );
+        }
+        (_, path) => {
+            write_error(shared, conn, 404, &format!("no route for `{path}`"));
+        }
+    }
+}
+
+fn handle_expand(shared: &ServerShared, conn: &mut TcpStream, body: &[u8]) {
+    let request = match serde_json::from_slice::<crate::api::ExpandRequest>(body) {
+        Ok(req) => req,
+        Err(err) => {
+            write_error(shared, conn, 400, &format!("invalid JSON body: {err}"));
+            return;
+        }
+    };
+    let (method, query, top_k) = match shared.engine.resolve(&request) {
+        Ok(resolved) => resolved,
+        Err(err) => {
+            write_error(shared, conn, 400, &format!("{err}"));
+            return;
+        }
+    };
+    match shared.engine.expand(method, &query, top_k) {
+        Ok((list, outcome)) => {
+            let response = ExpandResponse {
+                method: method.name().to_string(),
+                query,
+                top_k,
+                list: (*list).clone(),
+            };
+            match serde_json::to_vec(&response) {
+                Ok(json) => write_response(
+                    shared,
+                    conn,
+                    200,
+                    &[("x-ultra-cache", outcome.header_value())],
+                    &json,
+                ),
+                Err(err) => write_error(shared, conn, 500, &format!("serialization failed: {err}")),
+            }
+        }
+        Err(ServeError::BadRequest(msg)) => write_error(shared, conn, 400, &msg),
+        Err(err) => write_error(shared, conn, 500, &format!("{err}")),
+    }
+}
+
+fn handle_healthz(shared: &ServerShared, conn: &mut TcpStream) {
+    let engine = &shared.engine;
+    let health = HealthResponse {
+        status: "ok".to_string(),
+        profile: engine.config().profile.clone(),
+        seed: engine.config().seed,
+        methods: engine.methods().iter().map(|m| m.to_string()).collect(),
+        entities: engine.world().num_entities(),
+        queries: engine.num_queries(),
+    };
+    match serde_json::to_vec(&health) {
+        Ok(json) => write_response(shared, conn, 200, &[], &json),
+        Err(err) => write_error(shared, conn, 500, &format!("serialization failed: {err}")),
+    }
+}
+
+fn handle_metrics(shared: &ServerShared, conn: &mut TcpStream) {
+    let snapshot = shared.metrics_snapshot();
+    match serde_json::to_vec(&snapshot) {
+        Ok(json) => write_response(shared, conn, 200, &[], &json),
+        Err(err) => write_error(shared, conn, 500, &format!("serialization failed: {err}")),
+    }
+}
+
+fn write_response(
+    shared: &ServerShared,
+    conn: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    shared.metrics.record_status(status);
+    let _ = http::write_json_response(conn, status, extra_headers, body);
+}
+
+fn write_error(shared: &ServerShared, conn: &mut impl Write, status: u16, message: &str) {
+    let body = serde_json::to_vec(&ErrorBody {
+        error: message.to_string(),
+    })
+    .unwrap_or_default();
+    write_response(shared, conn, status, &[], &body);
+}

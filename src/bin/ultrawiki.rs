@@ -6,27 +6,49 @@
 //! ultrawiki expand  [--profile …] [--method retexpan|genexpan|gpt4|setexpan]
 //!                   [--query N] [--top K]
 //! ultrawiki eval    [--profile …] [--method …]
+//! ultrawiki serve   [--profile …] [--port N] [--workers N] [--methods …]
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency) and deterministic:
 //! the same profile + seed always yields the same world, model, and output.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use ultrawiki::prelude::*;
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Parses `--flag [value]` pairs, validating against the command's known
+/// flag names. A flag followed by another `--`-prefixed token (or by nothing)
+/// carries an empty value instead of swallowing the next flag.
+fn parse_flags(args: &[String], known: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(name.to_string(), value);
-            i += 2;
-        } else {
-            i += 1;
+        let Some(name) = args[i].strip_prefix("--") else {
+            return Err(format!("unexpected positional argument `{}`", args[i]));
+        };
+        if !known.contains(&name) {
+            return Err(format!(
+                "unknown flag `--{name}` (expected one of: {})",
+                known
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
         }
+        let value = match args.get(i + 1) {
+            Some(next) if !next.starts_with("--") => {
+                i += 2;
+                next.clone()
+            }
+            _ => {
+                i += 1;
+                String::new()
+            }
+        };
+        flags.insert(name.to_string(), value);
     }
-    flags
+    Ok(flags)
 }
 
 fn build_world(flags: &HashMap<String, String>) -> World {
@@ -219,6 +241,85 @@ fn cmd_eval(flags: &HashMap<String, String>) {
     );
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) {
+    let profile = flags
+        .get("profile")
+        .map(String::as_str)
+        .unwrap_or("small")
+        .to_string();
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let port: u16 = flags
+        .get("port")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7878);
+    let workers: usize = flags
+        .get("workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let queue: usize = flags
+        .get("queue")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let cache_cap: usize = flags
+        .get("cache-cap")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let methods = flags
+        .get("methods")
+        .map(String::as_str)
+        .unwrap_or("retexpan");
+    for m in methods.split(',') {
+        if !matches!(m.trim(), "retexpan" | "genexpan") {
+            eprintln!(
+                "unknown method `{}` in --methods (expected retexpan,genexpan)",
+                m.trim()
+            );
+            std::process::exit(2);
+        }
+    }
+    let genexpan = methods
+        .split(',')
+        .any(|m| m.trim() == "genexpan")
+        .then(GenExpanConfig::default);
+
+    let config = EngineConfig {
+        profile,
+        seed,
+        genexpan,
+        cache_capacity: cache_cap,
+        ..EngineConfig::default()
+    };
+    eprintln!(
+        "building engine (profile={}, seed={seed}, methods={methods})…",
+        config.profile
+    );
+    let engine = match ExpansionEngine::build(config) {
+        Ok(engine) => Arc::new(engine),
+        Err(e) => {
+            eprintln!("engine build failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server_cfg = ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        workers,
+        queue_capacity: queue,
+    };
+    match Server::start(engine, server_cfg) {
+        Ok(handle) => {
+            println!("serving on http://{}", handle.addr());
+            println!("  POST /expand   {{\"method\":\"retexpan\",\"query_index\":0,\"top_k\":10}}");
+            println!("  GET  /healthz");
+            println!("  GET  /metrics");
+            handle.join();
+        }
+        Err(e) => {
+            eprintln!("server start failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 const USAGE: &str = "\
 ultrawiki — Ultra-ESE reproduction CLI
 
@@ -229,7 +330,28 @@ USAGE:
                     [--query N] [--top K]
   ultrawiki eval    [--profile ...] [--method ...]
   ultrawiki export  [--profile ...] [--out DIR]
+  ultrawiki serve   [--profile ...] [--seed N] [--port N] [--workers N]
+                    [--queue N] [--cache-cap N] [--methods retexpan[,genexpan]]
 ";
+
+/// Flags each command accepts (unknown flags are reported, not ignored).
+fn known_flags(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "expand" => &["profile", "seed", "method", "query", "top"],
+        "eval" => &["profile", "seed", "method"],
+        "export" => &["profile", "seed", "out"],
+        "serve" => &[
+            "profile",
+            "seed",
+            "port",
+            "workers",
+            "queue",
+            "cache-cap",
+            "methods",
+        ],
+        _ => &["profile", "seed"],
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -237,16 +359,78 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
-    let flags = parse_flags(&args[1..]);
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let flags = match parse_flags(&args[1..], known_flags(cmd)) {
+        Ok(flags) => flags,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
     match cmd.as_str() {
         "stats" => cmd_stats(&flags),
         "classes" => cmd_classes(&flags),
         "expand" => cmd_expand(&flags),
         "eval" => cmd_eval(&flags),
         "export" => cmd_export(&flags),
+        "serve" => cmd_serve(&flags),
         _ => {
             eprint!("{USAGE}");
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_followed_by_flag_keeps_both() {
+        // The old parser swallowed `--seed` as the value of `--profile`.
+        let flags = parse_flags(&argv(&["--profile", "--seed", "7"]), &["profile", "seed"])
+            .expect("parses");
+        assert_eq!(flags.get("profile").map(String::as_str), Some(""));
+        assert_eq!(flags.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_empty() {
+        let flags = parse_flags(&argv(&["--seed", "7", "--profile"]), &["profile", "seed"])
+            .expect("parses");
+        assert_eq!(flags.get("seed").map(String::as_str), Some("7"));
+        assert_eq!(flags.get("profile").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let err = parse_flags(&argv(&["--sed", "7"]), &["profile", "seed"]).unwrap_err();
+        assert!(err.contains("--sed"), "names the bad flag: {err}");
+        assert!(err.contains("--seed"), "lists the known flags: {err}");
+    }
+
+    #[test]
+    fn positional_arguments_are_reported() {
+        let err = parse_flags(&argv(&["tiny"]), &["profile"]).unwrap_err();
+        assert!(err.contains("tiny"), "{err}");
+    }
+
+    #[test]
+    fn normal_pairs_still_parse() {
+        let flags = parse_flags(
+            &argv(&["--profile", "tiny", "--seed", "123"]),
+            &["profile", "seed"],
+        )
+        .expect("parses");
+        assert_eq!(flags.get("profile").map(String::as_str), Some("tiny"));
+        assert_eq!(flags.get("seed").map(String::as_str), Some("123"));
     }
 }

@@ -17,7 +17,10 @@
 //!   chain-of-thought reasoning, and retrieval augmentation,
 //! * every compared **baseline** ([`baselines`]): SetExpan, CaSE, CGExpan,
 //!   ProbExpan, and a simulated GPT-4,
-//! * the paper's **metrics** ([`eval`]): MAP/P, NegMAP/NegP, CombMAP.
+//! * the paper's **metrics** ([`eval`]): MAP/P, NegMAP/NegP, CombMAP,
+//! * an online **serving engine** ([`serve::ExpansionEngine`]): train once,
+//!   answer expansion queries over HTTP with a worker pool and result cache
+//!   (`ultrawiki serve`).
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use ultra_genexpan as genexpan;
 pub use ultra_lm as lm;
 pub use ultra_nn as nn;
 pub use ultra_retexpan as retexpan;
+pub use ultra_serve as serve;
 pub use ultra_text as text;
 
 /// The most common imports in one place.
@@ -62,6 +66,7 @@ pub mod prelude {
     pub use ultra_eval::{evaluate_method, evaluate_method_filtered, MetricReport};
     pub use ultra_genexpan::{CotConfig, GenExpan, GenExpanConfig, GenRaSource};
     pub use ultra_retexpan::{mine_lists, RetExpan, RetExpanConfig};
+    pub use ultra_serve::{EngineConfig, ExpansionEngine, Server, ServerConfig};
 }
 
 #[cfg(test)]

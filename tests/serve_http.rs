@@ -1,0 +1,208 @@
+//! End-to-end tests of the serving stack over a real TCP socket.
+//!
+//! One engine (tiny world, 1-epoch encoder) is trained once and shared by
+//! every test; each test that needs a live server starts its own on an
+//! ephemeral port so tests can run concurrently without port clashes.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use ultra_serve::http::{read_response, write_json_request, Response};
+use ultra_serve::{
+    EngineConfig, ExpandRequest, ExpandResponse, ExpansionEngine, Method, Server, ServerConfig,
+    ServerHandle,
+};
+use ultrawiki::prelude::EncoderConfig;
+
+fn engine() -> Arc<ExpansionEngine> {
+    static ENGINE: OnceLock<Arc<ExpansionEngine>> = OnceLock::new();
+    ENGINE
+        .get_or_init(|| {
+            let config = EngineConfig {
+                profile: "tiny".into(),
+                encoder: EncoderConfig {
+                    epochs: 1,
+                    dim: 16,
+                    neg_samples: 8,
+                    max_sentences_per_entity: 4,
+                    ..EncoderConfig::default()
+                },
+                ..EngineConfig::default()
+            };
+            Arc::new(ExpansionEngine::build(config).expect("engine builds"))
+        })
+        .clone()
+}
+
+fn start_server() -> ServerHandle {
+    Server::start(
+        engine(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+        },
+    )
+    .expect("server starts")
+}
+
+fn roundtrip(handle: &ServerHandle, method: &str, path: &str, body: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    write_json_request(&mut stream, method, path, body).expect("write");
+    read_response(&mut BufReader::new(stream)).expect("read")
+}
+
+fn expand_body(query_index: usize, top_k: usize) -> Vec<u8> {
+    serde_json::to_vec(&ExpandRequest::replay(Method::RetExpan, query_index, top_k))
+        .expect("serialize")
+}
+
+#[test]
+fn healthz_reports_the_engine() {
+    let handle = start_server();
+    let resp = roundtrip(&handle, "GET", "/healthz", b"");
+    assert_eq!(resp.status, 200);
+    let health: serde_json::Value = serde_json::from_slice(&resp.body).expect("json");
+    assert_eq!(
+        health.get("status").and_then(serde_json::Value::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        health.get("profile").and_then(serde_json::Value::as_str),
+        Some("tiny")
+    );
+    assert!(health.get("queries").and_then(serde_json::Value::as_u64) > Some(0));
+    handle.shutdown();
+}
+
+#[test]
+fn served_expansion_is_byte_identical_to_offline_and_to_cache_hits() {
+    let handle = start_server();
+    let engine = engine();
+
+    // First request: a miss computed by the worker pool.
+    let cold = roundtrip(&handle, "POST", "/expand", &expand_body(0, 0));
+    assert_eq!(cold.status, 200, "{}", String::from_utf8_lossy(&cold.body));
+    assert_eq!(cold.header("x-ultra-cache"), Some("miss"));
+
+    // Same request again: a hit, body byte-identical.
+    let hit = roundtrip(&handle, "POST", "/expand", &expand_body(0, 0));
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.header("x-ultra-cache"), Some("hit"));
+    assert_eq!(hit.body, cold.body, "cache hit must not change a byte");
+
+    // And the served list equals the offline pipeline's, bit for bit.
+    let served: ExpandResponse = serde_json::from_slice(&cold.body).expect("parse");
+    let (_ultra, query) = engine.world().queries().next().expect("query 0");
+    let offline = engine.retexpan().expand(engine.world(), query);
+    assert_eq!(served.list, offline, "served == offline (bit-exact)");
+    assert_eq!(&served.query, query);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_identical_deterministic_answers() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                write_json_request(&mut stream, "POST", "/expand", &expand_body(1, 0))
+                    .expect("write");
+                let resp = read_response(&mut BufReader::new(stream)).expect("read");
+                assert_eq!(resp.status, 200);
+                resp.body
+            })
+        })
+        .collect();
+    let bodies: Vec<Vec<u8>> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "all 8 concurrent answers byte-identical");
+    }
+    let engine = engine();
+    let served: ExpandResponse = serde_json::from_slice(&bodies[0]).expect("parse");
+    let (_ultra, query) = engine.world().queries().nth(1).expect("query 1");
+    assert_eq!(served.list, engine.retexpan().expand(engine.world(), query));
+    handle.shutdown();
+}
+
+#[test]
+fn bad_requests_get_400s_with_json_errors() {
+    let handle = start_server();
+    for (label, body) in [
+        ("malformed JSON", &b"{not json"[..]),
+        ("no query at all", br#"{"method":"retexpan"}"#),
+        (
+            "both query forms",
+            br#"{"query_index":0,"query":{"ultra":0,"pos_seeds":[0],"neg_seeds":[]}}"#,
+        ),
+        ("unknown method", br#"{"method":"gpt5","query_index":0}"#),
+        ("index out of range", br#"{"query_index":999999}"#),
+        (
+            "genexpan not enabled",
+            br#"{"method":"genexpan","query_index":0}"#,
+        ),
+    ] {
+        let resp = roundtrip(&handle, "POST", "/expand", body);
+        assert_eq!(resp.status, 400, "{label}");
+        let err: serde_json::Value = serde_json::from_slice(&resp.body).expect("json error body");
+        assert!(err.get("error").is_some(), "{label} carries an error field");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_routes_and_verbs_are_rejected() {
+    let handle = start_server();
+    assert_eq!(roundtrip(&handle, "GET", "/nope", b"").status, 404);
+    assert_eq!(roundtrip(&handle, "GET", "/expand", b"").status, 405);
+    assert_eq!(roundtrip(&handle, "POST", "/healthz", b"").status, 405);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_count_traffic_and_cache_outcomes() {
+    let handle = start_server();
+    // Two identical expands: one miss, one hit.
+    for _ in 0..2 {
+        assert_eq!(
+            roundtrip(&handle, "POST", "/expand", &expand_body(2, 10)).status,
+            200
+        );
+    }
+    let resp = roundtrip(&handle, "GET", "/metrics", b"");
+    assert_eq!(resp.status, 200);
+    let snap: serde_json::Value = serde_json::from_slice(&resp.body).expect("json");
+    let field = |name: &str| snap.get(name).and_then(serde_json::Value::as_u64);
+    assert!(field("requests_total") >= Some(3));
+    assert!(field("responses_2xx") >= Some(2));
+    let cache = snap.get("cache").expect("cache stats");
+    assert!(cache.get("hits").and_then(serde_json::Value::as_u64) >= Some(1));
+    let expand = snap.get("expand_latency").expect("expand histogram");
+    assert!(expand.get("count").and_then(serde_json::Value::as_u64) >= Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_releases_the_port() {
+    let handle = start_server();
+    let addr = handle.addr();
+    assert_eq!(roundtrip(&handle, "GET", "/healthz", b"").status, 200);
+    handle.shutdown(); // joins acceptor + drains workers
+                       // The listener is gone: a fresh connection must fail (or be refused
+                       // before any response arrives).
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            let _ = write_json_request(&mut stream, "GET", "/healthz", b"");
+            assert!(
+                read_response(&mut BufReader::new(stream)).is_err(),
+                "no server behind the socket after shutdown"
+            );
+        }
+    }
+}

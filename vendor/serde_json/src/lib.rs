@@ -2,7 +2,8 @@
 //! `serde` stub's [`Value`] data model.
 //!
 //! Supports the workspace's API surface: [`to_string`], [`to_string_pretty`],
-//! [`to_writer_pretty`], [`from_str`], [`Value`], and [`Error`]. Writing is
+//! [`to_vec`], [`to_writer_pretty`], [`from_str`], [`from_slice`], [`Value`],
+//! and [`Error`]. Writing is
 //! deterministic (object order is preserved; `HashMap`s are sorted by the
 //! serde stub before reaching this crate). Non-finite floats serialize as
 //! `null`, matching upstream `serde_json`.
@@ -77,10 +78,24 @@ pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> R
     Ok(())
 }
 
+/// Serializes `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
 /// Parses a JSON string into any [`Deserialize`] type.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let value = parse::parse(s)?;
     T::from_value(&value).map_err(Error::Data)
+}
+
+/// Parses JSON bytes (must be UTF-8) into any [`Deserialize`] type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::Syntax {
+        offset: e.valid_up_to(),
+        message: "invalid UTF-8".to_string(),
+    })?;
+    from_str(s)
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +236,18 @@ mod tests {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
         let back: Value = from_str("2.0").unwrap();
         assert_eq!(back, Value::Float(2.0));
+    }
+
+    #[test]
+    fn byte_apis_round_trip() {
+        let bytes = to_vec(&vec![1u32, 2]).unwrap();
+        assert_eq!(bytes, b"[1,2]");
+        let back: Vec<u32> = from_slice(&bytes).unwrap();
+        assert_eq!(back, vec![1, 2]);
+        assert!(
+            from_slice::<Value>(&[0xff, 0xfe]).is_err(),
+            "non-UTF-8 input"
+        );
     }
 
     #[test]
