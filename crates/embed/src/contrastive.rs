@@ -22,12 +22,13 @@
 //!
 //! [`PairConfig`] toggles each pair family — the Table 7 ablation axes.
 
-use crate::encoder::EntityEncoder;
+use crate::encoder::{ContrastiveExample, EntityEncoder};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use ultra_core::rng::{derive_rng, stream_label, UltraRng};
 use ultra_core::{EntityId, TokenId, UltraClassId};
 use ultra_data::World;
+use ultra_par::Pool;
 
 /// Oracle-mined lists for one query.
 #[derive(Clone, Debug)]
@@ -72,6 +73,12 @@ pub struct PairConfig {
     /// Section 6.2 analysis reports that raising it is ineffective because
     /// the oracle-mined lists "inevitably contain errors").
     pub hard_weight: f32,
+    /// Examples per optimizer step. Sampling stays sequential (the RNG
+    /// sequence is independent of this value), but each batch's per-example
+    /// gradients are computed in parallel against one parameter snapshot
+    /// and merged in example order, so training is bit-identical at any
+    /// thread count. `1` reproduces the historical per-sample schedule.
+    pub batch_size: usize,
 }
 
 impl Default for PairConfig {
@@ -84,25 +91,42 @@ impl Default for PairConfig {
             hard_per_anchor: 3,
             normal_per_anchor: 2,
             hard_weight: 1.0,
+            batch_size: 8,
         }
     }
 }
 
 /// Runs `cfg.contrastive_epochs` of InfoNCE training over the mined lists.
+///
+/// Returns the per-batch mean losses, in step order — the training curve.
+/// The curve is bit-identical at any thread count: batch boundaries depend
+/// only on the (sequential) sample sequence, and each batch reduces its
+/// gradients in example order.
 pub fn train_contrastive(
     enc: &mut EntityEncoder,
     world: &World,
     mined: &MinedLists,
     pair_cfg: &PairConfig,
-) {
+) -> Vec<f32> {
     let mut rng = derive_rng(enc.cfg.seed, stream_label("contrastive"));
+    let pool = Pool::global();
+    let mut losses = Vec::new();
     for _epoch in 0..enc.cfg.contrastive_epochs {
         let mut order: Vec<usize> = (0..mined.queries.len()).collect();
         order.shuffle(&mut rng);
         for qi in order {
-            train_query(enc, world, &mined.queries[qi], pair_cfg, &mut rng);
+            train_query(
+                enc,
+                world,
+                &mined.queries[qi],
+                pair_cfg,
+                &pool,
+                &mut rng,
+                &mut losses,
+            );
         }
     }
+    losses
 }
 
 fn train_query(
@@ -110,8 +134,12 @@ fn train_query(
     world: &World,
     q: &QueryLists,
     pair_cfg: &PairConfig,
+    pool: &Pool,
     rng: &mut UltraRng,
+    losses: &mut Vec<f32>,
 ) {
+    let batch_size = pair_cfg.batch_size.max(1);
+    let mut batch: Vec<ContrastiveExample> = Vec::with_capacity(batch_size);
     let lists: [(&[EntityId], &[EntityId]); 2] = [(&q.l_pos, &q.l_neg), (&q.l_neg, &q.l_pos)];
     for (own, other) in lists {
         if own.is_empty() {
@@ -157,14 +185,28 @@ fn train_query(
                 if neg_bags.is_empty() {
                     continue;
                 }
-                let w = if (pair_cfg.hard_weight - 1.0).abs() < f32::EPSILON {
+                let weights = if (pair_cfg.hard_weight - 1.0).abs() < f32::EPSILON {
                     None
                 } else {
-                    Some(weights.as_slice())
+                    Some(weights)
                 };
-                enc.contrastive_step_weighted(&anchor_bag, &pos_bag, &neg_bags, w);
+                batch.push(ContrastiveExample {
+                    anchor_bag,
+                    pos_bag,
+                    neg_bags,
+                    weights,
+                });
+                if batch.len() == batch_size {
+                    losses.push(enc.contrastive_batch_step(&batch, pool));
+                    batch.clear();
+                }
             }
         }
+    }
+    // Ragged tail: batches never span queries, so the example sequence (and
+    // with it the RNG stream) is independent of the batch size.
+    if !batch.is_empty() {
+        losses.push(enc.contrastive_batch_step(&batch, pool));
     }
 }
 

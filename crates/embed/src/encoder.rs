@@ -10,8 +10,33 @@ use ultra_core::{EntityId, Sentence, TokenId};
 use ultra_data::World;
 use ultra_nn::{
     l2_normalize, l2_normalize_backward, label_smoothed_ce, Activation, EmbeddingBag, Matrix, Mlp,
-    Sgd,
+    MlpGrad, Sgd, SparseGrad,
 };
+use ultra_par::Pool;
+
+/// One fully sampled contrastive training example: the anchor, positive,
+/// and negative context bags plus optional per-negative weights. Sampling
+/// is sequential (RNG order is part of the determinism contract); gradient
+/// computation over a batch of examples is parallel.
+#[derive(Clone, Debug)]
+pub struct ContrastiveExample {
+    /// Anchor context bag.
+    pub anchor_bag: Vec<TokenId>,
+    /// Positive context bag.
+    pub pos_bag: Vec<TokenId>,
+    /// Negative context bags.
+    pub neg_bags: Vec<Vec<TokenId>>,
+    /// Per-negative InfoNCE weights (`None` = uniform).
+    pub weights: Option<Vec<f32>>,
+}
+
+/// Per-example gradients of the contrastive loss, detached from the
+/// encoder so a batch can be computed against one parameter snapshot.
+struct ContrastiveGrads {
+    proj: MlpGrad,
+    emb: SparseGrad,
+    loss: f32,
+}
 
 /// The trainable entity encoder (Section 5.1.1).
 #[derive(Clone, Debug)]
@@ -116,15 +141,33 @@ impl EntityEncoder {
     /// Accumulates embedding gradients for `dL/dh` through the tanh
     /// (the additive center is a constant under the gradient).
     fn encode_bag_backward(&mut self, tokens: &[TokenId], h: &[f32], dh: &[f32]) {
-        let dz: Vec<f32> = dh
-            .iter()
+        let dz = self.encode_bag_backward_dz(h, dh);
+        self.emb.backward(tokens, &dz);
+    }
+
+    /// Detached-buffer variant of
+    /// [`encode_bag_backward`](Self::encode_bag_backward); same math, but
+    /// `self` stays frozen so batches can run in parallel.
+    fn encode_bag_backward_into(
+        &self,
+        tokens: &[TokenId],
+        h: &[f32],
+        dh: &[f32],
+        g: &mut SparseGrad,
+    ) {
+        let dz = self.encode_bag_backward_dz(h, dh);
+        self.emb.backward_into(tokens, &dz, g);
+    }
+
+    /// The tanh pre-activation gradient shared by both backward variants.
+    fn encode_bag_backward_dz(&self, h: &[f32], dh: &[f32]) -> Vec<f32> {
+        dh.iter()
             .zip(h.iter().zip(&self.center))
             .map(|(&d, (&hc, &c))| {
                 let y = hc + c; // un-centered tanh output
                 d * (1.0 - y * y)
             })
-            .collect();
-        self.emb.backward(tokens, &dz);
+            .collect()
     }
 
     /// Projects a contextual feature into the l2-normalized contrastive
@@ -214,6 +257,8 @@ impl EntityEncoder {
 
     /// [`contrastive_step`](Self::contrastive_step) with per-negative
     /// weights (the Section 6.2 "amplify hard negatives" experiment).
+    /// Routed through the batch machinery with a batch of one, which is
+    /// equivalent to the historical per-sample step.
     pub(crate) fn contrastive_step_weighted(
         &mut self,
         anchor_bag: &[TokenId],
@@ -221,41 +266,87 @@ impl EntityEncoder {
         neg_bags: &[Vec<TokenId>],
         weights: Option<&[f32]>,
     ) -> f32 {
-        // Forward all branches.
-        let forward = |enc: &Self, bag: &[TokenId]| {
-            let h = enc.encode_bag(bag);
-            let (hidden, pre) = enc.proj.forward(&h);
+        let ex = ContrastiveExample {
+            anchor_bag: anchor_bag.to_vec(),
+            pos_bag: pos_bag.to_vec(),
+            neg_bags: neg_bags.to_vec(),
+            weights: weights.map(|w| w.to_vec()),
+        };
+        self.contrastive_batch_step(std::slice::from_ref(&ex), &Pool::new(1))
+    }
+
+    /// Gradients of the InfoNCE loss for one example, computed against the
+    /// current (frozen) parameters. Forward all branches, then backward
+    /// each through l2norm → proj → tanh → embeddings, into detached
+    /// buffers.
+    fn contrastive_grads(&self, ex: &ContrastiveExample) -> ContrastiveGrads {
+        let forward = |bag: &[TokenId]| {
+            let h = self.encode_bag(bag);
+            let (hidden, pre) = self.proj.forward(&h);
             let mut z = pre.clone();
             let norm = l2_normalize(&mut z);
             (h, hidden, pre, z, norm)
         };
-        let a = forward(self, anchor_bag);
-        let p = forward(self, pos_bag);
-        let negs: Vec<_> = neg_bags.iter().map(|b| forward(self, b)).collect();
+        let a = forward(&ex.anchor_bag);
+        let p = forward(&ex.pos_bag);
+        let negs: Vec<_> = ex.neg_bags.iter().map(|b| forward(b)).collect();
         let neg_views: Vec<&[f32]> = negs.iter().map(|n| n.3.as_slice()).collect();
-        let g = ultra_nn::infonce_weighted(&a.3, &p.3, &neg_views, weights, self.cfg.tau);
+        let g =
+            ultra_nn::infonce_weighted(&a.3, &p.3, &neg_views, ex.weights.as_deref(), self.cfg.tau);
 
-        // Backward each branch through l2norm → proj → tanh → embeddings.
-        let backward_fn = |enc: &mut Self,
-                           bag: &[TokenId],
-                           st: &(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, f32),
-                           dz: &[f32]| {
-            let dpre = l2_normalize_backward(&st.3, st.4, dz);
-            let dh = enc.proj.backward(&st.0, &st.1, &st.2, &dpre);
-            enc.encode_bag_backward(bag, &st.0, &dh);
-        };
-        backward_fn(self, anchor_bag, &a, &g.d_anchor);
-        backward_fn(self, pos_bag, &p, &g.d_pos);
+        let mut proj_g = MlpGrad::zeros_like(&self.proj);
+        let mut emb_g = SparseGrad::new();
+        let mut backward_fn =
+            |bag: &[TokenId], st: &(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, f32), dz: &[f32]| {
+                let dpre = l2_normalize_backward(&st.3, st.4, dz);
+                let dh = self
+                    .proj
+                    .backward_into(&st.0, &st.1, &st.2, &dpre, &mut proj_g);
+                self.encode_bag_backward_into(bag, &st.0, &dh, &mut emb_g);
+            };
+        backward_fn(&ex.anchor_bag, &a, &g.d_anchor);
+        backward_fn(&ex.pos_bag, &p, &g.d_pos);
         for (k, n) in negs.iter().enumerate() {
-            backward_fn(self, &neg_bags[k], n, &g.d_negs[k]);
+            backward_fn(&ex.neg_bags[k], n, &g.d_negs[k]);
         }
+        ContrastiveGrads {
+            proj: proj_g,
+            emb: emb_g,
+            loss: g.loss,
+        }
+    }
+
+    /// One optimizer step over a batch of contrastive examples: per-example
+    /// gradients are computed in parallel against the current parameter
+    /// snapshot, merged in example order (fixed reduction — bit-identical
+    /// at any thread count), then applied once. Returns the mean loss.
+    pub(crate) fn contrastive_batch_step(
+        &mut self,
+        examples: &[ContrastiveExample],
+        pool: &Pool,
+    ) -> f32 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let enc = &*self;
+        let grads: Vec<ContrastiveGrads> =
+            pool.map_ordered_each(examples, |ex| enc.contrastive_grads(ex));
+        let mut proj_g = MlpGrad::zeros_like(&self.proj);
+        let mut emb_g = SparseGrad::new();
+        let mut loss_sum = 0.0f32;
+        for g in grads {
+            proj_g.add_assign(&g.proj);
+            emb_g.merge(g.emb);
+            loss_sum += g.loss;
+        }
+        self.proj.accumulate(&proj_g);
         let lr = self.cfg.contrastive_lr;
         Sgd::new(lr)
             .with_weight_decay(self.cfg.weight_decay)
             .step(&mut self.proj);
         self.emb
-            .apply_sparse_sgd(lr, self.cfg.weight_decay, self.cfg.clip);
-        g.loss
+            .apply_sparse_sgd_from(emb_g, lr, self.cfg.weight_decay, self.cfg.clip);
+        loss_sum / examples.len() as f32
     }
 
     /// Gathers `(sentence, entity)` training examples, capped per entity.

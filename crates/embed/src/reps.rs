@@ -1,18 +1,58 @@
 //! Entity representation matrix with similarity helpers.
+//!
+//! Scoring is the expansion hot path: a preliminary list ranks *every*
+//! candidate against every seed. The Eq. 4 mean-of-cosines factorizes as
+//!
+//! ```text
+//! sco(e) = (1/|S|) Σ_s cos(h(e), h(s))
+//!        = ⟨ h(e)/‖h(e)‖ , (1/|S|) Σ_s h(s)/‖h(s)‖ ⟩
+//! ```
+//!
+//! so the per-candidate cost drops from `|S|` cosines to one dot product
+//! against a precomputed *seed query vector*, with inverse norms cached at
+//! construction. [`seed_scores_all`](EntityEmbeddings::seed_scores_all) and
+//! [`seed_scores`](EntityEmbeddings::seed_scores) run that kernel blocked
+//! and in parallel through `ultra-par`; the scalar
+//! [`seed_score`](EntityEmbeddings::seed_score) uses the same factorized
+//! formula, so batch and scalar paths agree bit-for-bit for the same seed
+//! set.
 
 use ultra_core::EntityId;
-use ultra_nn::{cosine, Matrix};
+use ultra_nn::{cosine, dot_unrolled, Matrix};
+use ultra_par::Pool;
 
-/// Dense per-entity representations (`num_entities × dim`).
+/// Dense per-entity representations (`num_entities × dim`) with cached
+/// inverse row norms.
 #[derive(Clone, Debug)]
 pub struct EntityEmbeddings {
     mat: Matrix,
+    /// `1/‖row‖` per entity; `0` for zero rows so never-mentioned entities
+    /// score 0 (mirroring [`cosine`]'s zero-vector convention).
+    inv_norms: Vec<f32>,
 }
 
+/// Work threshold (multiply-adds) below which the blocked kernels keep one
+/// worker: scoped-thread startup (~100µs/worker) exceeds an entire small
+/// matvec, so spawning would *cost* wall-clock at any core count. Purely a
+/// scheduling decision — scores are bit-identical either way, because the
+/// single-worker path walks the same fixed chunks in the same order.
+const MIN_PARALLEL_MULS: usize = 4_000_000;
+
 impl EntityEmbeddings {
-    /// Wraps a representation matrix.
+    /// Wraps a representation matrix, caching inverse row norms.
     pub fn new(mat: Matrix) -> Self {
-        Self { mat }
+        let inv_norms = (0..mat.rows())
+            .map(|r| {
+                let row = mat.row(r);
+                let n = dot_unrolled(row, row).sqrt();
+                if n > 0.0 {
+                    1.0 / n
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self { mat, inv_norms }
     }
 
     /// Representation dimensionality.
@@ -45,13 +85,80 @@ impl EntityEmbeddings {
         cosine(self.row(a), self.row(b))
     }
 
-    /// Mean similarity of `e` to a seed set — `sco^pos` / `sco^neg` of
-    /// Eq. 4: `(1/|S|) Σ cos(h(e), h(e'))`.
-    pub fn seed_score(&self, e: EntityId, seeds: &[EntityId]) -> f32 {
+    /// The seed query vector `(1/|S|) Σ_s h(s)/‖h(s)‖`; `None` if `seeds`
+    /// is empty. Dotting a normalized candidate against it computes Eq. 4's
+    /// mean seed similarity in one pass.
+    pub fn seed_query(&self, seeds: &[EntityId]) -> Option<Vec<f32>> {
         if seeds.is_empty() {
-            return 0.0;
+            return None;
         }
-        seeds.iter().map(|&s| self.sim(e, s)).sum::<f32>() / seeds.len() as f32
+        let mut q = vec![0.0f32; self.dim()];
+        let inv = 1.0 / seeds.len() as f32;
+        for &s in seeds {
+            let w = self.inv_norms[s.index()] * inv;
+            if w == 0.0 {
+                continue;
+            }
+            for (qi, &x) in q.iter_mut().zip(self.row(s)) {
+                *qi += w * x;
+            }
+        }
+        Some(q)
+    }
+
+    /// Scores one entity against a prebuilt [`seed_query`](Self::seed_query)
+    /// vector.
+    #[inline]
+    pub fn score_against(&self, query: &[f32], e: EntityId) -> f32 {
+        self.inv_norms[e.index()] * dot_unrolled(self.row(e), query)
+    }
+
+    /// Mean similarity of `e` to a seed set — `sco^pos` / `sco^neg` of
+    /// Eq. 4: `(1/|S|) Σ cos(h(e), h(e'))`, computed via the factorized
+    /// seed-query form (see module docs). Returns 0 for an empty seed set.
+    pub fn seed_score(&self, e: EntityId, seeds: &[EntityId]) -> f32 {
+        match self.seed_query(seeds) {
+            None => 0.0,
+            Some(q) => self.score_against(&q, e),
+        }
+    }
+
+    /// Downgrades `pool` to one worker when the kernel over `items` rows is
+    /// too small to amortize thread spawn (see [`MIN_PARALLEL_MULS`]).
+    fn effective_pool(&self, items: usize, pool: &Pool) -> Pool {
+        if items.saturating_mul(self.dim()) < MIN_PARALLEL_MULS {
+            Pool::new(1)
+        } else {
+            *pool
+        }
+    }
+
+    /// [`seed_score`](Self::seed_score) for every entity, blocked over
+    /// contiguous row ranges and parallelized on `pool`. Output index `i`
+    /// is entity `i`'s score; bit-identical at any thread count.
+    pub fn seed_scores_all(&self, seeds: &[EntityId], pool: &Pool) -> Vec<f32> {
+        let Some(q) = self.seed_query(seeds) else {
+            return vec![0.0; self.len()];
+        };
+        let pool = self.effective_pool(self.len(), pool);
+        let rows: Vec<u32> = (0..self.len() as u32).collect();
+        pool.chunks_map_ordered(&rows, |start, chunk| {
+            let mut block = self.mat.score_batch(&q, start..start + chunk.len());
+            for (s, &r) in block.iter_mut().zip(chunk) {
+                *s *= self.inv_norms[r as usize];
+            }
+            block
+        })
+    }
+
+    /// [`seed_score`](Self::seed_score) for an arbitrary entity subset,
+    /// parallelized on `pool`. Output order matches `entities`.
+    pub fn seed_scores(&self, entities: &[EntityId], seeds: &[EntityId], pool: &Pool) -> Vec<f32> {
+        let Some(q) = self.seed_query(seeds) else {
+            return vec![0.0; entities.len()];
+        };
+        self.effective_pool(entities.len(), pool)
+            .map_ordered(entities, |&e| self.score_against(&q, e))
     }
 
     /// Mean representation of a set (used by class-level heat maps).
@@ -89,6 +196,95 @@ mod tests {
         let s = r.seed_score(eid(2), &[eid(0), eid(1)]);
         assert!((s - 0.5).abs() < 1e-6);
         assert_eq!(r.seed_score(eid(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn factorized_score_matches_mean_of_cosines() {
+        // Random-ish matrix including a zero row (never-mentioned entity).
+        let mut data = Vec::new();
+        for i in 0..40 {
+            data.push(((i * 37 % 19) as f32 - 9.0) * 0.11);
+        }
+        for d in data.iter_mut().take(8).skip(4) {
+            *d = 0.0; // entity 1 is a zero row
+        }
+        let r = EntityEmbeddings::new(Matrix::from_vec(10, 4, data));
+        let seeds = [eid(0), eid(1), eid(7)];
+        for e in 0..10u32 {
+            let fast = r.seed_score(eid(e), &seeds);
+            let naive: f32 = seeds
+                .iter()
+                .map(|&s| cosine(r.row(eid(e)), r.row(s)))
+                .sum::<f32>()
+                / seeds.len() as f32;
+            assert!((fast - naive).abs() < 1e-5, "entity {e}: {fast} vs {naive}");
+        }
+        // Zero-row entity scores 0 exactly.
+        assert_eq!(r.seed_score(eid(1), &seeds), 0.0);
+    }
+
+    #[test]
+    fn batch_paths_match_scalar_path_bitwise_at_any_thread_count() {
+        let data: Vec<f32> = (0..50 * 6).map(|i| ((i * 13 % 29) as f32).sin()).collect();
+        let r = EntityEmbeddings::new(Matrix::from_vec(50, 6, data));
+        let seeds = [eid(3), eid(17), eid(44)];
+        let scalar: Vec<u32> = (0..50)
+            .map(|e| r.seed_score(eid(e), &seeds).to_bits())
+            .collect();
+        for t in [1usize, 2, 8] {
+            let pool = Pool::new(t);
+            let all: Vec<u32> = r
+                .seed_scores_all(&seeds, &pool)
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(all, scalar, "seed_scores_all diverged at {t} threads");
+            let subset: Vec<EntityId> = (0..50).rev().map(eid).collect();
+            let sub: Vec<u32> = r
+                .seed_scores(&subset, &seeds, &pool)
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            let expect: Vec<u32> = subset
+                .iter()
+                .map(|&e| r.seed_score(e, &seeds).to_bits())
+                .collect();
+            assert_eq!(sub, expect, "seed_scores diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn above_threshold_matrices_parallelize_and_stay_bitwise_stable() {
+        // Big enough that `effective_pool` keeps the caller's worker count
+        // (the small-matrix tests above all take the one-worker downgrade).
+        let (rows, dim) = (45_000usize, 96usize);
+        assert!(rows * dim >= MIN_PARALLEL_MULS);
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|i| ((i % 251) as f32 - 125.0) * 1e-2)
+            .collect();
+        let r = EntityEmbeddings::new(Matrix::from_vec(rows, dim, data));
+        let seeds = [eid(1), eid(40_000)];
+        let base: Vec<u32> = r
+            .seed_scores_all(&seeds, &Pool::new(1))
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        for t in [2usize, 8] {
+            let bits: Vec<u32> = r
+                .seed_scores_all(&seeds, &Pool::new(t))
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(bits, base, "parallel scoring diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn empty_seed_sets_score_zero_everywhere() {
+        let r = embeddings();
+        let pool = Pool::new(2);
+        assert_eq!(r.seed_scores_all(&[], &pool), vec![0.0; 3]);
+        assert_eq!(r.seed_scores(&[eid(0)], &[], &pool), vec![0.0]);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::report::MetricReport;
 use std::collections::HashSet;
 use ultra_core::{EntityId, Query, RankedList, UltraClass};
 use ultra_data::World;
+use ultra_par::Pool;
 
 /// Seed-free ground truth for one query: `(P, N)`.
 ///
@@ -61,6 +62,46 @@ where
             evals.push(QueryEval::compute(&list, &pos, &neg));
         }
     }
+    MetricReport::aggregate(&evals)
+}
+
+/// Parallel [`evaluate_method`]: every `(class, query)` pair is expanded and
+/// scored on its own `ultra-par` work item. Requires `Fn` (no per-call
+/// mutation) because calls run concurrently; results aggregate in query
+/// order, so the report is byte-identical to the sequential harness at any
+/// thread count.
+pub fn evaluate_method_par<F>(world: &World, pool: &Pool, expand: F) -> MetricReport
+where
+    F: Fn(&UltraClass, &Query) -> RankedList + Sync,
+{
+    evaluate_method_filtered_par(world, pool, |_| true, expand)
+}
+
+/// Parallel [`evaluate_method_filtered`]; see [`evaluate_method_par`].
+pub fn evaluate_method_filtered_par<P, F>(
+    world: &World,
+    pool: &Pool,
+    keep: P,
+    expand: F,
+) -> MetricReport
+where
+    P: Fn(&UltraClass) -> bool,
+    F: Fn(&UltraClass, &Query) -> RankedList + Sync,
+{
+    let pairs: Vec<(&UltraClass, &Query)> = world
+        .ultra_classes
+        .iter()
+        .filter(|u| keep(u))
+        .flat_map(|u| u.queries.iter().map(move |q| (u, q)))
+        .collect();
+    // Queries are heavyweight (a full expansion each), so fan out per item
+    // rather than in length-derived chunks.
+    let evals = pool.map_ordered_each(&pairs, |&(u, q)| {
+        let seeds: Vec<EntityId> = q.all_seeds().collect();
+        let list = expand(u, q).without(&seeds);
+        let (pos, neg) = ground_truth_for(u, q);
+        QueryEval::compute(&list, &pos, &neg)
+    });
     MetricReport::aggregate(&evals)
 }
 
@@ -133,6 +174,27 @@ mod tests {
         let some = evaluate_method_filtered(&w, |u| u.arity() == (1, 1), oracle_expand);
         assert!(some.num_queries <= all.num_queries);
         assert!(some.num_queries > 0);
+    }
+
+    #[test]
+    fn parallel_harness_matches_sequential_at_any_thread_count() {
+        let w = world();
+        let seq = evaluate_method(&w, oracle_expand);
+        for t in [1usize, 2, 8] {
+            let par = evaluate_method_par(&w, &Pool::new(t), oracle_expand);
+            assert_eq!(par.num_queries, seq.num_queries);
+            for (a, b) in seq.pos_map.iter().zip(&par.pos_map) {
+                assert_eq!(a.to_bits(), b.to_bits(), "PosMAP diverged at {t} threads");
+            }
+            for (a, b) in seq.neg_map.iter().zip(&par.neg_map) {
+                assert_eq!(a.to_bits(), b.to_bits(), "NegMAP diverged at {t} threads");
+            }
+            let filt = evaluate_method_filtered_par(&w, &Pool::new(t), |u| u.arity() == (1, 1), {
+                oracle_expand
+            });
+            let filt_seq = evaluate_method_filtered(&w, |u| u.arity() == (1, 1), oracle_expand);
+            assert_eq!(filt.num_queries, filt_seq.num_queries);
+        }
     }
 
     #[test]

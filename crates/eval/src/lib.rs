@@ -16,7 +16,10 @@ pub mod metrics;
 pub mod report;
 pub mod table;
 
-pub use harness::{evaluate_method, evaluate_method_filtered, ground_truth_for};
+pub use harness::{
+    evaluate_method, evaluate_method_filtered, evaluate_method_filtered_par, evaluate_method_par,
+    ground_truth_for,
+};
 pub use metrics::{average_precision_at, precision_at, QueryEval, KS};
 pub use report::MetricReport;
 pub use table::TableWriter;

@@ -17,6 +17,9 @@
 //!   library code.
 //! * **L5 `no-wallclock-in-scoring`** — `Instant::now`/`SystemTime` in
 //!   library code.
+//! * **L6 `no-raw-thread-spawn`** — `thread::spawn`/`scope`/`Builder`
+//!   outside `crates/par` (the deterministic execution layer) and
+//!   `crates/serve` (long-lived request workers).
 //!
 //! Findings carry `file:line` locations, severities, and fix suggestions.
 //! Audited exceptions live in the workspace-root `lint.toml` (each with a

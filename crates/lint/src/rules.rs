@@ -22,16 +22,19 @@ pub enum Rule {
     NoPanicInLib,
     /// L5: wall-clock reads (`Instant::now`, `SystemTime`) in library code.
     NoWallclockInScoring,
+    /// L6: raw `std::thread` spawning outside the sanctioned crates.
+    NoRawThreadSpawn,
 }
 
 impl Rule {
     /// Every rule, in documentation order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoUnseededRng,
         Rule::NoHashIterationOrder,
         Rule::NoNanUnwrapSort,
         Rule::NoPanicInLib,
         Rule::NoWallclockInScoring,
+        Rule::NoRawThreadSpawn,
     ];
 
     /// The kebab-case name used in configuration and output.
@@ -42,6 +45,7 @@ impl Rule {
             Rule::NoNanUnwrapSort => "no-nan-unwrap-sort",
             Rule::NoPanicInLib => "no-panic-in-lib",
             Rule::NoWallclockInScoring => "no-wallclock-in-scoring",
+            Rule::NoRawThreadSpawn => "no-raw-thread-spawn",
         }
     }
 
@@ -138,6 +142,7 @@ pub fn check_file(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     rule_no_nan_unwrap_sort(ctx, &mut out);
     rule_no_panic_in_lib(ctx, &mut out);
     rule_no_wallclock(ctx, &mut out);
+    rule_no_raw_thread_spawn(ctx, &mut out);
     out
 }
 
@@ -438,16 +443,74 @@ fn rule_no_wallclock(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Crates allowed to touch `std::thread` directly: `ultra-par` *is* the
+/// execution layer, and `ultra-serve` manages long-lived request workers
+/// (a different lifecycle than data-parallel fan-out). Everything else goes
+/// through `ultra-par`, whose fixed chunking and ordered assembly keep
+/// outputs thread-count-invariant. Bench/CLI binaries (`src/bin/`) are
+/// outside `is_lib` and therefore outside this rule's scope.
+const THREAD_EXEMPT_PREFIXES: [&str; 2] = ["crates/par/", "crates/serve/"];
+
+/// `thread::` members that create or structure OS threads.
+const THREAD_SPAWN_MEMBERS: [&str; 3] = ["spawn", "scope", "Builder"];
+
+/// L6 — ad-hoc `std::thread` use reintroduces scheduling-dependent
+/// execution orders that `ultra-par` exists to eliminate; a stray
+/// `thread::spawn` in a scoring or training path silently breaks the
+/// byte-identity contract.
+fn rule_no_raw_thread_spawn(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib
+        || THREAD_EXEMPT_PREFIXES
+            .iter()
+            .any(|p| ctx.path.starts_with(p))
+    {
+        return;
+    }
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if !tok.is_ident("thread") {
+            continue;
+        }
+        // `thread :: spawn` / `thread :: scope` / `thread :: Builder`
+        // (bare or as the tail of `std::thread::…`).
+        let member = ctx
+            .tokens
+            .get(i + 1)
+            .filter(|t| t.is_punct(':'))
+            .and_then(|_| ctx.tokens.get(i + 2))
+            .filter(|t| t.is_punct(':'))
+            .and_then(|_| ctx.tokens.get(i + 3))
+            .and_then(|t| t.ident())
+            .filter(|m| THREAD_SPAWN_MEMBERS.contains(m));
+        if let Some(member) = member {
+            out.push(diag(
+                ctx,
+                Rule::NoRawThreadSpawn,
+                tok.line,
+                format!("raw `thread::{member}` outside the execution layer"),
+                "use ultra_par::Pool (deterministic chunking + ordered assembly), \
+                 or move long-lived workers into crates/serve",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lexer::{lex, test_code_mask};
 
     fn check(src: &str, is_lib: bool, is_ranked: bool) -> Vec<Diagnostic> {
+        check_at("crates/x/src/lib.rs", src, is_lib, is_ranked)
+    }
+
+    fn check_at(path: &str, src: &str, is_lib: bool, is_ranked: bool) -> Vec<Diagnostic> {
         let lexed = lex(src);
         let mask = test_code_mask(&lexed.tokens);
         check_file(&FileContext {
-            path: "crates/x/src/lib.rs",
+            path,
             tokens: &lexed.tokens,
             in_test: &mask,
             is_lib,
@@ -547,6 +610,38 @@ mod tests {
             "fn f() -> u64 { let t = std::time::Instant::now(); t.elapsed().as_nanos() as u64 }";
         let diags = check(src, true, false);
         assert_eq!(rules_of(&diags), vec![Rule::NoWallclockInScoring]);
+    }
+
+    #[test]
+    fn l6_flags_raw_thread_spawn_in_lib_code() {
+        let src = "fn f() { std::thread::spawn(|| work()); }\nfn g() { thread::scope(|s| { s.spawn(|| {}); }); }\nfn h() { let b = std::thread::Builder::new(); }";
+        let diags = check(src, true, false);
+        let l6: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::NoRawThreadSpawn)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(l6, vec![1, 2, 3], "spawn, scope, Builder");
+    }
+
+    #[test]
+    fn l6_exempts_execution_layer_serve_and_non_lib_code() {
+        let src = "fn f() { std::thread::spawn(|| work()); }";
+        assert!(check_at("crates/par/src/lib.rs", src, true, false).is_empty());
+        assert!(check_at("crates/serve/src/pool.rs", src, true, true).is_empty());
+        // Bench/CLI binaries and tests are outside lib scope.
+        assert!(check_at("crates/bench/src/bin/loadgen.rs", src, false, false).is_empty());
+        // Test code inside a lib file is exempt too.
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }";
+        assert!(check(in_test, true, false).is_empty());
+    }
+
+    #[test]
+    fn l6_ignores_non_spawning_thread_mentions() {
+        let src = "fn f() { std::thread::sleep(d); let n = std::thread::available_parallelism(); }";
+        assert!(check(src, true, false)
+            .iter()
+            .all(|d| d.rule != Rule::NoRawThreadSpawn));
     }
 
     #[test]

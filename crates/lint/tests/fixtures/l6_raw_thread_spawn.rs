@@ -1,0 +1,32 @@
+// Fixture: L6 no-raw-thread-spawn must flag ad-hoc std::thread use in
+// library code — data parallelism goes through ultra_par::Pool so that
+// outputs stay byte-identical at any thread count.
+
+fn fan_out(items: &[f32]) -> Vec<f32> {
+    let handle = std::thread::spawn(move || heavy()); // <- violation
+    let _ = handle;
+    std::thread::scope(|s| {
+        // ^ violation (scope is spawning machinery too)
+        let _ = s;
+    });
+    items.to_vec()
+}
+
+fn named_worker() {
+    let b = std::thread::Builder::new(); // <- violation
+    let _ = b;
+}
+
+fn sleeping_is_fine(d: std::time::Duration) {
+    std::thread::sleep(d);
+    let _ = std::thread::available_parallelism();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn_freely() {
+        let h = std::thread::spawn(|| 1 + 1);
+        assert_eq!(h.join().unwrap(), 2);
+    }
+}

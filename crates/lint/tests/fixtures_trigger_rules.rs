@@ -93,6 +93,28 @@ fn l5_fixture_fires_on_clock_reads_only() {
 }
 
 #[test]
+fn l6_fixture_fires_on_spawning_constructs_only() {
+    let hits = check("l6_raw_thread_spawn.rs");
+    let l6: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoRawThreadSpawn)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        l6,
+        vec![6, 8, 16],
+        "spawn, scope, Builder — not sleep/available_parallelism, not tests"
+    );
+}
+
+#[test]
+fn l6_fixture_is_quiet_inside_the_execution_layer() {
+    let diags =
+        ultra_lint::check_source("crates/par/src/lib.rs", &fixture("l6_raw_thread_spawn.rs"));
+    assert!(diags.iter().all(|d| d.rule != Rule::NoRawThreadSpawn));
+}
+
+#[test]
 fn fixtures_outside_lib_scope_relax_scoped_rules() {
     // The same L4 fixture seen as a test file produces no panic findings…
     let as_test = check_source("tests/l4_panic_in_lib.rs", &fixture("l4_panic_in_lib.rs"));

@@ -6,9 +6,67 @@
 //! O(vocabulary) per step.
 
 use crate::matrix::Matrix;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use ultra_core::rng::UltraRng;
 use ultra_core::TokenId;
+
+/// A detached sparse gradient buffer: token row → gradient vector.
+///
+/// Backed by a `BTreeMap` so that traversal order is the token order — a
+/// pure function of the content, never of hashing — which keeps merged
+/// buffers and their parameter updates deterministic. Per-sample buffers
+/// are filled in parallel via [`EmbeddingBag::backward_into`] and merged in
+/// sample order with [`merge`](Self::merge).
+#[derive(Clone, Debug, Default)]
+pub struct SparseGrad {
+    grads: BTreeMap<u32, Vec<f32>>,
+}
+
+impl SparseGrad {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `dy * scale` into the row for `token`.
+    pub fn add_scaled(&mut self, token: TokenId, dy: &[f32], scale: f32) {
+        let g = self
+            .grads
+            .entry(token.0)
+            .or_insert_with(|| vec![0.0; dy.len()]);
+        for (gi, &d) in g.iter_mut().zip(dy) {
+            *gi += d * scale;
+        }
+    }
+
+    /// Merges `other` into `self`, row by row. Each row's additions happen
+    /// in the order `merge` is called, so folding per-sample buffers in
+    /// sample order yields bit-identical sums at any thread count.
+    pub fn merge(&mut self, other: SparseGrad) {
+        for (row, grad) in other.grads {
+            match self.grads.entry(row) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(grad);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    for (a, &b) in o.get_mut().iter_mut().zip(&grad) {
+                        *a += b;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of rows with pending gradients.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+}
 
 /// Mean-pooled embedding lookup with sparse gradient accumulation.
 #[derive(Clone, Debug)]
@@ -78,6 +136,20 @@ impl EmbeddingBag {
         }
     }
 
+    /// Non-mutating variant of [`backward`](Self::backward): accumulates
+    /// the mean-pool gradient into a detached [`SparseGrad`] buffer, so
+    /// per-sample gradients can be computed in parallel against a frozen
+    /// table. Same math (and bits) as `backward`.
+    pub fn backward_into(&self, tokens: &[TokenId], dy: &[f32], g: &mut SparseGrad) {
+        if tokens.is_empty() {
+            return;
+        }
+        let inv = 1.0 / tokens.len() as f32;
+        for &t in tokens {
+            g.add_scaled(t, dy, inv);
+        }
+    }
+
     /// Applies accumulated sparse gradients with plain SGD
     /// (`w -= lr · (g + wd · w)`), clipping each row gradient to
     /// `clip` in l2 norm, then clears the gradient buffer.
@@ -87,16 +159,41 @@ impl EmbeddingBag {
     /// of a vocabulary-sized table per batch would dominate training time.
     pub fn apply_sparse_sgd(&mut self, lr: f32, weight_decay: f32, clip: f32) {
         for (row_idx, grad) in self.sparse_grads.drain() {
-            let row = self.table.row_mut(row_idx as usize);
-            let norm: f32 = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
-            let scale = if clip > 0.0 && norm > clip {
-                clip / norm
-            } else {
-                1.0
-            };
-            for (w, &g) in row.iter_mut().zip(&grad) {
-                *w -= lr * (g * scale + weight_decay * *w);
-            }
+            Self::sparse_row_update(
+                self.table.row_mut(row_idx as usize),
+                &grad,
+                lr,
+                weight_decay,
+                clip,
+            );
+        }
+    }
+
+    /// [`apply_sparse_sgd`](Self::apply_sparse_sgd) over a detached buffer:
+    /// identical per-row update math, consuming `g` instead of the internal
+    /// accumulator. Row updates are independent, so the two paths agree
+    /// bit-for-bit for equal row gradients.
+    pub fn apply_sparse_sgd_from(&mut self, g: SparseGrad, lr: f32, weight_decay: f32, clip: f32) {
+        for (row_idx, grad) in g.grads {
+            Self::sparse_row_update(
+                self.table.row_mut(row_idx as usize),
+                &grad,
+                lr,
+                weight_decay,
+                clip,
+            );
+        }
+    }
+
+    fn sparse_row_update(row: &mut [f32], grad: &[f32], lr: f32, weight_decay: f32, clip: f32) {
+        let norm: f32 = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+        let scale = if clip > 0.0 && norm > clip {
+            clip / norm
+        } else {
+            1.0
+        };
+        for (w, &g) in row.iter_mut().zip(grad) {
+            *w -= lr * (g * scale + weight_decay * *w);
         }
     }
 
@@ -167,6 +264,34 @@ mod tests {
         let after = bag.row(t(0));
         let delta = ((after[0] - before[0]).powi(2) + (after[1] - before[1]).powi(2)).sqrt();
         assert!((delta - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn detached_sparse_path_matches_internal_path_bitwise() {
+        let mut rng = derive_rng(2, 0);
+        let proto = EmbeddingBag::new(8, 3, &mut rng);
+
+        // Internal path: two backward calls, one apply.
+        let mut a = proto.clone();
+        a.backward(&[t(1), t(3)], &[0.5, -1.0, 2.0]);
+        a.backward(&[t(3), t(6)], &[1.5, 0.25, -0.75]);
+        a.apply_sparse_sgd(0.1, 1e-4, 5.0);
+
+        // Detached path: per-sample buffers merged in sample order.
+        let mut b = proto.clone();
+        let mut g1 = SparseGrad::new();
+        let mut g2 = SparseGrad::new();
+        b.backward_into(&[t(1), t(3)], &[0.5, -1.0, 2.0], &mut g1);
+        b.backward_into(&[t(3), t(6)], &[1.5, 0.25, -0.75], &mut g2);
+        g1.merge(g2);
+        assert_eq!(g1.len(), 3);
+        b.apply_sparse_sgd_from(g1, 0.1, 1e-4, 5.0);
+
+        for r in 0..8 {
+            let ra: Vec<u32> = a.row(t(r)).iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = b.row(t(r)).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ra, rb, "row {r} diverged");
+        }
     }
 
     #[test]

@@ -22,9 +22,9 @@ pub mod matrix;
 pub mod ops;
 pub mod optim;
 
-pub use embedding::EmbeddingBag;
-pub use linear::{Activation, Linear, Mlp};
+pub use embedding::{EmbeddingBag, SparseGrad};
+pub use linear::{Activation, Linear, LinearGrad, Mlp, MlpGrad};
 pub use loss::{infonce, infonce_weighted, label_smoothed_ce, InfoNceGrads};
 pub use matrix::Matrix;
-pub use ops::{cosine, dot, l2_normalize, l2_normalize_backward, mean_pool};
+pub use ops::{cosine, dot, dot_unrolled, l2_normalize, l2_normalize_backward, mean_pool};
 pub use optim::{Adam, GradApply, Sgd};

@@ -110,25 +110,105 @@ impl Linear {
     /// `x` is the input given to [`forward`](Self::forward), `y` its output,
     /// `dy` the loss gradient w.r.t. `y`.
     pub fn backward(&mut self, x: &[f32], y: &[f32], dy: &[f32]) -> Vec<f32> {
-        // Pre-activation gradient.
-        let dz: Vec<f32> = dy
-            .iter()
-            .zip(y)
-            .map(|(&d, &yv)| d * self.act.backward_from_output(yv))
-            .collect();
-        self.gw.add_outer(1.0, &dz, x);
-        if self.use_bias {
-            for (g, d) in self.gb.iter_mut().zip(&dz) {
-                *g += d;
-            }
+        backward_core(
+            &self.w,
+            self.act,
+            self.use_bias,
+            x,
+            y,
+            dy,
+            &mut self.gw,
+            &mut self.gb,
+        )
+    }
+
+    /// Non-mutating backward pass into an external gradient buffer.
+    ///
+    /// Identical math to [`backward`](Self::backward), but `self` stays
+    /// frozen — this is what lets per-sample gradients be computed in
+    /// parallel against one parameter snapshot and merged in a fixed order
+    /// afterwards (see `ultra-par`).
+    pub fn backward_into(&self, x: &[f32], y: &[f32], dy: &[f32], g: &mut LinearGrad) -> Vec<f32> {
+        backward_core(
+            &self.w,
+            self.act,
+            self.use_bias,
+            x,
+            y,
+            dy,
+            &mut g.gw,
+            &mut g.gb,
+        )
+    }
+
+    /// Adds an externally accumulated gradient buffer into the layer's
+    /// internal one, readying an optimizer step.
+    pub fn accumulate(&mut self, g: &LinearGrad) {
+        self.gw.add_assign(&g.gw);
+        for (a, &b) in self.gb.iter_mut().zip(&g.gb) {
+            *a += b;
         }
-        self.w.matvec_t(&dz)
     }
 
     /// Direct read access to the weight matrix (used by read-out heads).
     #[inline]
     pub fn weights(&self) -> &Matrix {
         &self.w
+    }
+}
+
+/// Shared backward math of [`Linear::backward`] and
+/// [`Linear::backward_into`]: both must produce the same bits.
+#[allow(clippy::too_many_arguments)]
+fn backward_core(
+    w: &Matrix,
+    act: Activation,
+    use_bias: bool,
+    x: &[f32],
+    y: &[f32],
+    dy: &[f32],
+    gw: &mut Matrix,
+    gb: &mut [f32],
+) -> Vec<f32> {
+    // Pre-activation gradient.
+    let dz: Vec<f32> = dy
+        .iter()
+        .zip(y)
+        .map(|(&d, &yv)| d * act.backward_from_output(yv))
+        .collect();
+    gw.add_outer(1.0, &dz, x);
+    if use_bias {
+        for (g, d) in gb.iter_mut().zip(&dz) {
+            *g += d;
+        }
+    }
+    w.matvec_t(&dz)
+}
+
+/// Detached gradient buffer for a [`Linear`] layer.
+#[derive(Clone, Debug)]
+pub struct LinearGrad {
+    gw: Matrix,
+    gb: Vec<f32>,
+}
+
+impl LinearGrad {
+    /// A zeroed buffer shaped like `layer`'s parameters.
+    pub fn zeros_like(layer: &Linear) -> Self {
+        Self {
+            gw: Matrix::zeros(layer.out_dim(), layer.in_dim()),
+            gb: vec![0.0; layer.out_dim()],
+        }
+    }
+
+    /// Elementwise merge (`self += other`). Merge order is the caller's
+    /// contract: deterministic pipelines merge per-sample buffers in sample
+    /// order.
+    pub fn add_assign(&mut self, other: &LinearGrad) {
+        self.gw.add_assign(&other.gw);
+        for (a, &b) in self.gb.iter_mut().zip(&other.gb) {
+            *a += b;
+        }
     }
 }
 
@@ -199,6 +279,49 @@ impl Mlp {
         let dh = self.out.backward(h, y, dy);
         self.hidden.backward(x, h, &dh)
     }
+
+    /// Non-mutating backward pass into an external [`MlpGrad`]; same math
+    /// (and bits) as [`backward`](Self::backward).
+    pub fn backward_into(
+        &self,
+        x: &[f32],
+        h: &[f32],
+        y: &[f32],
+        dy: &[f32],
+        g: &mut MlpGrad,
+    ) -> Vec<f32> {
+        let dh = self.out.backward_into(h, y, dy, &mut g.out);
+        self.hidden.backward_into(x, h, &dh, &mut g.hidden)
+    }
+
+    /// Adds an external gradient buffer into the internal one.
+    pub fn accumulate(&mut self, g: &MlpGrad) {
+        self.hidden.accumulate(&g.hidden);
+        self.out.accumulate(&g.out);
+    }
+}
+
+/// Detached gradient buffer for an [`Mlp`].
+#[derive(Clone, Debug)]
+pub struct MlpGrad {
+    hidden: LinearGrad,
+    out: LinearGrad,
+}
+
+impl MlpGrad {
+    /// A zeroed buffer shaped like `mlp`'s parameters.
+    pub fn zeros_like(mlp: &Mlp) -> Self {
+        Self {
+            hidden: LinearGrad::zeros_like(&mlp.hidden),
+            out: LinearGrad::zeros_like(&mlp.out),
+        }
+    }
+
+    /// Elementwise merge (`self += other`), in the caller's order.
+    pub fn add_assign(&mut self, other: &MlpGrad) {
+        self.hidden.add_assign(&other.hidden);
+        self.out.add_assign(&other.out);
+    }
 }
 
 impl GradApply for Mlp {
@@ -267,6 +390,60 @@ mod tests {
         let (h, y) = mlp.forward(&[0.1, 0.2, 0.3, 0.4]);
         assert_eq!(h.len(), 8);
         assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn backward_into_plus_accumulate_matches_backward_bitwise() {
+        let mut rng = derive_rng(11, 0);
+        let proto = Mlp::new_projection(3, 5, 4, Activation::Tanh, &mut rng);
+        let x = vec![0.4f32, -0.9, 0.15];
+        let dy = vec![0.7f32, -0.3, 0.2, 1.1];
+
+        // Path A: in-place backward.
+        let mut a = proto.clone();
+        let (h, y) = a.forward(&x);
+        let dxa = a.backward(&x, &h, &y, &dy);
+
+        // Path B: detached buffer, then accumulate.
+        let mut b = proto.clone();
+        let mut g = MlpGrad::zeros_like(&b);
+        let dxb = b.backward_into(&x, &h, &y, &dy, &mut g);
+        b.accumulate(&g);
+
+        assert_eq!(dxa, dxb);
+        let collect = |m: &mut Mlp| {
+            let mut out: Vec<u32> = Vec::new();
+            m.visit(&mut |_, grads| out.extend(grads.iter().map(|g| g.to_bits())));
+            out
+        };
+        assert_eq!(collect(&mut a), collect(&mut b));
+    }
+
+    #[test]
+    fn grad_buffers_merge_in_caller_order() {
+        let mut rng = derive_rng(12, 0);
+        let layer = Linear::new(2, 2, Activation::None, &mut rng);
+        let mut g1 = LinearGrad::zeros_like(&layer);
+        let mut g2 = LinearGrad::zeros_like(&layer);
+        let x = vec![1.0f32, -1.0];
+        let y = layer.forward(&x);
+        layer.backward_into(&x, &y, &[1.0, 0.0], &mut g1);
+        layer.backward_into(&x, &y, &[0.0, 2.0], &mut g2);
+        let mut merged = LinearGrad::zeros_like(&layer);
+        merged.add_assign(&g1);
+        merged.add_assign(&g2);
+        let mut l = layer.clone();
+        l.accumulate(&merged);
+        // The merged buffer equals the sequential two-sample accumulation.
+        let mut seq = layer.clone();
+        seq.backward(&x, &y, &[1.0, 0.0]);
+        seq.backward(&x, &y, &[0.0, 2.0]);
+        let grads = |m: &mut Linear| {
+            let mut out: Vec<u32> = Vec::new();
+            m.visit(&mut |_, g| out.extend(g.iter().map(|v| v.to_bits())));
+            out
+        };
+        assert_eq!(grads(&mut l), grads(&mut seq));
     }
 
     #[test]

@@ -128,6 +128,45 @@ impl Matrix {
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
+
+    /// Elementwise `self += other` (gradient-buffer merge). Shapes must
+    /// match.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "add_assign shape mismatch");
+        assert_eq!(self.cols, other.cols, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Batch scoring primitive: dots of the rows in `rows` against `query`,
+    /// via the unrolled kernel ([`crate::ops::dot_unrolled`]). This is the
+    /// per-chunk kernel of the blocked candidate-scoring path; callers
+    /// parallelize over disjoint row ranges.
+    pub fn score_batch(&self, query: &[f32], rows: std::ops::Range<usize>) -> Vec<f32> {
+        assert_eq!(query.len(), self.cols, "score_batch dimension mismatch");
+        assert!(rows.end <= self.rows, "score_batch row range out of bounds");
+        rows.map(|r| crate::ops::dot_unrolled(self.row(r), query))
+            .collect()
+    }
+
+    /// `C = self · otherᵀ` — both operands row-major, so every inner product
+    /// reads two contiguous rows (the cache-friendly "NT" layout used by
+    /// blocked scoring). `self` is `(m × k)`, `other` is `(n × k)`, the
+    /// result is `(m × n)`.
+    pub fn matmat_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmat_nt inner dimension mismatch");
+        let (m, n) = (self.rows, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a = self.row(i);
+            let row = out.row_mut(i);
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = crate::ops::dot_unrolled(a, other.row(j));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +208,43 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn matvec_rejects_bad_shapes() {
         Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn score_batch_matches_per_row_matvec() {
+        let mut rng = derive_rng(9, 0);
+        let m = Matrix::xavier(7, 5, &mut rng);
+        let q = vec![0.3, -1.2, 0.8, 0.05, 2.0];
+        let scores = m.score_batch(&q, 0..7);
+        for (r, &s) in scores.iter().enumerate() {
+            let exact: f32 = crate::ops::dot_unrolled(m.row(r), &q);
+            assert_eq!(s.to_bits(), exact.to_bits());
+        }
+        assert_eq!(m.score_batch(&q, 2..2).len(), 0);
+    }
+
+    #[test]
+    fn matmat_nt_matches_matvec_per_row() {
+        let mut rng = derive_rng(10, 0);
+        let a = Matrix::xavier(4, 6, &mut rng);
+        let b = Matrix::xavier(3, 6, &mut rng);
+        let c = a.matmat_nt(&b);
+        assert_eq!(c.rows(), 4);
+        assert_eq!(c.cols(), 3);
+        for i in 0..4 {
+            for j in 0..3 {
+                let exact = crate::ops::dot_unrolled(a.row(i), b.row(j));
+                assert_eq!(c.row(i)[j].to_bits(), exact.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_merges_elementwise() {
+        let mut a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![0.5, -2.0, 1.0, 0.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[1.5, 0.0, 4.0, 4.0]);
     }
 
     #[test]

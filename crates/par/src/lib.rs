@@ -1,0 +1,461 @@
+//! `ultra-par` — deterministic data-parallel execution.
+//!
+//! Every hot path in this workspace (entity scoring, contrastive gradient
+//! accumulation, eval fan-out) is embarrassingly parallel, but naive
+//! threading breaks the byte-identity contract enforced by
+//! `tests/determinism.rs`: floating-point addition is not associative, so
+//! any reduction whose order depends on thread scheduling produces
+//! different bits on different machines — or on the same machine twice.
+//!
+//! This crate makes parallelism safe to adopt by construction:
+//!
+//! * **Fixed chunking** — chunk boundaries are a pure function of the input
+//!   *length* (never of the thread count or of scheduling), so the units of
+//!   work are identical whether one thread or sixteen execute them.
+//! * **Ordered assembly** — [`Pool::chunks_map_ordered`] concatenates chunk
+//!   results in chunk order regardless of completion order.
+//! * **Ordered reduction** — [`Pool::reduce_ordered`] folds each chunk
+//!   sequentially and then combines the per-chunk accumulators in a fixed
+//!   pairwise tree, so an `f32` sum is bit-identical at any thread count,
+//!   including 1 (the single-threaded path runs the *same* chunked code).
+//!
+//! Workers are spawned scoped (`std::thread::scope`) per call and pull
+//! chunks from an atomic counter. A [`Pool`] value therefore carries only
+//! configuration — it is trivially reusable and `Copy` — while borrowed
+//! inputs need no `'static` bound and the crate stays std-only and
+//! unsafe-free. Spawn cost is real (~100µs per worker), so callers with
+//! *light* per-item work gate small inputs down to one worker themselves
+//! (e.g. `EntityEmbeddings::effective_pool`); that downgrade never changes
+//! output bits because the one-worker path walks the same chunks in order.
+//!
+//! Thread count resolution, in priority order: [`set_threads`] override
+//! (the CLI `--threads` flag), the `ULTRA_THREADS` environment variable,
+//! then [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, OnceLock};
+
+/// Upper bound on the number of chunks an input is split into. Bounding the
+/// chunk count bounds per-call overhead (one channel message per chunk)
+/// while still providing enough grain for work stealing.
+pub const MAX_CHUNKS: usize = 64;
+
+/// Minimum chunk length: below this, per-chunk overhead dominates the work.
+/// Part of the chunk-boundary function, so changing it changes *which*
+/// partial sums are formed — it is a determinism-relevant constant.
+pub const MIN_CHUNK: usize = 16;
+
+/// Hard cap on configurable worker threads.
+const MAX_THREADS: usize = 256;
+
+/// Process-wide thread-count override (0 = unset). Set by the CLI/serve
+/// layers from `--threads`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `ULTRA_THREADS` parse (0 = unset/invalid).
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("ULTRA_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(0)
+    })
+}
+
+/// Overrides the global thread count (`0` restores automatic resolution).
+/// Values are clamped to `[0, 256]`.
+///
+/// Because every primitive in this crate is thread-count-invariant in its
+/// *output*, racing calls to `set_threads` can change how fast concurrent
+/// work runs but never what it computes.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n.min(MAX_THREADS), Ordering::SeqCst);
+}
+
+/// Resolves the effective thread count: [`set_threads`] override, then
+/// `ULTRA_THREADS`, then [`std::thread::available_parallelism`], then 1.
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced >= 1 {
+        return forced;
+    }
+    let env = env_threads();
+    if env >= 1 {
+        return env.min(MAX_THREADS);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Chunk length for an input of `len` items — a pure function of `len`
+/// only, never of the thread count. All determinism guarantees rest on
+/// this property.
+pub fn chunk_len(len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(MIN_CHUNK)
+}
+
+/// Number of chunks an input of `len` items splits into.
+pub fn num_chunks(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        len.div_ceil(chunk_len(len))
+    }
+}
+
+/// A deterministic scoped worker pool. Carries only the worker count, so it
+/// is `Copy` and freely reusable; workers are scoped to each call.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with an explicit worker count (clamped to `[1, 256]`).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// A pool sized by the global [`threads`] resolution.
+    pub fn global() -> Self {
+        Self::new(threads())
+    }
+
+    /// The pool's worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps fixed chunks of `items` through `f` and concatenates the chunk
+    /// outputs in chunk order. `f` receives the chunk's start offset within
+    /// `items` plus the chunk slice, and may return any number of results
+    /// per chunk (blocked kernels typically return one result per item).
+    ///
+    /// Output is bit-identical at any worker count provided `f` itself is
+    /// deterministic, because chunk boundaries depend only on `items.len()`
+    /// and assembly order is chunk order.
+    pub fn chunks_map_ordered<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
+        self.chunks_map_ordered_with(items, chunk_len(items.len()), f)
+    }
+
+    /// [`chunks_map_ordered`](Self::chunks_map_ordered) with an explicit
+    /// chunk length. `cl` MUST be derived from `items.len()` alone (or be a
+    /// constant) — never from the thread count — or the determinism
+    /// contract breaks. Use `cl = 1` for heavy items (a full query
+    /// expansion, a training sample) where the default [`MIN_CHUNK`] grain
+    /// would serialize small inputs.
+    pub fn chunks_map_ordered_with<T, R, F>(&self, items: &[T], cl: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
+        let len = items.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let cl = cl.max(1);
+        let nchunks = len.div_ceil(cl);
+        let workers = self.threads.min(nchunks);
+        if workers <= 1 {
+            // Same chunked traversal as the parallel path, in chunk order.
+            let mut out = Vec::with_capacity(len);
+            for c in 0..nchunks {
+                let start = c * cl;
+                let end = (start + cl).min(len);
+                out.extend(f(start, &items[start..end]));
+            }
+            return out;
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Vec<R>)>();
+        let mut slots: Vec<Option<Vec<R>>> = Vec::new();
+        slots.resize_with(nchunks, || None);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                s.spawn(move || loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let start = c * cl;
+                    let end = (start + cl).min(len);
+                    let out = f(start, &items[start..end]);
+                    if tx.send((c, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Workers deliver chunks in completion order; slots restore
+            // chunk order. A worker panic drops its sender, ends this loop
+            // early, and the scope re-raises the panic on exit.
+            while let Ok((c, v)) = rx.recv() {
+                if let Some(slot) = slots.get_mut(c) {
+                    *slot = Some(v);
+                }
+            }
+        });
+        slots.into_iter().flatten().flatten().collect()
+    }
+
+    /// Maps each item through `f`, preserving input order.
+    pub fn map_ordered<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.chunks_map_ordered(items, |_, chunk| chunk.iter().map(&f).collect())
+    }
+
+    /// [`map_ordered`](Self::map_ordered) at one item per chunk, for items
+    /// heavy enough (≳100µs) that per-chunk overhead is irrelevant and the
+    /// default grain would leave threads idle on short inputs.
+    pub fn map_ordered_each<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.chunks_map_ordered_with(items, 1, |_, chunk| chunk.iter().map(&f).collect())
+    }
+
+    /// Ordered reduction: each chunk is folded sequentially from a fresh
+    /// `init()`, then the per-chunk accumulators are combined in a fixed
+    /// pairwise tree — `(c0⊕c1) ⊕ (c2⊕c3) …` — whose shape depends only on
+    /// the chunk count. `f32`/`f64` sums are therefore bit-identical at any
+    /// worker count. Returns `init()` for empty input.
+    pub fn reduce_ordered<T, A, I, F, C>(&self, items: &[T], init: I, fold: F, combine: C) -> A
+    where
+        T: Sync,
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(A, &T) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        let accs: Vec<A> = self.chunks_map_ordered(items, |_, chunk| {
+            let mut a = init();
+            for t in chunk {
+                a = fold(a, t);
+            }
+            vec![a]
+        });
+        combine_tree(accs, &combine).unwrap_or_else(init)
+    }
+}
+
+/// Combines accumulators pairwise, level by level, in a fixed order.
+fn combine_tree<A>(mut level: Vec<A>, combine: &impl Fn(A, A) -> A) -> Option<A> {
+    while level.len() > 1 {
+        let mut nxt = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => nxt.push(combine(a, b)),
+                None => nxt.push(a),
+            }
+        }
+        level = nxt;
+    }
+    level.pop()
+}
+
+/// [`Pool::map_ordered`] on the globally configured pool.
+pub fn par_map_ordered<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Pool::global().map_ordered(items, f)
+}
+
+/// [`Pool::chunks_map_ordered`] on the globally configured pool.
+pub fn par_chunks_map_ordered<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    Pool::global().chunks_map_ordered(items, f)
+}
+
+/// [`Pool::reduce_ordered`] on the globally configured pool.
+pub fn par_reduce_ordered<T, A, I, F, C>(items: &[T], init: I, fold: F, combine: C) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    Pool::global().reduce_ordered(items, init, fold, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_maps_to_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        for t in [1, 2, 8] {
+            assert!(Pool::new(t).map_ordered(&items, |x| x * 2).is_empty());
+        }
+        assert_eq!(num_chunks(0), 0);
+    }
+
+    #[test]
+    fn empty_input_reduces_to_init() {
+        let items: Vec<f32> = Vec::new();
+        let sum = Pool::new(4).reduce_ordered(&items, || 7.5f32, |a, x| a + x, |a, b| a + b);
+        assert_eq!(sum, 7.5);
+    }
+
+    #[test]
+    fn map_matches_sequential_for_len_smaller_than_threads() {
+        let items: Vec<u64> = (0..3).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(Pool::new(8).map_ordered(&items, |x| x * x), expect);
+    }
+
+    #[test]
+    fn map_matches_sequential_when_len_is_not_a_chunk_multiple() {
+        // 1037 = 64 * 16 + 13: last chunk is ragged.
+        let items: Vec<i64> = (0..1037).collect();
+        let expect: Vec<i64> = items.iter().map(|x| 3 * x - 1).collect();
+        for t in [1, 2, 3, 8] {
+            assert_eq!(Pool::new(t).map_ordered(&items, |x| 3 * x - 1), expect);
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_are_a_function_of_len_only() {
+        for len in [1usize, 15, 16, 17, 1000, 1024, 1037, 100_000] {
+            let cl = chunk_len(len);
+            assert!(cl >= MIN_CHUNK);
+            assert_eq!(num_chunks(len), len.div_ceil(cl));
+            assert!(num_chunks(len) <= MAX_CHUNKS.max(1));
+        }
+    }
+
+    #[test]
+    fn chunks_map_sees_correct_offsets_and_slices() {
+        let items: Vec<usize> = (0..777).collect();
+        let out = Pool::new(4).chunks_map_ordered(&items, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    assert_eq!(x, start + i, "offset/slice mismatch");
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn f32_sum_is_bit_identical_across_thread_counts() {
+        // Values chosen to be order-sensitive under f32 addition: a naive
+        // per-thread partition would produce different bits at different
+        // thread counts.
+        let items: Vec<f32> = (0..10_000)
+            .map(|i| ((i * 2_654_435_761u64 as usize) % 1000) as f32 * 1e-3 + 1e4)
+            .collect();
+        let sums: Vec<u32> = [1usize, 2, 5, 8, 16]
+            .iter()
+            .map(|&t| {
+                Pool::new(t)
+                    .reduce_ordered(&items, || 0.0f32, |a, x| a + x, |a, b| a + b)
+                    .to_bits()
+            })
+            .collect();
+        for s in &sums {
+            assert_eq!(*s, sums[0], "sum bits differ across thread counts");
+        }
+    }
+
+    #[test]
+    fn vector_accumulators_reduce_in_fixed_order() {
+        let items: Vec<f32> = (0..5000).map(|i| (i as f32).sin()).collect();
+        let run = |t: usize| -> Vec<u32> {
+            Pool::new(t)
+                .reduce_ordered(
+                    &items,
+                    || vec![0.0f32; 4],
+                    |mut a, x| {
+                        for (i, v) in a.iter_mut().enumerate() {
+                            *v += x * (i as f32 + 1.0);
+                        }
+                        a
+                    },
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(&b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        let base = run(1);
+        assert_eq!(run(2), base);
+        assert_eq!(run(8), base);
+    }
+
+    #[test]
+    fn per_item_chunking_matches_default_chunking() {
+        let items: Vec<u32> = (0..100).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x + 1).collect();
+        for t in [1, 2, 8] {
+            assert_eq!(Pool::new(t).map_ordered_each(&items, |x| x + 1), expect);
+        }
+    }
+
+    #[test]
+    fn set_threads_overrides_and_resets() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        let pool = Pool::global();
+        assert_eq!(pool.threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn pool_clamps_worker_count() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(100_000).threads(), 256);
+    }
+
+    #[test]
+    fn combine_tree_order_is_fixed() {
+        // With strings, the tree shape is directly observable:
+        // ((a·b)·(c·d))·e for five leaves.
+        let leaves: Vec<String> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let joined = combine_tree(leaves, &|a, b| format!("({a}{b})"));
+        assert_eq!(joined.as_deref(), Some("(((ab)(cd))e)"));
+    }
+}

@@ -35,6 +35,10 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Result-cache shard count.
     pub cache_shards: usize,
+    /// Data-parallel worker count for scoring/training (`ultra-par`);
+    /// `0` keeps the ambient default (`ULTRA_THREADS` or the machine's
+    /// parallelism). Results are byte-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +51,7 @@ impl Default for EngineConfig {
             genexpan: None,
             cache_capacity: 4096,
             cache_shards: 8,
+            threads: 0,
         }
     }
 }
@@ -106,6 +111,9 @@ impl ExpansionEngine {
     /// Offline phase over a pre-built world (test and embedding hook; the
     /// profile in `config` is informational only in this path).
     pub fn from_world(world: World, config: EngineConfig) -> Result<Self, ServeError> {
+        if config.threads > 0 {
+            ultra_par::set_threads(config.threads);
+        }
         let retexpan = RetExpan::train(&world, config.encoder.clone(), config.retexpan.clone());
         let genexpan = config
             .genexpan

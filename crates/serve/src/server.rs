@@ -208,51 +208,82 @@ fn handle_connection(shared: &ServerShared, conn: TcpStream) {
     route(shared, &mut conn, &request);
 }
 
-fn route(shared: &ServerShared, conn: &mut TcpStream, request: &Request) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/expand") => {
-            let sw = Stopwatch::start();
-            handle_expand(shared, conn, &request.body);
-            shared.metrics.expand_latency.record(sw.elapsed_micros());
+/// A fully materialised response, built *before* any byte hits the socket
+/// so metrics (status counters, latency histograms) can be recorded first.
+/// A client that has received its answer is then guaranteed to see that
+/// answer already counted in a subsequent `/metrics` scrape — recording
+/// after the write raced exactly that scrape-after-response pattern.
+struct Reply {
+    status: u16,
+    cache_header: Option<&'static str>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn error(status: u16, message: &str) -> Reply {
+        let body = serde_json::to_vec(&ErrorBody {
+            error: message.to_string(),
+        })
+        .unwrap_or_default();
+        Reply {
+            status,
+            cache_header: None,
+            body,
         }
-        ("GET", "/healthz") => {
-            let sw = Stopwatch::start();
-            handle_healthz(shared, conn);
-            shared.metrics.healthz_latency.record(sw.elapsed_micros());
-        }
-        ("GET", "/metrics") => {
-            let sw = Stopwatch::start();
-            handle_metrics(shared, conn);
-            shared.metrics.metrics_latency.record(sw.elapsed_micros());
-        }
-        (_, "/expand") | (_, "/healthz") | (_, "/metrics") => {
-            write_error(
-                shared,
-                conn,
-                405,
-                &format!("method {} not allowed here", request.method),
-            );
-        }
-        (_, path) => {
-            write_error(shared, conn, 404, &format!("no route for `{path}`"));
+    }
+
+    fn json<T: serde::Serialize>(value: &T) -> Reply {
+        match serde_json::to_vec(value) {
+            Ok(body) => Reply {
+                status: 200,
+                cache_header: None,
+                body,
+            },
+            Err(err) => Reply::error(500, &format!("serialization failed: {err}")),
         }
     }
 }
 
-fn handle_expand(shared: &ServerShared, conn: &mut TcpStream, body: &[u8]) {
+fn route(shared: &ServerShared, conn: &mut TcpStream, request: &Request) {
+    let reply = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/expand") => {
+            let sw = Stopwatch::start();
+            let reply = handle_expand(shared, &request.body);
+            shared.metrics.expand_latency.record(sw.elapsed_micros());
+            reply
+        }
+        ("GET", "/healthz") => {
+            let sw = Stopwatch::start();
+            let reply = handle_healthz(shared);
+            shared.metrics.healthz_latency.record(sw.elapsed_micros());
+            reply
+        }
+        ("GET", "/metrics") => {
+            let sw = Stopwatch::start();
+            let reply = handle_metrics(shared);
+            shared.metrics.metrics_latency.record(sw.elapsed_micros());
+            reply
+        }
+        (_, "/expand") | (_, "/healthz") | (_, "/metrics") => {
+            Reply::error(405, &format!("method {} not allowed here", request.method))
+        }
+        (_, path) => Reply::error(404, &format!("no route for `{path}`")),
+    };
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(value) = reply.cache_header {
+        headers.push(("x-ultra-cache", value));
+    }
+    write_response(shared, conn, reply.status, &headers, &reply.body);
+}
+
+fn handle_expand(shared: &ServerShared, body: &[u8]) -> Reply {
     let request = match serde_json::from_slice::<crate::api::ExpandRequest>(body) {
         Ok(req) => req,
-        Err(err) => {
-            write_error(shared, conn, 400, &format!("invalid JSON body: {err}"));
-            return;
-        }
+        Err(err) => return Reply::error(400, &format!("invalid JSON body: {err}")),
     };
     let (method, query, top_k) = match shared.engine.resolve(&request) {
         Ok(resolved) => resolved,
-        Err(err) => {
-            write_error(shared, conn, 400, &format!("{err}"));
-            return;
-        }
+        Err(err) => return Reply::error(400, &format!("{err}")),
     };
     match shared.engine.expand(method, &query, top_k) {
         Ok((list, outcome)) => {
@@ -262,23 +293,18 @@ fn handle_expand(shared: &ServerShared, conn: &mut TcpStream, body: &[u8]) {
                 top_k,
                 list: (*list).clone(),
             };
-            match serde_json::to_vec(&response) {
-                Ok(json) => write_response(
-                    shared,
-                    conn,
-                    200,
-                    &[("x-ultra-cache", outcome.header_value())],
-                    &json,
-                ),
-                Err(err) => write_error(shared, conn, 500, &format!("serialization failed: {err}")),
+            let mut reply = Reply::json(&response);
+            if reply.status == 200 {
+                reply.cache_header = Some(outcome.header_value());
             }
+            reply
         }
-        Err(ServeError::BadRequest(msg)) => write_error(shared, conn, 400, &msg),
-        Err(err) => write_error(shared, conn, 500, &format!("{err}")),
+        Err(ServeError::BadRequest(msg)) => Reply::error(400, &msg),
+        Err(err) => Reply::error(500, &format!("{err}")),
     }
 }
 
-fn handle_healthz(shared: &ServerShared, conn: &mut TcpStream) {
+fn handle_healthz(shared: &ServerShared) -> Reply {
     let engine = &shared.engine;
     let health = HealthResponse {
         status: "ok".to_string(),
@@ -288,18 +314,12 @@ fn handle_healthz(shared: &ServerShared, conn: &mut TcpStream) {
         entities: engine.world().num_entities(),
         queries: engine.num_queries(),
     };
-    match serde_json::to_vec(&health) {
-        Ok(json) => write_response(shared, conn, 200, &[], &json),
-        Err(err) => write_error(shared, conn, 500, &format!("serialization failed: {err}")),
-    }
+    Reply::json(&health)
 }
 
-fn handle_metrics(shared: &ServerShared, conn: &mut TcpStream) {
+fn handle_metrics(shared: &ServerShared) -> Reply {
     let snapshot = shared.metrics_snapshot();
-    match serde_json::to_vec(&snapshot) {
-        Ok(json) => write_response(shared, conn, 200, &[], &json),
-        Err(err) => write_error(shared, conn, 500, &format!("serialization failed: {err}")),
-    }
+    Reply::json(&snapshot)
 }
 
 fn write_response(

@@ -217,8 +217,9 @@ fn cmd_eval(flags: &HashMap<String, String>) {
         .map(String::as_str)
         .unwrap_or("retexpan");
     let method = AnyMethod::build(method_name, &world);
-    eprintln!("evaluating over every query…");
-    let report = evaluate_method(&world, |u, q| method.expand(&world, u, q));
+    let pool = Pool::global();
+    eprintln!("evaluating over every query ({} threads)…", pool.threads());
+    let report = evaluate_method_par(&world, &pool, |u, q| method.expand(&world, u, q));
     println!("method: {method_name} ({} queries)", report.num_queries);
     println!("          @10     @20     @50     @100");
     println!(
@@ -282,11 +283,16 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         .any(|m| m.trim() == "genexpan")
         .then(GenExpanConfig::default);
 
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let config = EngineConfig {
         profile,
         seed,
         genexpan,
         cache_capacity: cache_cap,
+        threads,
         ..EngineConfig::default()
     };
     eprintln!(
@@ -332,14 +338,18 @@ USAGE:
   ultrawiki export  [--profile ...] [--out DIR]
   ultrawiki serve   [--profile ...] [--seed N] [--port N] [--workers N]
                     [--queue N] [--cache-cap N] [--methods retexpan[,genexpan]]
+
+Every command also accepts --threads N (data-parallel worker count for
+scoring/training/eval; overrides ULTRA_THREADS; output is byte-identical
+at any value).
 ";
 
 /// Flags each command accepts (unknown flags are reported, not ignored).
 fn known_flags(cmd: &str) -> &'static [&'static str] {
     match cmd {
-        "expand" => &["profile", "seed", "method", "query", "top"],
-        "eval" => &["profile", "seed", "method"],
-        "export" => &["profile", "seed", "out"],
+        "expand" => &["profile", "seed", "method", "query", "top", "threads"],
+        "eval" => &["profile", "seed", "method", "threads"],
+        "export" => &["profile", "seed", "out", "threads"],
         "serve" => &[
             "profile",
             "seed",
@@ -348,8 +358,17 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "queue",
             "cache-cap",
             "methods",
+            "threads",
         ],
-        _ => &["profile", "seed"],
+        _ => &["profile", "seed", "threads"],
+    }
+}
+
+/// Applies `--threads N` (overriding the `ULTRA_THREADS` environment
+/// variable) before any work runs. `0` or absence keeps the default.
+fn apply_threads(flags: &HashMap<String, String>) {
+    if let Some(n) = flags.get("threads").and_then(|s| s.parse().ok()) {
+        ultrawiki::par::set_threads(n);
     }
 }
 
@@ -371,6 +390,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    apply_threads(&flags);
     match cmd.as_str() {
         "stats" => cmd_stats(&flags),
         "classes" => cmd_classes(&flags),

@@ -53,6 +53,7 @@ pub use ultra_eval as eval;
 pub use ultra_genexpan as genexpan;
 pub use ultra_lm as lm;
 pub use ultra_nn as nn;
+pub use ultra_par as par;
 pub use ultra_retexpan as retexpan;
 pub use ultra_serve as serve;
 pub use ultra_text as text;
@@ -63,8 +64,11 @@ pub mod prelude {
     pub use ultra_core::{AttrConstraint, EntityId, Query, RankedList, UltraClass, UltraError};
     pub use ultra_data::{KnowledgeOracle, OracleConfig, World, WorldConfig, WorldStats};
     pub use ultra_embed::{Augmentation, EncoderConfig, EntityEncoder, PairConfig};
-    pub use ultra_eval::{evaluate_method, evaluate_method_filtered, MetricReport};
+    pub use ultra_eval::{
+        evaluate_method, evaluate_method_filtered, evaluate_method_par, MetricReport,
+    };
     pub use ultra_genexpan::{CotConfig, GenExpan, GenExpanConfig, GenRaSource};
+    pub use ultra_par::{set_threads, Pool};
     pub use ultra_retexpan::{mine_lists, RetExpan, RetExpanConfig};
     pub use ultra_serve::{EngineConfig, ExpansionEngine, Server, ServerConfig};
 }

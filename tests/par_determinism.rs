@@ -1,0 +1,116 @@
+//! Thread-count invariance: the `ultra-par` execution layer must produce
+//! *byte-identical* output at every worker count, not merely statistically
+//! equivalent output. Chunk boundaries are a pure function of input length
+//! and reductions combine in a fixed tree order, so `threads=1` and
+//! `threads=8` walk the same arithmetic — these tests pin that contract at
+//! the pipeline level, where a violation would actually corrupt results.
+
+use ultrawiki::embed::contrastive::train_contrastive;
+use ultrawiki::prelude::*;
+
+fn world() -> World {
+    World::generate(WorldConfig::tiny().with_seed(42)).expect("world generation")
+}
+
+fn quick_encoder() -> EncoderConfig {
+    EncoderConfig {
+        epochs: 2,
+        dim: 32,
+        neg_samples: 16,
+        max_sentences_per_entity: 6,
+        ..EncoderConfig::default()
+    }
+}
+
+/// Raw IEEE-754 bits of every `(entity, score)` pair in query order — any
+/// last-ulp drift between thread counts fails the comparison.
+fn run_fingerprint(world: &World, expand: impl Fn(&Query) -> RankedList) -> String {
+    world
+        .queries()
+        .map(|(_, q)| {
+            expand(q)
+                .entries()
+                .iter()
+                .map(|(e, s)| format!("{}:{:08x}", e.index(), s.to_bits()))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn ranked_lists_are_byte_identical_at_every_thread_count() {
+    let world = world();
+    let model = RetExpan::train(&world, quick_encoder(), RetExpanConfig::default());
+    let mut prints = Vec::new();
+    for threads in [1usize, 2, 8] {
+        set_threads(threads);
+        prints.push((
+            threads,
+            run_fingerprint(&world, |q| model.expand(&world, q)),
+        ));
+    }
+    set_threads(0);
+    assert!(!prints[0].1.is_empty(), "fingerprint must cover queries");
+    for (threads, fp) in &prints[1..] {
+        assert_eq!(
+            &prints[0].1, fp,
+            "RetExpan output diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn contrastive_loss_curves_are_bit_identical_at_every_thread_count() {
+    let world = world();
+    let model = RetExpan::train(&world, quick_encoder(), RetExpanConfig::default());
+    let oracle = KnowledgeOracle::new(&world, OracleConfig::default());
+    let mined = mine_lists(&world, &model, &oracle, 10, 5);
+    let pair_cfg = PairConfig::default();
+
+    let mut curves = Vec::new();
+    for threads in [1usize, 2, 8] {
+        set_threads(threads);
+        let mut enc = model.encoder.clone();
+        let losses = train_contrastive(&mut enc, &world, &mined, &pair_cfg);
+        curves.push((threads, losses));
+    }
+    set_threads(0);
+    let (_, base) = &curves[0];
+    assert!(!base.is_empty(), "training must run at least one batch");
+    for (threads, losses) in &curves[1..] {
+        assert_eq!(base.len(), losses.len());
+        for (i, (a, b)) in base.iter().zip(losses).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "loss curve bit-diverged at batch {i} between 1 and {threads} threads \
+                 ({a} vs {b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_eval_matches_sequential_eval_bitwise() {
+    let world = world();
+    let model = RetExpan::train(&world, quick_encoder(), RetExpanConfig::default());
+    let seq = evaluate_method(&world, |_u, q| model.expand(&world, q));
+    for threads in [1usize, 2, 8] {
+        let par = evaluate_method_par(&world, &Pool::new(threads), |_u, q| model.expand(&world, q));
+        assert_eq!(seq.num_queries, par.num_queries);
+        for k in 0..seq.pos_map.len() {
+            assert_eq!(
+                seq.pos_map[k].to_bits(),
+                par.pos_map[k].to_bits(),
+                "pos MAP@{k} diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq.neg_map[k].to_bits(),
+                par.neg_map[k].to_bits(),
+                "neg MAP@{k} diverged at {threads} threads"
+            );
+        }
+    }
+}
