@@ -204,6 +204,7 @@ impl EntityEncoder {
 
     /// One sampled-softmax SGD step. Exposed for the alternating
     /// entity-prediction/contrastive schedule.
+    // ultra-lint: hot
     pub(crate) fn entity_prediction_step(
         &mut self,
         bag: &[TokenId],
@@ -217,6 +218,7 @@ impl EntityEncoder {
         while cands.len() <= self.cfg.neg_samples {
             let c = rng.gen_range(0..self.num_entities);
             if c != gold.index() {
+                // ultra-lint: allow(no-alloc-in-hot-loop) bounded by neg_samples+1 and inside the with_capacity reservation above — never reallocates
                 cands.push(c);
             }
         }

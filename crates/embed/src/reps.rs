@@ -135,20 +135,22 @@ impl EntityEmbeddings {
 
     /// [`seed_score`](Self::seed_score) for every entity, blocked over
     /// contiguous row ranges and parallelized on `pool`. Output index `i`
-    /// is entity `i`'s score; bit-identical at any thread count.
+    /// is entity `i`'s score; bit-identical at any thread count. Rows are
+    /// dispatched as index ranges (`Pool::ranges_map_ordered`), so scoring
+    /// N entities allocates no N-sized scratch beyond the output itself.
+    // ultra-lint: hot
     pub fn seed_scores_all(&self, seeds: &[EntityId], pool: &Pool) -> Vec<f32> {
         let Some(q) = self.seed_query(seeds) else {
             return vec![0.0; self.len()];
         };
-        let pool = self.effective_pool(self.len(), pool);
-        let rows: Vec<u32> = (0..self.len() as u32).collect();
-        pool.chunks_map_ordered(&rows, |start, chunk| {
-            let mut block = self.mat.score_batch(&q, start..start + chunk.len());
-            for (s, &r) in block.iter_mut().zip(chunk) {
-                *s *= self.inv_norms[r as usize];
-            }
-            block
-        })
+        self.effective_pool(self.len(), pool)
+            .ranges_map_ordered(self.len(), |rows| {
+                let mut block = self.mat.score_batch(&q, rows.clone());
+                for (s, r) in block.iter_mut().zip(rows) {
+                    *s *= self.inv_norms[r];
+                }
+                block
+            })
     }
 
     /// [`seed_score`](Self::seed_score) for an arbitrary entity subset,

@@ -1,0 +1,608 @@
+//! Workspace call graph and the interprocedural rules L7–L9.
+//!
+//! Name resolution is heuristic and layered: a call from file `F` in crate
+//! `C` to `name` resolves to (1) every non-test `fn name` in `F` itself,
+//! else (2) every one in `C`, else (3) every one in a workspace crate that
+//! `F` imports (`use ultra_<k>::…` / `use ultrawiki::…`). Anything else is
+//! *unresolved*: counted in [`CrossAnalysis::unresolved_calls`] and never
+//! traversed, so the graph over-approximates within the workspace and is
+//! explicit about what it cannot see (std / vendored deps). Multiple
+//! same-name matches all become edges — reachability may report a chain
+//! through a same-named sibling, which errs toward reporting.
+//!
+//! - **L7** walks breadth-first from the serve entry points (`handle_*` in
+//!   `crates/serve/**/api.rs` / `server.rs`, and `worker_loop` in
+//!   `pool.rs`) and flags every reachable panic source with its full call
+//!   chain. `unwrap`/`expect`/panic-macros count in any library crate;
+//!   indexing counts only inside `crates/serve` (index-heavy numeric kernels
+//!   are L4/L9 territory — flagging every `m[i]` reachable through the
+//!   engine would drown the signal). Calls and panic sites inside a
+//!   `catch_unwind(..)` argument are skipped: the panic cannot escape.
+//! - **L8** computes, per crate, each function's directly-acquired lock
+//!   fields plus (to a fixpoint) the locks acquired by its same-crate
+//!   callees, then flags any pair of lock fields acquired in both orders.
+//!   Lock scopes are not tracked — a guard dropped before the second
+//!   acquisition still counts, which again errs toward reporting.
+//! - **L9** flags allocation calls inside loop bodies of functions carrying
+//!   a `// ultra-lint: hot` marker.
+
+use crate::parser::{FileModel, LockKind, PanicKind};
+use crate::rules::{ChainFrame, Diagnostic, Rule};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Result of the cross-file analysis.
+pub struct CrossAnalysis {
+    /// L7/L8/L9 findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Call sites (in non-test library functions) that resolved to no
+    /// workspace function — std, vendored deps, methods on foreign types.
+    /// Reported so the over-approximation boundary stays visible.
+    pub unresolved_calls: usize,
+}
+
+/// A function's global identity: (file index, fn index within the file).
+type FnId = (usize, usize);
+
+struct Graph<'a> {
+    models: &'a [FileModel],
+    /// (crate key, fn name) → definitions, in (file, fn) order.
+    by_crate: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
+}
+
+impl<'a> Graph<'a> {
+    fn build(models: &'a [FileModel]) -> Graph<'a> {
+        let mut by_crate: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        for (fi, m) in models.iter().enumerate() {
+            for (fj, f) in m.fns.iter().enumerate() {
+                if f.in_test || m.krate.is_empty() {
+                    continue;
+                }
+                by_crate
+                    .entry((m.krate.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push((fi, fj));
+            }
+        }
+        Graph { models, by_crate }
+    }
+
+    /// Resolves a call made in `file` to workspace definitions (see the
+    /// module docs for the same-file → same-crate → imports layering).
+    /// Empty means unresolved.
+    fn resolve(&self, file: usize, callee: &str) -> Vec<FnId> {
+        let m = &self.models[file];
+        let same_file: Vec<FnId> = m
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.in_test && f.name == callee)
+            .map(|(fj, _)| (file, fj))
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        if let Some(hits) = self.by_crate.get(&(m.krate.as_str(), callee)) {
+            if !hits.is_empty() {
+                return hits.clone();
+            }
+        }
+        let mut out = Vec::new();
+        for key in &m.imports {
+            if *key == m.krate {
+                continue;
+            }
+            if let Some(hits) = self.by_crate.get(&(key.as_str(), callee)) {
+                out.extend(hits.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Same-crate-only resolution (L8's scope: lock fields are per crate).
+    fn resolve_in_crate(&self, file: usize, callee: &str) -> Vec<FnId> {
+        let m = &self.models[file];
+        let same_file: Vec<FnId> = m
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.in_test && f.name == callee)
+            .map(|(fj, _)| (file, fj))
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        self.by_crate
+            .get(&(m.krate.as_str(), callee))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Runs L7, L8, and L9 over the per-file models of every library file.
+pub fn check_cross(models: &[FileModel]) -> CrossAnalysis {
+    let graph = Graph::build(models);
+    let mut diagnostics = Vec::new();
+    check_panic_reachability(&graph, &mut diagnostics);
+    check_lock_order(&graph, &mut diagnostics);
+    check_hot_loops(models, &mut diagnostics);
+
+    let mut unresolved = 0usize;
+    for (fi, m) in models.iter().enumerate() {
+        for f in &m.fns {
+            if f.in_test {
+                continue;
+            }
+            unresolved += f
+                .calls
+                .iter()
+                .filter(|c| graph.resolve(fi, &c.callee).is_empty())
+                .count();
+        }
+    }
+    CrossAnalysis {
+        diagnostics,
+        unresolved_calls: unresolved,
+    }
+}
+
+/// Whether a function is an L7 entry point: a request handler or the worker
+/// loop in `crates/serve`.
+fn is_serve_entry(path: &str, name: &str) -> bool {
+    if !path.starts_with("crates/serve/") {
+        return false;
+    }
+    (name.starts_with("handle_") && (path.ends_with("/api.rs") || path.ends_with("/server.rs")))
+        || (name == "worker_loop" && path.ends_with("/pool.rs"))
+}
+
+/// L7 — BFS from each serve entry; every reachable unguarded panic source
+/// is a finding, reported once with the first (shortest, lowest-entry)
+/// chain that reaches it.
+fn check_panic_reachability(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
+    let mut entries: Vec<FnId> = Vec::new();
+    for (fi, m) in graph.models.iter().enumerate() {
+        for (fj, f) in m.fns.iter().enumerate() {
+            if !f.in_test && is_serve_entry(&m.path, &f.name) {
+                entries.push((fi, fj));
+            }
+        }
+    }
+    entries.sort_by(|a, b| {
+        let (ma, mb) = (&graph.models[a.0], &graph.models[b.0]);
+        (&ma.path, ma.fns[a.1].line).cmp(&(&mb.path, mb.fns[b.1].line))
+    });
+
+    // (path, line, kind tag) → already reported.
+    let mut reported: BTreeSet<(String, u32, u8)> = BTreeSet::new();
+    for &entry in &entries {
+        let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut seen: BTreeSet<FnId> = BTreeSet::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        seen.insert(entry);
+        queue.push_back(entry);
+        while let Some(id) = queue.pop_front() {
+            let m = &graph.models[id.0];
+            let f = &m.fns[id.1];
+            for site in &f.panics {
+                if site.guarded {
+                    continue;
+                }
+                if site.kind == PanicKind::Index && !m.path.starts_with("crates/serve/") {
+                    continue;
+                }
+                let key = (m.path.clone(), site.line, site.kind as u8);
+                if reported.contains(&key) {
+                    continue;
+                }
+                reported.insert(key);
+                let entry_name = &graph.models[entry.0].fns[entry.1].name;
+                out.push(Diagnostic {
+                    rule: Rule::NoPanicReachableFromServe,
+                    severity: Rule::NoPanicReachableFromServe.severity(),
+                    path: m.path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "{}; reachable from serve entry `{entry_name}`",
+                        site.kind.describe(&site.what)
+                    ),
+                    suggestion: "return an error (or pre-validate) on serve paths — a panic \
+                                 here kills a worker; waive only with a bounds/invariant proof",
+                    chain: chain_to(graph, &parent, entry, id),
+                });
+            }
+            for call in &f.calls {
+                if call.guarded {
+                    continue;
+                }
+                for target in graph.resolve(id.0, &call.callee) {
+                    if seen.insert(target) {
+                        parent.insert(target, id);
+                        queue.push_back(target);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The entry→…→sink chain recorded by the BFS parent pointers.
+fn chain_to(
+    graph: &Graph<'_>,
+    parent: &BTreeMap<FnId, FnId>,
+    entry: FnId,
+    sink: FnId,
+) -> Vec<ChainFrame> {
+    let mut frames = Vec::new();
+    let mut cur = sink;
+    loop {
+        let m = &graph.models[cur.0];
+        let f = &m.fns[cur.1];
+        frames.push(ChainFrame {
+            function: f.name.clone(),
+            path: m.path.clone(),
+            line: f.line,
+        });
+        if cur == entry {
+            break;
+        }
+        match parent.get(&cur) {
+            Some(&p) => cur = p,
+            None => break,
+        }
+    }
+    frames.reverse();
+    frames
+}
+
+/// L8 — per crate: direct + transitive lock sets, then both-order pairs.
+fn check_lock_order(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
+    // Crate key → lock field name → kind.
+    let mut fields: BTreeMap<&str, BTreeMap<&str, LockKind>> = BTreeMap::new();
+    for m in graph.models {
+        for lf in &m.lock_fields {
+            fields
+                .entry(m.krate.as_str())
+                .or_default()
+                .entry(lf.name.as_str())
+                .or_insert(lf.kind);
+        }
+    }
+
+    for (krate, known) in &fields {
+        // Direct acquisitions per fn, in token order: (tok, field, line).
+        let mut direct: BTreeMap<FnId, Vec<(usize, String, u32)>> = BTreeMap::new();
+        for (fi, m) in graph.models.iter().enumerate() {
+            if m.krate != *krate {
+                continue;
+            }
+            for (fj, f) in m.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                let mut acqs = Vec::new();
+                for site in &f.locks {
+                    let field = if site.via_method {
+                        // A helper that exposes a lock: attribute the
+                        // acquisition to the single known field its body
+                        // references (ambiguous helpers are skipped).
+                        let mut touched: BTreeSet<&str> = BTreeSet::new();
+                        for target in graph.resolve_in_crate(fi, &site.target) {
+                            let tf = &graph.models[target.0].fns[target.1];
+                            for r in &tf.field_refs {
+                                if known.contains_key(r.as_str()) {
+                                    touched.insert(r);
+                                }
+                            }
+                        }
+                        if touched.len() == 1 {
+                            touched.into_iter().next().map(String::from)
+                        } else {
+                            None
+                        }
+                    } else if known.contains_key(site.target.as_str()) {
+                        Some(site.target.clone())
+                    } else {
+                        None
+                    };
+                    let Some(field) = field else { continue };
+                    let compatible = match known[field.as_str()] {
+                        LockKind::Mutex => site.method == "lock",
+                        LockKind::RwLock => site.method == "read" || site.method == "write",
+                    };
+                    if compatible {
+                        acqs.push((site.tok, field, site.line));
+                    }
+                }
+                if !acqs.is_empty() || !f.calls.is_empty() {
+                    direct.insert((fi, fj), acqs);
+                }
+            }
+        }
+
+        // Transitive lock set per fn (fixpoint over same-crate calls).
+        let mut transitive: BTreeMap<FnId, BTreeSet<String>> = direct
+            .iter()
+            .map(|(id, acqs)| (*id, acqs.iter().map(|(_, f, _)| f.clone()).collect()))
+            .collect();
+        loop {
+            let mut changed = false;
+            let ids: Vec<FnId> = transitive.keys().copied().collect();
+            for id in ids {
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for call in &graph.models[id.0].fns[id.1].calls {
+                    for target in graph.resolve_in_crate(id.0, &call.callee) {
+                        if target == id {
+                            continue;
+                        }
+                        if let Some(set) = transitive.get(&target) {
+                            add.extend(set.iter().cloned());
+                        }
+                    }
+                }
+                let set = transitive.entry(id).or_default();
+                let before = set.len();
+                set.extend(add);
+                if set.len() != before {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Ordered-pair edges: field A held (over-approximately) when B is
+        // acquired — directly later in the same fn, or inside a later call.
+        let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+        for (id, acqs) in &direct {
+            let m = &graph.models[id.0];
+            let f = &m.fns[id.1];
+            for (tok_a, a, _) in acqs {
+                for (tok_b, b, line_b) in acqs {
+                    if tok_b > tok_a && a != b {
+                        edges
+                            .entry((a.clone(), b.clone()))
+                            .or_insert_with(|| (m.path.clone(), *line_b));
+                    }
+                }
+                for call in &f.calls {
+                    if call.tok <= *tok_a {
+                        continue;
+                    }
+                    for target in graph.resolve_in_crate(id.0, &call.callee) {
+                        if target == *id {
+                            continue;
+                        }
+                        let Some(set) = transitive.get(&target) else {
+                            continue;
+                        };
+                        for b in set {
+                            if b != a {
+                                edges
+                                    .entry((a.clone(), b.clone()))
+                                    .or_insert_with(|| (m.path.clone(), call.line));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut flagged: BTreeSet<(String, String)> = BTreeSet::new();
+        for ((a, b), (path, line)) in &edges {
+            if a >= b || flagged.contains(&(a.clone(), b.clone())) {
+                continue;
+            }
+            let Some((rev_path, rev_line)) = edges.get(&(b.clone(), a.clone())) else {
+                continue;
+            };
+            flagged.insert((a.clone(), b.clone()));
+            out.push(Diagnostic {
+                rule: Rule::LockOrder,
+                severity: Rule::LockOrder.severity(),
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "locks `{a}` and `{b}` are acquired in both orders: \
+                     `{a}` then `{b}` here, `{b}` then `{a}` at {rev_path}:{rev_line} \
+                     — two threads taking opposite orders deadlock"
+                ),
+                suggestion: "pick one global acquisition order, document it on the struct \
+                             owning the locks, and release the first guard before crossing \
+                             into code that takes the other",
+                chain: Vec::new(),
+            });
+        }
+    }
+}
+
+/// L9 — allocations inside loops of `// ultra-lint: hot` functions.
+fn check_hot_loops(models: &[FileModel], out: &mut Vec<Diagnostic>) {
+    for m in models {
+        for f in &m.fns {
+            if !f.hot || f.in_test {
+                continue;
+            }
+            for site in &f.allocs_in_loops {
+                out.push(Diagnostic {
+                    rule: Rule::NoAllocInHotLoop,
+                    severity: Rule::NoAllocInHotLoop.severity(),
+                    path: m.path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "`{}` allocates inside a loop of hot function `{}`",
+                        site.what, f.name
+                    ),
+                    suggestion: "hoist the allocation out of the loop (pre-size a buffer with \
+                                 `with_capacity` and reuse it) or restructure into a bulk \
+                                 operation outside the loop",
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_code_mask};
+    use crate::parser;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files
+            .iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let mask = test_code_mask(&lexed.tokens);
+                parser::build(path, &lexed, &mask)
+            })
+            .collect()
+    }
+
+    fn run(files: &[(&str, &str)]) -> CrossAnalysis {
+        check_cross(&models(files))
+    }
+
+    #[test]
+    fn l7_reports_a_cross_crate_chain_three_deep() {
+        let server = "use ultra_core::decode;\n\
+                      pub fn handle_expand(b: &[u8]) -> u32 { parse_request(b) }\n\
+                      fn parse_request(b: &[u8]) -> u32 { decode(b) }";
+        let core = "pub fn decode(b: &[u8]) -> u32 { inner(b) }\n\
+                    fn inner(b: &[u8]) -> u32 { b.first().copied().map(u32::from).unwrap() }";
+        let analysis = run(&[
+            ("crates/serve/src/server.rs", server),
+            ("crates/core/src/lib.rs", core),
+        ]);
+        let l7: Vec<&Diagnostic> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::NoPanicReachableFromServe)
+            .collect();
+        assert_eq!(l7.len(), 1, "{:?}", analysis.diagnostics);
+        let d = l7[0];
+        assert_eq!(d.path, "crates/core/src/lib.rs");
+        assert_eq!(d.line, 2);
+        let names: Vec<&str> = d.chain.iter().map(|c| c.function.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["handle_expand", "parse_request", "decode", "inner"],
+            "full chain from the entry to the panicking fn"
+        );
+    }
+
+    #[test]
+    fn l7_skips_guarded_calls_test_fns_and_non_serve_indexing() {
+        let server = "pub fn handle_x(v: &[u32]) -> u32 {\n\
+                      let g = std::panic::catch_unwind(|| risky());\n\
+                      safe(v)\n\
+                      }\n\
+                      fn risky() { panic!(\"contained\"); }\n\
+                      fn safe(v: &[u32]) -> u32 { crunch(v) }\n\
+                      fn crunch(v: &[u32]) -> u32 { v.iter().sum() }\n\
+                      #[cfg(test)]\nmod t { fn handle_fake() { x.unwrap(); } }";
+        let analysis = run(&[("crates/serve/src/server.rs", server)]);
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "{:?}",
+            analysis.diagnostics
+        );
+        // The same indexing that is exempt outside serve fires inside it.
+        let nn = "pub fn kernel(v: &[u32]) -> u32 { v[0] }";
+        let serve_calls_nn = "use ultra_nn::kernel;\n\
+                              pub fn handle_y(v: &[u32]) -> u32 { kernel(v) }";
+        let analysis = run(&[
+            ("crates/serve/src/api.rs", serve_calls_nn),
+            ("crates/nn/src/lib.rs", nn),
+        ]);
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "indexing outside crates/serve is not an L7 finding: {:?}",
+            analysis.diagnostics
+        );
+        let serve_indexing = "pub fn handle_z(v: &[u32]) -> u32 { pick(v) }\n\
+                              fn pick(v: &[u32]) -> u32 { v[0] }";
+        let analysis = run(&[("crates/serve/src/server.rs", serve_indexing)]);
+        assert_eq!(analysis.diagnostics.len(), 1);
+        assert_eq!(analysis.diagnostics[0].line, 2);
+    }
+
+    #[test]
+    fn l7_dedupes_a_site_reachable_from_two_entries() {
+        let server = "pub fn handle_a(x: Option<u32>) -> u32 { shared(x) }\n\
+                      pub fn handle_b(x: Option<u32>) -> u32 { shared(x) }\n\
+                      fn shared(x: Option<u32>) -> u32 { x.unwrap() }";
+        let analysis = run(&[("crates/serve/src/server.rs", server)]);
+        let l7: Vec<&Diagnostic> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::NoPanicReachableFromServe)
+            .collect();
+        assert_eq!(l7.len(), 1, "one finding despite two entries");
+        assert_eq!(l7[0].chain[0].function, "handle_a", "lowest entry wins");
+    }
+
+    #[test]
+    fn l8_flags_locks_taken_in_both_orders_including_via_calls() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                   fn fwd(&self) { let ga = self.a.lock(); self.b.lock(); }\n\
+                   fn take_a(&self) { self.a.lock(); }\n\
+                   fn rev(&self) { let gb = self.b.lock(); self.take_a(); }\n\
+                   }";
+        let analysis = run(&[("crates/serve/src/cache.rs", src)]);
+        let l8: Vec<&Diagnostic> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::LockOrder)
+            .collect();
+        assert_eq!(l8.len(), 1, "{:?}", analysis.diagnostics);
+        assert!(l8[0].message.contains("`a` and `b`"));
+    }
+
+    #[test]
+    fn l8_is_quiet_for_consistent_order_and_self_loops() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32>, shards: Vec<Mutex<u32>> }\n\
+                   impl S {\n\
+                   fn one(&self) { let ga = self.a.lock(); self.b.lock(); }\n\
+                   fn two(&self) { let ga = self.a.lock(); self.b.lock(); }\n\
+                   fn stats(&self) { for s in &self.shards { s.lock(); } }\n\
+                   }";
+        let analysis = run(&[("crates/serve/src/cache.rs", src)]);
+        assert!(
+            analysis
+                .diagnostics
+                .iter()
+                .all(|d| d.rule != Rule::LockOrder),
+            "{:?}",
+            analysis.diagnostics
+        );
+    }
+
+    #[test]
+    fn l9_fires_only_in_hot_fns() {
+        let src = "// ultra-lint: hot\n\
+                   fn kernel(v: &[u32], out: &mut Vec<u32>) {\n\
+                   for x in v { out.push(*x); }\n\
+                   }\n\
+                   fn cold(v: &[u32], out: &mut Vec<u32>) { for x in v { out.push(*x); } }";
+        let analysis = run(&[("crates/nn/src/ops.rs", src)]);
+        let l9: Vec<(&str, u32)> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::NoAllocInHotLoop)
+            .map(|d| (d.path.as_str(), d.line))
+            .collect();
+        assert_eq!(l9, vec![("crates/nn/src/ops.rs", 3)]);
+    }
+
+    #[test]
+    fn unresolved_calls_are_counted_not_dropped() {
+        let src = "pub fn f() { std::fs::read(\"x\").ok(); mystery(); }";
+        let analysis = run(&[("crates/core/src/lib.rs", src)]);
+        // `read`, `ok`, and `mystery` all resolve to nothing here.
+        assert!(analysis.unresolved_calls >= 2);
+        assert!(analysis.diagnostics.is_empty());
+    }
+}

@@ -89,6 +89,21 @@ impl Allowlist {
                 if reason.trim().is_empty() {
                     return Err(err("`reason` must not be empty".into()));
                 }
+                // A duplicated (rule, path, line) entry is rot: the second
+                // copy can never match anything the first did not already
+                // waive, yet both read as live policy.
+                if entries
+                    .iter()
+                    .any(|e| e.rule == rule && e.path == path && e.line == line)
+                {
+                    let at_line = line.map(|l| format!(":{l}")).unwrap_or_default();
+                    return Err(err(format!(
+                        "duplicate [[allow]] entry for `{} @ {}{}`",
+                        rule.name(),
+                        path,
+                        at_line
+                    )));
+                }
                 entries.push(AllowEntry {
                     rule,
                     path,
@@ -216,6 +231,7 @@ reason = "feeds a commutative integer sum"
             line: 10,
             message: String::new(),
             suggestion: "",
+            chain: Vec::new(),
         };
         assert!(list.entries[0].matches(&d));
         assert!(!list.entries[1].matches(&d));
@@ -227,6 +243,7 @@ reason = "feeds a commutative integer sum"
             line: 999,
             message: String::new(),
             suggestion: "",
+            chain: Vec::new(),
         };
         assert!(list.entries[1].matches(&d2));
     }
@@ -242,6 +259,26 @@ reason = "feeds a commutative integer sum"
         let toml = "[[allow]]\nrule = \"no-such-rule\"\npath = \"x.rs\"\nreason = \"r\"\n";
         let err = Allowlist::parse(toml).unwrap_err();
         assert!(err.message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected_with_the_duplicate_location() {
+        let one =
+            "[[allow]]\nrule = \"no-panic-in-lib\"\npath = \"x.rs\"\nline = 7\nreason = \"a\"\n";
+        let dup = format!("{one}\n{one}");
+        let err = Allowlist::parse(&dup).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{}", err.message);
+        assert_eq!(err.line, 7, "error points at the second entry's header");
+
+        // File-wide duplicates (both without `line`) are duplicates too.
+        let wide =
+            "[[allow]]\nrule = \"no-wallclock-in-scoring\"\npath = \"m.rs\"\nreason = \"a\"\n";
+        assert!(Allowlist::parse(&format!("{wide}\n{wide}")).is_err());
+
+        // Same rule+path at *different* lines is two distinct waivers.
+        let two_lines = "[[allow]]\nrule = \"no-panic-in-lib\"\npath = \"x.rs\"\nline = 7\nreason = \"a\"\n\
+                         [[allow]]\nrule = \"no-panic-in-lib\"\npath = \"x.rs\"\nline = 9\nreason = \"b\"\n";
+        assert_eq!(Allowlist::parse(two_lines).expect("ok").entries.len(), 2);
     }
 
     #[test]

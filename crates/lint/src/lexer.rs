@@ -68,6 +68,9 @@ pub struct Lexed {
     pub tokens: Vec<Tok>,
     /// Inline waivers, in source order.
     pub allows: Vec<InlineAllow>,
+    /// Lines carrying an `ultra-lint: hot` marker. The marker attaches to
+    /// the next function definition at or below it (L9's scope).
+    pub hots: Vec<u32>,
 }
 
 /// Lexes Rust source. Unterminated literals or comments simply end the
@@ -97,7 +100,7 @@ pub fn lex(src: &str) -> Lexed {
                     .iter()
                     .position(|&b| b == b'\n')
                     .map_or(bytes.len(), |p| i + p);
-                scan_directive(&src[i..end], line, &mut out.allows);
+                scan_directive(&src[i..end], line, &mut out);
                 i = end;
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
@@ -116,7 +119,7 @@ pub fn lex(src: &str) -> Lexed {
                         i += 1;
                     }
                 }
-                scan_directive(&src[start..i], start_line, &mut out.allows);
+                scan_directive(&src[start..i], start_line, &mut out);
                 line += count_lines(start, i.min(bytes.len()));
             }
             b'"' => {
@@ -260,13 +263,18 @@ fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
     false
 }
 
-/// Extracts `ultra-lint: allow(rule-a, rule-b)` from a comment's text.
-fn scan_directive(comment: &str, line: u32, allows: &mut Vec<InlineAllow>) {
+/// Extracts `ultra-lint: allow(rule-a, rule-b)` or `ultra-lint: hot` from a
+/// comment's text.
+fn scan_directive(comment: &str, line: u32, out: &mut Lexed) {
     let Some(pos) = comment.find("ultra-lint:") else {
         return;
     };
     let rest = &comment[pos + "ultra-lint:".len()..];
     let rest = rest.trim_start();
+    if rest == "hot" || rest.starts_with("hot ") || rest.starts_with("hot:") {
+        out.hots.push(line);
+        return;
+    }
     let Some(args) = rest.strip_prefix("allow(") else {
         return;
     };
@@ -279,7 +287,7 @@ fn scan_directive(comment: &str, line: u32, allows: &mut Vec<InlineAllow>) {
         .filter(|r| !r.is_empty())
         .collect();
     if !rules.is_empty() {
-        allows.push(InlineAllow { line, rules });
+        out.allows.push(InlineAllow { line, rules });
     }
 }
 
@@ -447,6 +455,88 @@ mod tests {
         assert!(!mask[pos_of("x")]);
         assert!(mask[pos_of("y")]);
         assert!(!mask[pos_of("lib2")]);
+    }
+
+    #[test]
+    fn hot_markers_are_collected_with_their_lines() {
+        let src = "fn cold() {}\n// ultra-lint: hot\nfn kernel() {}\n// ultra-lint: hot (blocked scoring)\nfn kernel2() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.hots, vec![2, 4]);
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn hot_marker_requires_the_exact_word() {
+        // `hotel` or `allow(...)` must not register as a hot marker.
+        let lexed = lex("// ultra-lint: hotel\n// ultra-lint: allow(no-panic-in-lib) r\nfn f() {}");
+        assert!(lexed.hots.is_empty());
+        assert_eq!(lexed.allows.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_span_lines_and_hide_contents() {
+        let src =
+            "let s = r##\"first \"# not the end\nthread_rng() // not a comment\n\"##;\nafter();";
+        let lexed = lex(src);
+        let ids: Vec<&str> = lexed.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(ids, vec!["let", "s", "after"], "raw contents invisible");
+        let after = lexed.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4, "newlines inside the raw string counted");
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* outer /* inner */ still_comment() */\nreal();\n/* /* /* deep */ */ also_comment() */\nreal2();";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["real", "real2"]);
+        let lexed = lex(src);
+        let real2 = lexed.tokens.iter().find(|t| t.is_ident("real2")).unwrap();
+        assert_eq!(real2.line, 4, "multi-line nested comments keep line counts");
+    }
+
+    #[test]
+    fn lifetimes_escaped_chars_and_quote_chars_disambiguate() {
+        // 'a' is a char; '\n' is a char; 'a (no closing quote) is a lifetime;
+        // '_ in `&'_ str` is a lifetime too.
+        let src = "fn f<'long_name>(x: &'_ str) { let c = 'a'; let n = '\\n'; let q = '\\''; }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2, "'long_name and '_");
+        assert_eq!(literals, 3, "'a', '\\n', '\\''");
+        // The lexer must not lose the identifiers that follow the literals.
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("q")));
+    }
+
+    #[test]
+    fn test_mask_ends_exactly_at_the_closing_brace() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { inner(); } }\nfn lib_after() { outer(); }";
+        let lexed = lex(src);
+        let mask = test_code_mask(&lexed.tokens);
+        let pos_of = |name: &str| lexed.tokens.iter().position(|t| t.is_ident(name)).unwrap();
+        assert!(mask[pos_of("inner")]);
+        assert!(!mask[pos_of("lib_after")], "mask stops at the balanced }}");
+        assert!(!mask[pos_of("outer")]);
+    }
+
+    #[test]
+    fn test_mask_handles_bodyless_cfg_test_items() {
+        // `#[cfg(test)] use …;` has no braces: the mask must stop at the `;`
+        // instead of swallowing the next item's body.
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() { x.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_code_mask(&lexed.tokens);
+        let pos_of = |name: &str| lexed.tokens.iter().position(|t| t.is_ident(name)).unwrap();
+        assert!(mask[pos_of("HashMap")]);
+        assert!(!mask[pos_of("unwrap")], "the following fn is live code");
     }
 
     #[test]

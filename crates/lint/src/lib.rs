@@ -21,6 +21,19 @@
 //!   outside `crates/par` (the deterministic execution layer) and
 //!   `crates/serve` (long-lived request workers).
 //!
+//! Three further rules are *interprocedural*: they run over a heuristic
+//! whole-workspace call graph (see [`parser`] and [`callgraph`]) instead of
+//! one file at a time:
+//!
+//! * **L7 `no-panic-reachable-from-serve`** — no `unwrap`/`expect`/panic
+//!   macro/slice-indexing panic source transitively reachable from a serve
+//!   entry point (`handle_*`, the pool worker loop); findings carry the
+//!   full entry→panic call chain.
+//! * **L8 `lock-order`** — no pair of `Mutex`/`RwLock` fields acquired in
+//!   both orders anywhere in a crate (deadlock hazard).
+//! * **L9 `no-alloc-in-hot-loop`** — no `push`/`collect`/`to_vec`/`clone`/
+//!   `format!` inside loops of functions marked `// ultra-lint: hot`.
+//!
 //! Findings carry `file:line` locations, severities, and fix suggestions.
 //! Audited exceptions live in the workspace-root `lint.toml` (each with a
 //! mandatory justification) or as inline `// ultra-lint: allow(rule)`
@@ -28,8 +41,10 @@
 //! `#[test]` (`crates/lint/tests/workspace_clean.rs`), so tier-1 fails on
 //! any new violation.
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use config::Allowlist;
@@ -64,6 +79,9 @@ pub struct Report {
     pub stale_allows: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Call sites the graph could not resolve to a workspace function
+    /// (std, vendored deps) — the visible boundary of what L7/L8 can see.
+    pub unresolved_calls: usize,
 }
 
 impl Report {
@@ -114,8 +132,7 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
     collect_rs_files(root, &mut files)?;
     files.sort(); // deterministic scan order → deterministic output
 
-    let mut report = Report::default();
-    let mut allow_used = vec![false; allowlist.entries.len()];
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -123,20 +140,32 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = std::fs::read_to_string(file).map_err(|e| LintError::Io(file.clone(), e))?;
-        report.files_scanned += 1;
-        for d in check_source(&rel, &source) {
-            let mut waived = false;
-            for (i, entry) in allowlist.entries.iter().enumerate() {
-                if entry.matches(&d) {
-                    allow_used[i] = true;
-                    waived = true;
-                }
+        sources.push((rel, source));
+    }
+
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    let outcome = check_sources(&borrowed);
+    report.unresolved_calls = outcome.unresolved_calls;
+    let mut allow_used = vec![false; allowlist.entries.len()];
+    for d in outcome.diagnostics {
+        let mut waived = false;
+        for (i, entry) in allowlist.entries.iter().enumerate() {
+            if entry.matches(&d) {
+                allow_used[i] = true;
+                waived = true;
             }
-            if waived {
-                report.allowed.push(d);
-            } else {
-                report.violations.push(d);
-            }
+        }
+        if waived {
+            report.allowed.push(d);
+        } else {
+            report.violations.push(d);
         }
     }
     for (i, entry) in allowlist.entries.iter().enumerate() {
@@ -159,28 +188,67 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
     Ok(report)
 }
 
-/// Lints one file's source text (the unit tests' and fixtures' entry point).
-/// Inline `ultra-lint: allow(...)` directives are applied here; `lint.toml`
-/// waivers are applied by [`run_workspace`].
-pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(source);
-    let mask = lexer::test_code_mask(&lexed.tokens);
-    let ctx = FileContext {
-        path: rel_path,
-        tokens: &lexed.tokens,
-        in_test: &mask,
-        is_lib: classify_lib(rel_path),
-        is_ranked_crate: classify_ranked(rel_path),
-    };
-    let mut diags = rules::check_file(&ctx);
+/// Outcome of linting a batch of in-memory sources: diagnostics surviving
+/// inline waivers, plus the graph's unresolved-call count.
+pub struct BatchOutcome {
+    /// All findings (L1–L9), in per-file then cross-file order (callers
+    /// that need a canonical order sort, as [`run_workspace`] does).
+    pub diagnostics: Vec<Diagnostic>,
+    /// See [`Report::unresolved_calls`].
+    pub unresolved_calls: usize,
+}
+
+/// Lints a batch of sources as one workspace: every file gets the
+/// intraprocedural rules (L1–L6), and all library-classified files together
+/// feed the call graph for L7–L9 (a panic three crates away from a serve
+/// handler is only visible with the whole batch in view). Inline
+/// `ultra-lint: allow(...)` directives are applied here — each diagnostic
+/// against the directives of the file it landed in; `lint.toml` waivers are
+/// applied by [`run_workspace`].
+pub fn check_sources(files: &[(&str, &str)]) -> BatchOutcome {
+    let mut diags = Vec::new();
+    let mut models = Vec::new();
+    let mut allows: Vec<(&str, Vec<lexer::InlineAllow>)> = Vec::with_capacity(files.len());
+    for (rel_path, source) in files {
+        let lexed = lexer::lex(source);
+        let mask = lexer::test_code_mask(&lexed.tokens);
+        let ctx = FileContext {
+            path: rel_path,
+            tokens: &lexed.tokens,
+            in_test: &mask,
+            is_lib: classify_lib(rel_path),
+            is_ranked_crate: classify_ranked(rel_path),
+        };
+        diags.extend(rules::check_file(&ctx));
+        if ctx.is_lib {
+            models.push(parser::build(rel_path, &lexed, &mask));
+        }
+        allows.push((rel_path, lexed.allows));
+    }
+    let cross = callgraph::check_cross(&models);
+    diags.extend(cross.diagnostics);
     // An inline directive waives its rules on the comment's own line and the
     // line that follows it (so a directive can sit above the flagged line).
     diags.retain(|d| {
-        !lexed.allows.iter().any(|a| {
-            (a.line == d.line || a.line + 1 == d.line) && a.rules.iter().any(|r| r == d.rule.name())
+        !allows.iter().any(|(path, file_allows)| {
+            *path == d.path
+                && file_allows.iter().any(|a| {
+                    (a.line == d.line || a.line + 1 == d.line)
+                        && a.rules.iter().any(|r| r == d.rule.name())
+                })
         })
     });
-    diags
+    BatchOutcome {
+        diagnostics: diags,
+        unresolved_calls: cross.unresolved_calls,
+    }
+}
+
+/// Lints one file's source text (the unit tests' and fixtures' entry
+/// point). Single-file view of [`check_sources`]: the interprocedural rules
+/// see only this file's functions.
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    check_sources(&[(rel_path, source)]).diagnostics
 }
 
 /// Library code: `crates/*/src/**` and the root facade `src/**`, excluding
@@ -267,6 +335,7 @@ mod tests {
             line: 1,
             message: String::new(),
             suggestion: "",
+            chain: Vec::new(),
         };
         let mut r = Report::default();
         r.violations.push(warn);

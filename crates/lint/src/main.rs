@@ -1,28 +1,47 @@
-//! CLI entry point: `cargo run -p ultra-lint [-- --root <dir>] [--allow-warnings]`.
+//! CLI entry point:
+//! `cargo run -p ultra-lint [-- --root <dir>] [--allow-warnings] [--format json]`.
 //!
 //! Exit codes: 0 = clean (or warnings only, with `--allow-warnings`),
 //! 1 = violations, 2 = analyzer/config error. Tier-1 runs the strict mode
 //! via `crates/lint/tests/workspace_clean.rs`.
 
 use std::path::PathBuf;
-use ultra_lint::run_workspace;
+use ultra_lint::rules::Severity;
+use ultra_lint::{run_workspace, Report};
 
 fn main() {
     let mut root: Option<PathBuf> = None;
     let mut deny_warnings = true;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--allow-warnings" => deny_warnings = false,
+            // Strict mode is the default; accepting the flag keeps CI
+            // invocations self-documenting.
+            "--deny-warnings" => deny_warnings = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "ultra-lint: --format takes `json` or `text`, got `{}`",
+                        other.unwrap_or("<none>")
+                    );
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "ultra-lint: determinism & panic-safety analyzer\n\n\
-                     USAGE: ultra-lint [--root <dir>] [--allow-warnings]\n\n\
+                     USAGE: ultra-lint [--root <dir>] [--allow-warnings] [--format json|text]\n\n\
                      Scans every .rs file under the workspace root (default:\n\
                      the directory containing this crate's workspace) and\n\
-                     enforces rules L1-L5; see README.md for the rule list\n\
-                     and lint.toml for the audited allowlist."
+                     enforces rules L1-L9 (L7-L9 run over a workspace call\n\
+                     graph); see README.md for the rule list and lint.toml\n\
+                     for the audited allowlist. `--format json` emits a\n\
+                     stable machine-readable report on stdout."
                 );
                 return;
             }
@@ -48,25 +67,176 @@ fn main() {
         }
     };
 
-    for d in &report.violations {
-        println!("{d}");
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        for d in &report.violations {
+            println!("{d}");
+        }
+        for s in &report.stale_allows {
+            println!("lint.toml: stale allowlist entry: {s}");
+        }
+        let errors = report
+            .violations
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warns = report.violations.len() - errors;
+        println!(
+            "ultra-lint: {} files scanned, {errors} errors, {warns} warnings, {} allowed, \
+             {} stale allowlist entries, {} unresolved calls",
+            report.files_scanned,
+            report.allowed.len(),
+            report.stale_allows.len(),
+            report.unresolved_calls
+        );
     }
-    for s in &report.stale_allows {
-        println!("lint.toml: stale allowlist entry: {s}");
-    }
-    let errors = report
-        .violations
-        .iter()
-        .filter(|d| d.severity == ultra_lint::rules::Severity::Error)
-        .count();
-    let warns = report.violations.len() - errors;
-    println!(
-        "ultra-lint: {} files scanned, {errors} errors, {warns} warnings, {} allowed, {} stale allowlist entries",
-        report.files_scanned,
-        report.allowed.len(),
-        report.stale_allows.len()
-    );
     if report.failed(deny_warnings) {
         std::process::exit(1);
+    }
+}
+
+/// Renders the report as JSON. Schema (stable; additions only):
+///
+/// ```json
+/// {"version":1,
+///  "files_scanned":N, "allowed":N, "unresolved_calls":N,
+///  "violations":[{"rule":"...","severity":"...","path":"...","line":N,
+///                 "message":"...","suggestion":"...",
+///                 "chain":[{"function":"...","path":"...","line":N}]}],
+///  "stale_allows":["..."]}
+/// ```
+///
+/// Hand-rolled (no crates.io in the build image); strings are escaped per
+/// RFC 8259.
+fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\"version\":1");
+    out.push_str(&format!(",\"files_scanned\":{}", report.files_scanned));
+    out.push_str(&format!(",\"allowed\":{}", report.allowed.len()));
+    out.push_str(&format!(
+        ",\"unresolved_calls\":{}",
+        report.unresolved_calls
+    ));
+    out.push_str(",\"violations\":[");
+    for (i, d) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{},\"suggestion\":{},\"chain\":[",
+            json_str(d.rule.name()),
+            json_str(&d.severity.to_string()),
+            json_str(&d.path),
+            d.line,
+            json_str(&d.message),
+            json_str(d.suggestion),
+        ));
+        for (j, frame) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"function\":{},\"path\":{},\"line\":{}}}",
+                json_str(&frame.function),
+                json_str(&frame.path),
+                frame.line
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"stale_allows\":[");
+    for (i, s) in report.stale_allows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(s));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON string literal with RFC 8259 escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultra_lint::rules::{ChainFrame, Diagnostic, Rule};
+
+    #[test]
+    fn json_escaping_is_rfc8259() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_report_round_trips_through_serde() {
+        let report = Report {
+            violations: vec![Diagnostic {
+                rule: Rule::NoPanicReachableFromServe,
+                severity: Severity::Warn,
+                path: "crates/serve/src/cache.rs".into(),
+                line: 130,
+                message: "indexing `shards[..]` panics out of bounds".into(),
+                suggestion: "bound it",
+                chain: vec![ChainFrame {
+                    function: "handle_expand".into(),
+                    path: "crates/serve/src/server.rs".into(),
+                    line: 279,
+                }],
+            }],
+            allowed: Vec::new(),
+            stale_allows: vec!["no-panic-in-lib @ x.rs (gone)".into()],
+            files_scanned: 3,
+            unresolved_calls: 7,
+        };
+        let text = render_json(&report);
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let num = |v: &serde_json::Value, k: &str| v.get(k).and_then(serde_json::Value::as_u64);
+        assert_eq!(num(&value, "version"), Some(1));
+        assert_eq!(num(&value, "files_scanned"), Some(3));
+        assert_eq!(num(&value, "unresolved_calls"), Some(7));
+        let violation = value
+            .get("violations")
+            .and_then(|v| v.as_array())
+            .and_then(|v| v.first())
+            .expect("one violation");
+        assert_eq!(
+            violation.get("rule").and_then(serde_json::Value::as_str),
+            Some("no-panic-reachable-from-serve")
+        );
+        let frame = violation
+            .get("chain")
+            .and_then(|v| v.as_array())
+            .and_then(|v| v.first())
+            .expect("one chain frame");
+        assert_eq!(
+            frame.get("function").and_then(serde_json::Value::as_str),
+            Some("handle_expand")
+        );
+        assert_eq!(
+            value
+                .get("stale_allows")
+                .and_then(|v| v.as_array())
+                .and_then(|v| v.first())
+                .and_then(serde_json::Value::as_str),
+            Some("no-panic-in-lib @ x.rs (gone)")
+        );
     }
 }

@@ -1,0 +1,852 @@
+//! Per-file structural model for the interprocedural rules (L7–L9).
+//!
+//! The lexer gives a flat token stream; this module recovers just enough
+//! structure from it to build a call graph: function definitions with body
+//! spans, call sites (with `catch_unwind` guarding), panic sources
+//! (`unwrap`/`expect`/panic macros/slice indexing), `Mutex`/`RwLock` struct
+//! fields and their acquisition sites, loop spans with allocation sites,
+//! and `use`-imported workspace crates. Everything is heuristic and
+//! over-approximates: a call we cannot attribute stays in the model as
+//! *unresolved* (counted, never silently dropped), and closure bodies are
+//! attributed to the defining function (a closure may run elsewhere, but
+//! attributing it at its definition site errs toward reporting).
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use std::ops::Range;
+
+/// What kind of panic source a site is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(..)`.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro,
+    /// Indexing (`x[i]`) into a slice/array/Vec — panics out of bounds.
+    Index,
+}
+
+impl PanicKind {
+    /// Human-readable description for diagnostics.
+    pub fn describe(self, what: &str) -> String {
+        match self {
+            PanicKind::Unwrap => "`.unwrap()` panics on the error path".to_string(),
+            PanicKind::Expect => "`.expect(..)` panics on the error path".to_string(),
+            PanicKind::PanicMacro => format!("`{what}!` aborts the worker"),
+            PanicKind::Index => format!("indexing `{what}[..]` panics out of bounds"),
+        }
+    }
+}
+
+/// One potential panic source inside a function body.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// Source kind.
+    pub kind: PanicKind,
+    /// 1-based line.
+    pub line: u32,
+    /// The receiver/macro identifier (for messages).
+    pub what: String,
+    /// Inside a `catch_unwind(..)` argument — the panic cannot escape.
+    pub guarded: bool,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee identifier (last path segment).
+    pub callee: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Token index (orders calls against lock acquisitions).
+    pub tok: usize,
+    /// Inside a `catch_unwind(..)` argument — panics below this call are
+    /// contained, so reachability analysis stops here.
+    pub guarded: bool,
+}
+
+/// `Mutex` vs `RwLock` (for matching `.lock()` vs `.read()`/`.write()`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    /// `std::sync::Mutex` (acquired via `.lock()`).
+    Mutex,
+    /// `std::sync::RwLock` (acquired via `.read()` / `.write()`).
+    RwLock,
+}
+
+/// A struct field of `Mutex`/`RwLock` type (directly or behind containers,
+/// e.g. `Vec<Mutex<Shard>>`).
+#[derive(Clone, Debug)]
+pub struct LockField {
+    /// Field name.
+    pub name: String,
+    /// Which lock type.
+    pub kind: LockKind,
+}
+
+/// One `.lock()` / `.read()` / `.write()` site inside a function body.
+#[derive(Clone, Debug)]
+pub struct LockSite {
+    /// The receiver identifier: a field name (`self.queue.lock()`), or a
+    /// method name when the receiver is a call (`self.shard(k).lock()`).
+    pub target: String,
+    /// Whether `target` is a method call rather than a field access.
+    pub via_method: bool,
+    /// The acquiring method: `lock`, `read`, or `write`.
+    pub method: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Token index (orders acquisitions against calls).
+    pub tok: usize,
+}
+
+/// One allocation site inside a loop (L9's unit of reporting).
+#[derive(Clone, Debug)]
+pub struct AllocSite {
+    /// Which allocating operation (`push`, `collect`, `to_vec`, `clone`,
+    /// `format!`).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One function definition with everything the graph rules need.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name (free function or method — receiver type is not
+    /// tracked; resolution is by name).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, braces included. Empty for body-less
+    /// declarations (trait methods).
+    pub body: Range<usize>,
+    /// Defined inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+    /// Carries an `// ultra-lint: hot` marker (L9's scope).
+    pub hot: bool,
+    /// Call sites, in token order.
+    pub calls: Vec<CallSite>,
+    /// Panic sources, in token order.
+    pub panics: Vec<PanicSite>,
+    /// Lock acquisition sites, in token order.
+    pub locks: Vec<LockSite>,
+    /// Allocation sites inside this function's loops, in token order.
+    pub allocs_in_loops: Vec<AllocSite>,
+    /// Field names this function's body reads (`.field` accesses) — used to
+    /// attribute lock-returning helper methods to the field they expose.
+    pub field_refs: Vec<String>,
+}
+
+/// The per-file model.
+#[derive(Clone, Debug)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Workspace crate key: `crates/<k>/…` → `k`, root `src/…` →
+    /// `"ultrawiki"`.
+    pub krate: String,
+    /// All function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Workspace crate keys imported via `use ultra_<k>::…` /
+    /// `use ultrawiki::…` (sorted, deduplicated).
+    pub imports: Vec<String>,
+    /// `Mutex`/`RwLock` struct fields declared in this file.
+    pub lock_fields: Vec<LockField>,
+}
+
+/// The workspace crate key of a file path, if it belongs to one.
+pub fn crate_key(path: &str) -> Option<String> {
+    if path.starts_with("src/") {
+        return Some("ultrawiki".to_string());
+    }
+    let rest = path.strip_prefix("crates/")?;
+    let (krate, _) = rest.split_once('/')?;
+    Some(krate.to_string())
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: [&str; 23] = [
+    "if", "else", "while", "for", "loop", "match", "return", "let", "in", "as", "move", "fn",
+    "pub", "use", "mod", "where", "unsafe", "break", "continue", "struct", "enum", "trait", "impl",
+];
+
+/// Panicking macro names (kept in sync with L4's list).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Builds the per-file model from lexed tokens plus the test-code mask.
+pub fn build(path: &str, lexed: &Lexed, mask: &[bool]) -> FileModel {
+    let toks = &lexed.tokens;
+    let guarded = guarded_mask(toks);
+    let mut fns = find_fns(toks, mask, &lexed.hots);
+    let owner = owner_map(toks.len(), &fns);
+    let loops = loop_spans(toks, &owner);
+
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(f) = owner[i] else { continue };
+        match &tok.kind {
+            TokKind::Ident(name) => {
+                scan_ident_site(toks, i, name, &guarded, &loops, &owner, &mut fns[f]);
+            }
+            TokKind::Punct('[') => {
+                if let Some(what) = index_receiver(toks, i) {
+                    fns[f].panics.push(PanicSite {
+                        kind: PanicKind::Index,
+                        line: tok.line,
+                        what,
+                        guarded: guarded[i],
+                    });
+                }
+            }
+            TokKind::Punct('.') => {
+                // `.field` access (not a method call) → field reference.
+                if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                    if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                        let refs = &mut fns[f].field_refs;
+                        if !refs.iter().any(|r| r == name) {
+                            refs.push(name.to_string());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    FileModel {
+        path: path.to_string(),
+        krate: crate_key(path).unwrap_or_default(),
+        fns,
+        imports: find_imports(toks),
+        lock_fields: find_lock_fields(toks),
+    }
+}
+
+/// Classifies one identifier token inside a function body.
+#[allow(clippy::too_many_arguments)]
+fn scan_ident_site(
+    toks: &[Tok],
+    i: usize,
+    name: &str,
+    guarded: &[bool],
+    loops: &[Range<usize>],
+    owner: &[Option<usize>],
+    f: &mut FnDef,
+) {
+    let line = toks[i].line;
+    let in_loop = |idx: usize| {
+        loops
+            .iter()
+            .any(|l| l.contains(&idx) && owner[l.start] == owner[idx])
+    };
+
+    // Panic macros.
+    if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+        f.panics.push(PanicSite {
+            kind: PanicKind::PanicMacro,
+            line,
+            what: name.to_string(),
+            guarded: guarded[i],
+        });
+        return;
+    }
+    // `format!` inside a loop (L9).
+    if name == "format" && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) && in_loop(i) {
+        f.allocs_in_loops.push(AllocSite {
+            what: "format!".to_string(),
+            line,
+        });
+        return;
+    }
+    // Method-position checks: `. name (`.
+    let is_method = i >= 1
+        && toks[i - 1].is_punct('.')
+        && (toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            || has_turbofish_call(toks, i).is_some());
+    if is_method {
+        match name {
+            "unwrap" | "expect" => {
+                f.panics.push(PanicSite {
+                    kind: if name == "unwrap" {
+                        PanicKind::Unwrap
+                    } else {
+                        PanicKind::Expect
+                    },
+                    line,
+                    what: name.to_string(),
+                    guarded: guarded[i],
+                });
+                return;
+            }
+            "lock" | "read" | "write" => {
+                if let Some((target, via_method)) = lock_receiver(toks, i - 1) {
+                    f.locks.push(LockSite {
+                        target,
+                        via_method,
+                        method: name.to_string(),
+                        line,
+                        tok: i,
+                    });
+                }
+                // A `.lock()` is also a call site (falls through below) so
+                // unresolved-call accounting stays honest.
+            }
+            "push" | "collect" | "to_vec" | "clone" if in_loop(i) => {
+                f.allocs_in_loops.push(AllocSite {
+                    what: name.to_string(),
+                    line,
+                });
+            }
+            _ => {}
+        }
+    }
+    // Call site: `name (` or `name::<T>(`, excluding definitions, macros,
+    // and keywords.
+    let followed_by_call =
+        toks.get(i + 1).is_some_and(|t| t.is_punct('(')) || has_turbofish_call(toks, i).is_some();
+    let is_def = i >= 1 && toks[i - 1].is_ident("fn");
+    let is_macro = toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+    if followed_by_call && !is_def && !is_macro && !NON_CALL_KEYWORDS.contains(&name) {
+        f.calls.push(CallSite {
+            callee: name.to_string(),
+            line,
+            tok: i,
+            guarded: guarded[i],
+        });
+    }
+}
+
+/// If `toks[i]` is followed by a turbofish call — `::<…>(` — returns the
+/// index of the `(`.
+fn has_turbofish_call(toks: &[Tok], i: usize) -> Option<usize> {
+    if !(toks.get(i + 1)?.is_punct(':') && toks.get(i + 2)?.is_punct(':')) {
+        return None;
+    }
+    if !toks.get(i + 3)?.is_punct('<') {
+        return None;
+    }
+    let mut depth = 1i32;
+    let mut j = i + 4;
+    while j < toks.len() && depth > 0 && j < i + 64 {
+        match &toks[j].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    (depth == 0 && toks.get(j).is_some_and(|t| t.is_punct('('))).then_some(j)
+}
+
+/// Walks back from the `.` preceding `lock`/`read`/`write` to the receiver
+/// identifier, skipping one trailing index (`[..]`) or call (`(..)`) group.
+/// Returns `(identifier, receiver_is_a_method_call)`.
+fn lock_receiver(toks: &[Tok], dot: usize) -> Option<(String, bool)> {
+    let mut k = dot.checked_sub(1)?;
+    let mut via_method = false;
+    loop {
+        match &toks[k].kind {
+            TokKind::Punct(']') => {
+                k = skip_group_back(toks, k, '[', ']')?;
+            }
+            TokKind::Punct(')') => {
+                via_method = true;
+                k = skip_group_back(toks, k, '(', ')')?;
+            }
+            TokKind::Ident(name) => return Some((name.clone(), via_method)),
+            _ => return None,
+        }
+    }
+}
+
+/// From a closing delimiter at `close`, returns the index just before its
+/// matching opener.
+fn skip_group_back(toks: &[Tok], close: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 1i32;
+    let mut k = close.checked_sub(1)?;
+    loop {
+        if toks[k].is_punct(close_c) {
+            depth += 1;
+        } else if toks[k].is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                return k.checked_sub(1);
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// Whether `[` at `i` opens an *index expression* (receiver is a value)
+/// rather than a type, attribute, array literal, or pattern. Returns the
+/// receiver identifier.
+fn index_receiver(toks: &[Tok], i: usize) -> Option<String> {
+    let prev = toks.get(i.checked_sub(1)?)?;
+    match &prev.kind {
+        TokKind::Ident(name) => {
+            if NON_CALL_KEYWORDS.contains(&name.as_str()) || name == "mut" || name == "ref" {
+                None
+            } else {
+                Some(name.clone())
+            }
+        }
+        // `foo()[0]` / `x[0][1]` — receiver is an expression; name it after
+        // the nearest preceding identifier for the message.
+        TokKind::Punct(')') | TokKind::Punct(']') => {
+            let start = skip_group_back(toks, i - 1, opener(prev), closer(prev))?;
+            toks.get(start).and_then(|t| t.ident().map(String::from))
+        }
+        _ => None,
+    }
+}
+
+fn opener(t: &Tok) -> char {
+    if t.is_punct(']') {
+        '['
+    } else {
+        '('
+    }
+}
+
+fn closer(t: &Tok) -> char {
+    if t.is_punct(']') {
+        ']'
+    } else {
+        ')'
+    }
+}
+
+/// Marks tokens inside any `catch_unwind(..)` argument list.
+fn guarded_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("catch_unwind") || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            mask[j] = true;
+            j += 1;
+        }
+    }
+    mask
+}
+
+/// Finds every `fn` definition with its body span, test flag, and hot flag.
+fn find_fns(toks: &[Tok], mask: &[bool], hots: &[u32]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        // Body: first `{` after the signature (a `;` first means a
+        // declaration without a body).
+        let mut j = i + 2;
+        let mut body = 0..0;
+        while j < toks.len() {
+            if toks[j].is_punct(';') {
+                break;
+            }
+            if toks[j].is_punct('{') {
+                let mut depth = 0i32;
+                let open = j;
+                while j < toks.len() {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                body = open..(j + 1).min(toks.len());
+                break;
+            }
+            j += 1;
+        }
+        fns.push(FnDef {
+            name: name.to_string(),
+            line: toks[i].line,
+            body,
+            in_test: mask.get(i).copied().unwrap_or(false),
+            hot: false,
+            calls: Vec::new(),
+            panics: Vec::new(),
+            locks: Vec::new(),
+            allocs_in_loops: Vec::new(),
+            field_refs: Vec::new(),
+        });
+    }
+    // Each hot marker attaches to the first fn at or below its line.
+    for &h in hots {
+        if let Some(f) = fns
+            .iter_mut()
+            .filter(|f| f.line >= h)
+            .min_by_key(|f| f.line)
+        {
+            f.hot = true;
+        }
+    }
+    fns
+}
+
+/// Maps each token index to the *innermost* enclosing function.
+fn owner_map(len: usize, fns: &[FnDef]) -> Vec<Option<usize>> {
+    let mut owner = vec![None; len];
+    // Source order: nested fns come later and overwrite their outer fn.
+    for (fi, f) in fns.iter().enumerate() {
+        for slot in owner[f.body.start..f.body.end.min(len)].iter_mut() {
+            *slot = Some(fi);
+        }
+    }
+    owner
+}
+
+/// Token spans of loop bodies (`for`/`while`/`loop` … `{ … }`).
+fn loop_spans(toks: &[Tok], owner: &[Option<usize>]) -> Vec<Range<usize>> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if owner[i].is_none() {
+            continue;
+        }
+        let Some(kw) = toks[i].ident() else { continue };
+        if kw != "for" && kw != "while" && kw != "loop" {
+            continue;
+        }
+        // `for<'a>` is a higher-ranked trait bound, not a loop.
+        if kw == "for" && toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+            continue;
+        }
+        // Find the body's opening brace, then its balanced close.
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        let open = j;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if open < toks.len() {
+            spans.push(open..(j + 1).min(toks.len()));
+        }
+    }
+    spans
+}
+
+/// Workspace crates imported with `use ultra_<k>::…` / `use ultrawiki::…`.
+fn find_imports(toks: &[Tok]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("use") {
+            continue;
+        }
+        let Some(first) = toks.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        let key = if first == "ultrawiki" {
+            Some("ultrawiki".to_string())
+        } else {
+            first.strip_prefix("ultra_").map(String::from)
+        };
+        if let Some(key) = key {
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// `Mutex`/`RwLock` fields of every `struct` in the file.
+fn find_lock_fields(toks: &[Tok]) -> Vec<LockField> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        // Find the field block `{ … }`; a `;` or `(` first means a unit or
+        // tuple struct (no named fields).
+        let mut j = i + 1;
+        while j < toks.len()
+            && !toks[j].is_punct('{')
+            && !toks[j].is_punct(';')
+            && !toks[j].is_punct('(')
+        {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct('{') {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Walk fields at brace depth 1, splitting on top-level commas.
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        let mut field: Option<String> = None;
+        let mut field_kind: Option<LockKind> = None;
+        let flush =
+            |field: &mut Option<String>, kind: &mut Option<LockKind>, out: &mut Vec<LockField>| {
+                if let (Some(name), Some(k)) = (field.take(), kind.take()) {
+                    out.push(LockField { name, kind: k });
+                }
+                *field = None;
+                *kind = None;
+            };
+        while k < toks.len() && depth > 0 {
+            match &toks[k].kind {
+                TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct(',') if depth == 1 => {
+                    flush(&mut field, &mut field_kind, &mut out);
+                }
+                TokKind::Ident(id) if depth == 1 => {
+                    if toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                        && field.is_none()
+                    {
+                        field = Some(id.clone());
+                    } else if field.is_some() {
+                        if id == "Mutex" {
+                            field_kind.get_or_insert(LockKind::Mutex);
+                        } else if id == "RwLock" {
+                            field_kind.get_or_insert(LockKind::RwLock);
+                        }
+                    }
+                }
+                // `<`/`>` are plain puncts, so `Mutex` inside generics
+                // (`Vec<Mutex<Shard>>`) still sits at depth 1 and is
+                // recognised by the arm above.
+                _ => {}
+            }
+            k += 1;
+        }
+        flush(&mut field, &mut field_kind, &mut out);
+        i = k;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_code_mask};
+
+    fn model(path: &str, src: &str) -> FileModel {
+        let lexed = lex(src);
+        let mask = test_code_mask(&lexed.tokens);
+        build(path, &lexed, &mask)
+    }
+
+    fn serve(src: &str) -> FileModel {
+        model("crates/serve/src/server.rs", src)
+    }
+
+    #[test]
+    fn fns_get_names_lines_and_bodies() {
+        let m = serve("fn a() { one(); }\n\npub fn b(x: u32) -> u32 { two(x) }\n#[cfg(test)]\nmod t { fn c() {} }");
+        let names: Vec<(&str, u32, bool)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.line, f.in_test))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("a", 1, false), ("b", 3, false), ("c", 5, true)]
+        );
+        assert_eq!(m.fns[0].calls.len(), 1);
+        assert_eq!(m.fns[0].calls[0].callee, "one");
+        assert_eq!(m.fns[1].calls[0].callee, "two");
+    }
+
+    #[test]
+    fn nested_fns_own_their_tokens() {
+        let m = serve("fn outer() {\n  fn inner() { deep(); }\n  shallow();\n}");
+        let outer = &m.fns[0];
+        let inner = &m.fns[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.name, "inner");
+        assert_eq!(
+            inner
+                .calls
+                .iter()
+                .map(|c| c.callee.as_str())
+                .collect::<Vec<_>>(),
+            vec!["deep"]
+        );
+        assert_eq!(
+            outer
+                .calls
+                .iter()
+                .map(|c| c.callee.as_str())
+                .collect::<Vec<_>>(),
+            vec!["shallow"]
+        );
+    }
+
+    #[test]
+    fn turbofish_calls_are_detected() {
+        let m = serve("fn f() { let v = it.collect::<Vec<u32>>(); parse::<u64>(s); }");
+        let callees: Vec<&str> = m.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(callees.contains(&"collect"));
+        assert!(callees.contains(&"parse"));
+    }
+
+    #[test]
+    fn panic_sites_cover_unwrap_expect_macros_and_indexing() {
+        let src = "fn f(x: Option<u32>, v: &[u32]) -> u32 {\n  let a = x.unwrap();\n  let b = x.expect(\"m\");\n  if a > b { panic!(\"no\"); }\n  v[0] + foo()[1]\n}";
+        let m = serve(src);
+        let kinds: Vec<(PanicKind, u32)> =
+            m.fns[0].panics.iter().map(|p| (p.kind, p.line)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (PanicKind::Unwrap, 2),
+                (PanicKind::Expect, 3),
+                (PanicKind::PanicMacro, 4),
+                (PanicKind::Index, 5),
+                (PanicKind::Index, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn types_patterns_attributes_and_literals_are_not_index_sites() {
+        let src = "#[derive(Debug)]\nfn f(buf: &[u8], n: [u8; 2]) -> Vec<u8> {\n  let [a, b] = n;\n  let arr = [0u8; 4];\n  let v: Vec<[f32; 2]> = Vec::new();\n  (a + b) as u8;\n  arr.to_vec()\n}";
+        let m = serve(src);
+        assert!(
+            m.fns[0].panics.iter().all(|p| p.kind != PanicKind::Index),
+            "{:?}",
+            m.fns[0].panics
+        );
+    }
+
+    #[test]
+    fn catch_unwind_guards_calls_and_panics_inside_it() {
+        let src =
+            "fn f() {\n  let r = std::panic::catch_unwind(|| { inner().unwrap() });\n  outer();\n}";
+        let m = serve(src);
+        let f = &m.fns[0];
+        let inner = f.calls.iter().find(|c| c.callee == "inner").unwrap();
+        assert!(inner.guarded);
+        let outer = f.calls.iter().find(|c| c.callee == "outer").unwrap();
+        assert!(!outer.guarded);
+        assert!(
+            f.panics.iter().all(|p| p.guarded),
+            "unwrap inside the guard"
+        );
+    }
+
+    #[test]
+    fn lock_fields_and_direct_acquisitions_are_extracted() {
+        let src = "struct S { queue: Mutex<Vec<u32>>, shards: Vec<Mutex<u32>>, state: RwLock<u32>, plain: u32 }\nimpl S {\n  fn f(&self) {\n    let a = self.queue.lock();\n    let b = self.shards[0].lock();\n    let c = self.state.read();\n    stream.read(&mut buf);\n  }\n}";
+        let m = serve(src);
+        let fields: Vec<(&str, LockKind)> = m
+            .lock_fields
+            .iter()
+            .map(|l| (l.name.as_str(), l.kind))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("queue", LockKind::Mutex),
+                ("shards", LockKind::Mutex),
+                ("state", LockKind::RwLock),
+            ]
+        );
+        let locks: Vec<(&str, &str, bool)> = m.fns[0]
+            .locks
+            .iter()
+            .map(|l| (l.target.as_str(), l.method.as_str(), l.via_method))
+            .collect();
+        assert_eq!(
+            locks,
+            vec![
+                ("queue", "lock", false),
+                ("shards", "lock", false),
+                ("state", "read", false),
+                ("stream", "read", false), // filtered later: not a lock field
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_through_a_helper_method_records_the_method() {
+        let m = serve("impl S {\n  fn shard(&self) -> &Mutex<u32> { &self.shards[0] }\n  fn get(&self) { self.shard().lock(); }\n}");
+        let get = m.fns.iter().find(|f| f.name == "get").unwrap();
+        assert_eq!(get.locks.len(), 1);
+        assert_eq!(get.locks[0].target, "shard");
+        assert!(get.locks[0].via_method);
+        let shard = m.fns.iter().find(|f| f.name == "shard").unwrap();
+        assert!(shard.field_refs.iter().any(|r| r == "shards"));
+    }
+
+    #[test]
+    fn hot_markers_attach_to_the_next_fn_and_allocs_in_loops_are_found() {
+        let src = "// ultra-lint: hot\nfn kernel(v: &[u32]) -> Vec<u32> {\n  let mut out = Vec::with_capacity(v.len());\n  for x in v {\n    out.push(*x);\n    let s = format!(\"{x}\");\n  }\n  out.clone()\n}\nfn cold(v: &[u32]) { for x in v { sink.push(*x); } }";
+        let m = model("crates/nn/src/k.rs", src);
+        let kernel = &m.fns[0];
+        assert!(kernel.hot);
+        let allocs: Vec<(&str, u32)> = kernel
+            .allocs_in_loops
+            .iter()
+            .map(|a| (a.what.as_str(), a.line))
+            .collect();
+        assert_eq!(
+            allocs,
+            vec![("push", 5), ("format!", 6)],
+            "clone outside the loop not flagged"
+        );
+        let cold = &m.fns[1];
+        assert!(!cold.hot);
+        assert_eq!(
+            cold.allocs_in_loops.len(),
+            1,
+            "collected but inert unless hot"
+        );
+    }
+
+    #[test]
+    fn while_let_and_bare_loop_bodies_count_as_loops() {
+        let src = "// ultra-lint: hot\nfn f(mut it: I) {\n  while let Some(x) = it.next() { buf.push(x); }\n  loop { buf2.push(1); break; }\n}";
+        let m = serve(src);
+        assert_eq!(m.fns[0].allocs_in_loops.len(), 2);
+    }
+
+    #[test]
+    fn imports_map_workspace_crates() {
+        let src = "use ultra_core::Query;\nuse ultra_par::Pool;\nuse std::sync::Arc;\nuse ultrawiki::prelude::*;\nfn f() {}";
+        let m = serve(src);
+        assert_eq!(m.imports, vec!["core", "par", "ultrawiki"]);
+        assert_eq!(m.krate, "serve");
+        assert_eq!(crate_key("src/lib.rs").as_deref(), Some("ultrawiki"));
+        assert_eq!(crate_key("tests/x.rs"), None);
+    }
+}

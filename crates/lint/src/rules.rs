@@ -1,10 +1,11 @@
-//! The five ultra-lint rules.
+//! The nine ultra-lint rules.
 //!
-//! Each rule is a pure function over a file's token stream (plus its
-//! test-code mask) producing [`Diagnostic`]s. Rules are heuristic by design:
-//! they over-approximate slightly and rely on the allowlist / inline
-//! directives for audited exceptions, which keeps every waiver visible and
-//! justified in the repo.
+//! L1–L6 are pure functions over a single file's token stream (plus its
+//! test-code mask); L7–L9 are interprocedural and live in
+//! [`crate::callgraph`], but share the [`Rule`]/[`Diagnostic`] vocabulary
+//! defined here. Rules are heuristic by design: they over-approximate
+//! slightly and rely on the allowlist / inline directives for audited
+//! exceptions, which keeps every waiver visible and justified in the repo.
 
 use crate::lexer::{Tok, TokKind};
 use std::fmt;
@@ -24,17 +25,26 @@ pub enum Rule {
     NoWallclockInScoring,
     /// L6: raw `std::thread` spawning outside the sanctioned crates.
     NoRawThreadSpawn,
+    /// L7: panic source transitively reachable from a serve entry point.
+    NoPanicReachableFromServe,
+    /// L8: a pair of locks acquired in both orders (deadlock hazard).
+    LockOrder,
+    /// L9: allocation inside a loop of a `// ultra-lint: hot` function.
+    NoAllocInHotLoop,
 }
 
 impl Rule {
     /// Every rule, in documentation order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::NoUnseededRng,
         Rule::NoHashIterationOrder,
         Rule::NoNanUnwrapSort,
         Rule::NoPanicInLib,
         Rule::NoWallclockInScoring,
         Rule::NoRawThreadSpawn,
+        Rule::NoPanicReachableFromServe,
+        Rule::LockOrder,
+        Rule::NoAllocInHotLoop,
     ];
 
     /// The kebab-case name used in configuration and output.
@@ -46,6 +56,9 @@ impl Rule {
             Rule::NoPanicInLib => "no-panic-in-lib",
             Rule::NoWallclockInScoring => "no-wallclock-in-scoring",
             Rule::NoRawThreadSpawn => "no-raw-thread-spawn",
+            Rule::NoPanicReachableFromServe => "no-panic-reachable-from-serve",
+            Rule::LockOrder => "lock-order",
+            Rule::NoAllocInHotLoop => "no-alloc-in-hot-loop",
         }
     }
 
@@ -54,12 +67,14 @@ impl Rule {
         Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 
-    /// Default severity. Everything is deny by default except L4, whose
-    /// violations in practice include audited boundary cases; it still fails
-    /// the build unless allowlisted, but reads as "warn" semantics in docs.
+    /// Default severity. Everything is deny by default except L4 and L7,
+    /// whose violations in practice include audited boundary cases (e.g.
+    /// modulo-bounded indexing); they still fail the tier-1 gate unless
+    /// allowlisted (the gate runs with `--deny-warnings`), but read as
+    /// "warn" semantics in docs.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::NoPanicInLib => Severity::Warn,
+            Rule::NoPanicInLib | Rule::NoPanicReachableFromServe => Severity::Warn,
             _ => Severity::Error,
         }
     }
@@ -85,6 +100,17 @@ impl fmt::Display for Severity {
     }
 }
 
+/// One frame of an L7 call chain: a function, at its definition site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainFrame {
+    /// Function name.
+    pub function: String,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
 /// One finding: rule, location, message, and a suggested fix.
 #[derive(Clone, Debug)]
 pub struct Diagnostic {
@@ -100,20 +126,31 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it.
     pub suggestion: &'static str,
+    /// For L7: the call chain from the serve entry point down to the
+    /// function containing the panic site. Empty for every other rule.
+    pub chain: Vec<ChainFrame>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}: {}\n    help: {}",
+            "{}:{}: [{}] {}: {}",
             self.path,
             self.line,
             self.severity,
             self.rule.name(),
             self.message,
-            self.suggestion
-        )
+        )?;
+        if !self.chain.is_empty() {
+            let rendered: Vec<String> = self
+                .chain
+                .iter()
+                .map(|c| format!("{} ({}:{})", c.function, c.path, c.line))
+                .collect();
+            write!(f, "\n    chain: {}", rendered.join(" -> "))?;
+        }
+        write!(f, "\n    help: {}", self.suggestion)
     }
 }
 
@@ -134,7 +171,9 @@ pub struct FileContext<'a> {
     pub is_ranked_crate: bool,
 }
 
-/// Runs every rule over one file.
+/// Runs every intraprocedural rule (L1–L6) over one file. The graph rules
+/// (L7–L9) need the whole workspace and run in
+/// [`crate::callgraph::check_cross`].
 pub fn check_file(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     rule_no_unseeded_rng(ctx, &mut out);
@@ -160,6 +199,7 @@ fn diag(
         line,
         message,
         suggestion,
+        chain: Vec::new(),
     }
 }
 

@@ -1,0 +1,27 @@
+//! L7 fixture: a panic source three calls deep from a serve entry point,
+//! plus a `catch_unwind`-guarded branch that must stay quiet.
+
+pub fn handle_widget(input: &str) -> usize {
+    step_one(input)
+}
+
+fn step_one(input: &str) -> usize {
+    step_two(input)
+}
+
+fn step_two(input: &str) -> usize {
+    input.parse::<usize>().unwrap()
+}
+
+pub fn handle_contained(input: &str) -> usize {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| risky(input)));
+    result.unwrap_or(0)
+}
+
+fn risky(input: &str) -> usize {
+    input.len() + explode()
+}
+
+fn explode() -> usize {
+    panic!("contained by the entry's catch_unwind")
+}

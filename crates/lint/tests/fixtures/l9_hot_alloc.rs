@@ -1,0 +1,21 @@
+//! L9 fixture: allocation calls inside the loop of a hot-marked kernel;
+//! the unmarked twin below must stay quiet.
+
+// ultra-lint: hot
+pub fn doubled_hot(xs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(xs.len());
+    for &x in xs {
+        out.push(x * 2.0);
+        let label = format!("{x}");
+        let _ = label;
+    }
+    out
+}
+
+pub fn doubled_cold(xs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    for &x in xs {
+        out.push(x);
+    }
+    out
+}

@@ -115,6 +115,58 @@ fn l6_fixture_is_quiet_inside_the_execution_layer() {
 }
 
 #[test]
+fn l7_fixture_reports_the_three_deep_chain_and_spares_the_guarded_branch() {
+    // Checked as a serve API file so `handle_*` functions count as entries.
+    let diags = check_source("crates/serve/src/api.rs", &fixture("l7_panic_chain.rs"));
+    let l7: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::NoPanicReachableFromServe)
+        .collect();
+    assert_eq!(l7.len(), 1, "{diags:?}");
+    let d = l7[0];
+    assert_eq!(d.line, 13, "the unwrap three calls below the entry");
+    let names: Vec<&str> = d.chain.iter().map(|c| c.function.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["handle_widget", "step_one", "step_two"],
+        "full entry-to-panic chain; `handle_contained`'s guarded subtree is quiet"
+    );
+    // The rendered diagnostic carries the chain for humans too.
+    assert!(format!("{d}").contains("handle_widget"));
+}
+
+#[test]
+fn l8_fixture_reports_the_order_inversion_once() {
+    let diags = check_source("crates/serve/src/pair.rs", &fixture("l8_lock_order.rs"));
+    let l8: Vec<_> = diags.iter().filter(|d| d.rule == Rule::LockOrder).collect();
+    assert_eq!(
+        l8.len(),
+        1,
+        "one finding for the pair, not one per method: {diags:?}"
+    );
+    assert!(
+        l8[0].message.contains("`alpha` and `beta`"),
+        "names both locks: {}",
+        l8[0].message
+    );
+}
+
+#[test]
+fn l9_fixture_fires_on_each_loop_allocation_in_the_hot_fn_only() {
+    let hits = check("l9_hot_alloc.rs");
+    let l9: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoAllocInHotLoop)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        l9,
+        vec![8, 9],
+        "push + format! in the hot loop; the cold twin stays quiet"
+    );
+}
+
+#[test]
 fn fixtures_outside_lib_scope_relax_scoped_rules() {
     // The same L4 fixture seen as a test file produces no panic findings…
     let as_test = check_source("tests/l4_panic_in_lib.rs", &fixture("l4_panic_in_lib.rs"));

@@ -77,6 +77,7 @@ impl Matrix {
     }
 
     /// `y = self · x` (matrix-vector product). `x.len()` must equal `cols`.
+    // ultra-lint: hot
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
@@ -93,6 +94,7 @@ impl Matrix {
 
     /// `y = selfᵀ · x` (transposed matrix-vector product).
     /// `x.len()` must equal `rows`; result has length `cols`.
+    // ultra-lint: hot
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0f32; self.cols];
@@ -110,6 +112,7 @@ impl Matrix {
     /// Rank-1 update `self += alpha · u vᵀ`
     /// (`u.len() == rows`, `v.len() == cols`). The workhorse of gradient
     /// accumulation for linear layers.
+    // ultra-lint: hot
     pub fn add_outer(&mut self, alpha: f32, u: &[f32], v: &[f32]) {
         assert_eq!(u.len(), self.rows);
         assert_eq!(v.len(), self.cols);
@@ -143,6 +146,7 @@ impl Matrix {
     /// via the unrolled kernel ([`crate::ops::dot_unrolled`]). This is the
     /// per-chunk kernel of the blocked candidate-scoring path; callers
     /// parallelize over disjoint row ranges.
+    // ultra-lint: hot
     pub fn score_batch(&self, query: &[f32], rows: std::ops::Range<usize>) -> Vec<f32> {
         assert_eq!(query.len(), self.cols, "score_batch dimension mismatch");
         assert!(rows.end <= self.rows, "score_batch row range out of bounds");
@@ -154,6 +158,7 @@ impl Matrix {
     /// reads two contiguous rows (the cache-friendly "NT" layout used by
     /// blocked scoring). `self` is `(m × k)`, `other` is `(n × k)`, the
     /// result is `(m × n)`.
+    // ultra-lint: hot
     pub fn matmat_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmat_nt inner dimension mismatch");
         let (m, n) = (self.rows, other.rows);

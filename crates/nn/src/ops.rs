@@ -17,6 +17,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// on. Note the result intentionally differs in low-order bits from
 /// [`dot`]: the two kernels are separate summation orders, not
 /// interchangeable implementations.
+// ultra-lint: hot
 #[inline]
 pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());

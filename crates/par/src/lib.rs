@@ -14,6 +14,11 @@
 //!   work are identical whether one thread or sixteen execute them.
 //! * **Ordered assembly** — [`Pool::chunks_map_ordered`] concatenates chunk
 //!   results in chunk order regardless of completion order.
+//! * **Range dispatch** — [`Pool::ranges_map_ordered`] hands kernels the
+//!   chunk's index *range* instead of an item slice, so callers whose items
+//!   are just positions (embedding-matrix rows, candidate ids) never
+//!   materialize an `O(N)` index vector. The slice APIs are shims over it,
+//!   so both paths share one dispatch loop and one determinism argument.
 //! * **Ordered reduction** — [`Pool::reduce_ordered`] folds each chunk
 //!   sequentially and then combines the per-chunk accumulators in a fixed
 //!   pairwise tree, so an `f32` sum is bit-identical at any thread count,
@@ -32,6 +37,7 @@
 //! (the CLI `--threads` flag), the `ULTRA_THREADS` environment variable,
 //! then [`std::thread::available_parallelism`].
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, OnceLock};
 
@@ -162,7 +168,38 @@ impl Pool {
         R: Send,
         F: Fn(usize, &[T]) -> Vec<R> + Sync,
     {
-        let len = items.len();
+        self.ranges_map_ordered_with(items.len(), cl, |r| {
+            let start = r.start;
+            f(start, &items[r])
+        })
+    }
+
+    /// Maps fixed chunk *ranges* of a length-`len` index space through `f`
+    /// and concatenates outputs in chunk order —
+    /// [`chunks_map_ordered`](Self::chunks_map_ordered) without an item
+    /// slice, for kernels whose "items" are just positions into shared
+    /// structure (embedding-matrix rows, candidate ids). Chunk boundaries
+    /// are the same function of `len` as the slice APIs', so a caller
+    /// switching between the two forms keeps byte-identical output.
+    pub fn ranges_map_ordered<R, F>(&self, len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> Vec<R> + Sync,
+    {
+        self.ranges_map_ordered_with(len, chunk_len(len), f)
+    }
+
+    /// [`ranges_map_ordered`](Self::ranges_map_ordered) with an explicit
+    /// chunk length (same contract as
+    /// [`chunks_map_ordered_with`](Self::chunks_map_ordered_with): `cl`
+    /// must be a function of `len` alone). This is the crate's single
+    /// dispatch loop — every other mapping primitive is a shim over it.
+    // ultra-lint: hot
+    pub fn ranges_map_ordered_with<R, F>(&self, len: usize, cl: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> Vec<R> + Sync,
+    {
         if len == 0 {
             return Vec::new();
         }
@@ -174,8 +211,7 @@ impl Pool {
             let mut out = Vec::with_capacity(len);
             for c in 0..nchunks {
                 let start = c * cl;
-                let end = (start + cl).min(len);
-                out.extend(f(start, &items[start..end]));
+                out.extend(f(start..(start + cl).min(len)));
             }
             return out;
         }
@@ -185,6 +221,7 @@ impl Pool {
         slots.resize_with(nchunks, || None);
         std::thread::scope(|s| {
             for _ in 0..workers {
+                // ultra-lint: allow(no-alloc-in-hot-loop) one sender clone per spawned worker — O(threads) setup, not per-item work
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
@@ -194,8 +231,7 @@ impl Pool {
                         break;
                     }
                     let start = c * cl;
-                    let end = (start + cl).min(len);
-                    let out = f(start, &items[start..end]);
+                    let out = f(start..(start + cl).min(len));
                     if tx.send((c, out)).is_err() {
                         break;
                     }
@@ -294,6 +330,15 @@ where
     F: Fn(usize, &[T]) -> Vec<R> + Sync,
 {
     Pool::global().chunks_map_ordered(items, f)
+}
+
+/// [`Pool::ranges_map_ordered`] on the globally configured pool.
+pub fn par_ranges_map_ordered<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> Vec<R> + Sync,
+{
+    Pool::global().ranges_map_ordered(len, f)
 }
 
 /// [`Pool::reduce_ordered`] on the globally configured pool.
@@ -428,6 +473,37 @@ mod tests {
         let expect: Vec<u32> = items.iter().map(|x| x + 1).collect();
         for t in [1, 2, 8] {
             assert_eq!(Pool::new(t).map_ordered_each(&items, |x| x + 1), expect);
+        }
+    }
+
+    #[test]
+    fn range_dispatch_matches_slice_dispatch_bitwise() {
+        let items: Vec<f32> = (0..5_000).map(|i| (i as f32).cos()).collect();
+        for t in [1usize, 2, 8] {
+            let pool = Pool::new(t);
+            let via_slice: Vec<u32> = pool.chunks_map_ordered(&items, |start, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| (x * (start + i) as f32).to_bits())
+                    .collect()
+            });
+            let via_range: Vec<u32> = pool.ranges_map_ordered(items.len(), |r| {
+                r.map(|i| (items[i] * i as f32).to_bits()).collect()
+            });
+            assert_eq!(via_range, via_slice, "diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn range_dispatch_handles_empty_and_ragged_lengths() {
+        assert!(Pool::new(4)
+            .ranges_map_ordered(0, |r| r.collect::<Vec<usize>>())
+            .is_empty());
+        for len in [1usize, 15, 16, 17, 1037] {
+            let out = Pool::new(3).ranges_map_ordered(len, |r| r.collect::<Vec<usize>>());
+            let expect: Vec<usize> = (0..len).collect();
+            assert_eq!(out, expect, "len {len}");
         }
     }
 

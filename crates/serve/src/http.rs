@@ -86,8 +86,8 @@ impl From<std::io::Error> for HttpError {
 fn read_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
     let mut buf = Vec::with_capacity(80);
     loop {
-        let mut byte = [0u8; 1];
-        match stream.read(&mut byte)? {
+        let mut byte = 0u8;
+        match stream.read(std::slice::from_mut(&mut byte))? {
             0 => {
                 if buf.is_empty() {
                     return Err(HttpError::UnexpectedEof);
@@ -95,11 +95,11 @@ fn read_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
                 break;
             }
             _ => {
-                if byte[0] == b'\n' {
+                if byte == b'\n' {
                     break;
                 }
-                if byte[0] != b'\r' {
-                    buf.push(byte[0]);
+                if byte != b'\r' {
+                    buf.push(byte);
                 }
                 if buf.len() > MAX_LINE {
                     return Err(HttpError::TooLarge(format!(

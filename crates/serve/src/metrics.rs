@@ -47,7 +47,11 @@ impl LatencyHistogram {
             .iter()
             .position(|&bound| micros <= bound)
             .unwrap_or(BUCKET_BOUNDS_MICROS.len() - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // `idx` is a valid position by construction; `get` keeps the
+        // request path free of panic sites (L7) all the same.
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
         self.max_micros.fetch_max(micros, Ordering::Relaxed);
@@ -73,7 +77,9 @@ impl LatencyHistogram {
                     return bound;
                 }
             }
-            BUCKET_BOUNDS_MICROS[BUCKET_BOUNDS_MICROS.len() - 1]
+            // Unreachable (the last bound is u64::MAX, so the loop always
+            // returns); stated as the same constant rather than indexed.
+            u64::MAX
         };
         HistogramSnapshot {
             count,
@@ -136,6 +142,9 @@ pub struct ServeMetrics {
     pub responses_5xx: AtomicU64,
     /// Connections answered 503 because the request queue was full.
     pub rejected_queue_full: AtomicU64,
+    /// Handler panics caught by the connection-level `catch_unwind` guard
+    /// (each answered with a 500 instead of tearing down the worker).
+    pub panics_caught: AtomicU64,
     /// `POST /expand` latency.
     pub expand_latency: LatencyHistogram,
     /// `GET /healthz` latency.
@@ -155,13 +164,16 @@ impl ServeMetrics {
         .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Point-in-time snapshot (cache stats and queue depth are sampled by
-    /// the caller, which owns those components).
+    /// Point-in-time snapshot (cache stats, queue depth, and the pool's
+    /// own panic count are sampled by the caller, which owns those
+    /// components). `pool_panics` is added to the route-level count so
+    /// `panics_total` covers both containment layers.
     pub fn snapshot(
         &self,
         cache: CacheStats,
         queue_depth: usize,
         workers: usize,
+        pool_panics: u64,
     ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests_total: self.requests_total.load(Ordering::Relaxed),
@@ -169,6 +181,10 @@ impl ServeMetrics {
             responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
             responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            panics_total: self
+                .panics_caught
+                .load(Ordering::Relaxed)
+                .saturating_add(pool_panics),
             queue_depth,
             workers,
             cache,
@@ -192,6 +208,9 @@ pub struct MetricsSnapshot {
     pub responses_5xx: u64,
     /// Connections answered 503 because the request queue was full.
     pub rejected_queue_full: u64,
+    /// Handler panics caught by either containment layer (route-level
+    /// `catch_unwind` plus the worker loop's guard).
+    pub panics_total: u64,
     /// Requests waiting for a worker at snapshot time.
     pub queue_depth: usize,
     /// Worker thread count.
@@ -242,7 +261,7 @@ mod tests {
         m.record_status(204);
         m.record_status(400);
         m.record_status(503);
-        let snap = m.snapshot(CacheStats::default(), 0, 4);
+        let snap = m.snapshot(CacheStats::default(), 0, 4, 0);
         assert_eq!(snap.responses_2xx, 2);
         assert_eq!(snap.responses_4xx, 1);
         assert_eq!(snap.responses_5xx, 1);
@@ -250,11 +269,19 @@ mod tests {
     }
 
     #[test]
+    fn panics_total_sums_route_and_pool_counts() {
+        let m = ServeMetrics::default();
+        m.panics_caught.fetch_add(2, Ordering::Relaxed);
+        let snap = m.snapshot(CacheStats::default(), 0, 1, 3);
+        assert_eq!(snap.panics_total, 5);
+    }
+
+    #[test]
     fn snapshot_round_trips_through_json() {
         let m = ServeMetrics::default();
         m.expand_latency.record(123);
         m.record_status(200);
-        let snap = m.snapshot(CacheStats::default(), 2, 8);
+        let snap = m.snapshot(CacheStats::default(), 2, 8, 1);
         let json = serde_json::to_string(&snap).expect("serialize");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, snap);

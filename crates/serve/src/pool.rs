@@ -7,15 +7,22 @@
 //! before the workers exit and are joined.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
+/// Lock order (checked by L8 `lock-order`): `queue` is the pool's only
+/// internal lock and is never held across the handler call or any cache
+/// shard acquisition — the canonical workspace order is `queue` before
+/// shards, enforced by dropping the queue guard before a job runs.
 struct PoolShared<T> {
     queue: Mutex<VecDeque<T>>,
     not_empty: Condvar,
     capacity: usize,
     shutting_down: AtomicBool,
+    /// Handler panics caught by the worker loop (each would have killed a
+    /// worker thread before the `catch_unwind` guard existed).
+    panics: AtomicU64,
 }
 
 /// A fixed set of worker threads consuming jobs from a bounded queue.
@@ -46,6 +53,12 @@ impl<T> QueueDepthGauge<T> {
             .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
+
+    /// Handler panics caught by the worker loop since the pool started
+    /// (feeds the `panics_total` counter in `/metrics`).
+    pub fn panics_total(&self) -> u64 {
+        self.0.panics.load(Ordering::Relaxed)
+    }
 }
 
 /// Why [`WorkerPool::try_submit`] rejected a job.
@@ -70,6 +83,7 @@ impl<T: Send + 'static> WorkerPool<T> {
             not_empty: Condvar::new(),
             capacity: queue_capacity.max(1),
             shutting_down: AtomicBool::new(false),
+            panics: AtomicU64::new(0),
         });
         let handler = Arc::new(handler);
         let handles: Vec<JoinHandle<()>> = (0..workers.max(1))
@@ -127,6 +141,11 @@ impl<T: Send + 'static> WorkerPool<T> {
         self.worker_count
     }
 
+    /// Handler panics caught by the worker loop since the pool started.
+    pub fn panics_total(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Graceful shutdown: refuses new jobs, lets the workers drain every
     /// already-accepted job, then joins them. Idempotent — later calls (or
     /// calls racing from another holder of the pool) find no handles left.
@@ -158,7 +177,12 @@ fn worker_loop<T, F: Fn(T) + ?Sized>(shared: &PoolShared<T>, handler: &F) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        handler(job);
+        // Defense in depth behind L7: a panic that still escapes a handler
+        // is contained here, so it costs one job, not a worker thread.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(job)));
+        if caught.is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -224,6 +248,29 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::Relaxed), 10, "drained before join");
+    }
+
+    #[test]
+    fn a_panicking_job_is_counted_and_does_not_kill_the_worker() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        let pool = WorkerPool::new(1, 16, move |n: usize| {
+            if n == 0 {
+                panic!("job zero explodes");
+            }
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..5 {
+            pool.try_submit(i).expect("room");
+        }
+        pool.shutdown();
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            4,
+            "the single worker survived the panic and drained the rest"
+        );
+        assert_eq!(pool.panics_total(), 1);
+        assert_eq!(pool.depth_gauge().panics_total(), 1);
     }
 
     #[test]

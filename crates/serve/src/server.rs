@@ -29,6 +29,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bound on connections waiting for a worker.
     pub queue_capacity: usize,
+    /// Enables `POST /debug/panic`, a route whose handler panics on purpose
+    /// so tests (and operators) can exercise the containment path: the
+    /// panic must surface as a 500 and a `panics_total` tick, never a dead
+    /// worker. Off by default; the route 404s when disabled.
+    pub debug_panic_route: bool,
 }
 
 impl Default for ServerConfig {
@@ -37,6 +42,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: 4,
             queue_capacity: 128,
+            debug_panic_route: false,
         }
     }
 }
@@ -48,6 +54,7 @@ struct ServerShared {
     engine: Arc<ExpansionEngine>,
     metrics: ServeMetrics,
     shutting_down: AtomicBool,
+    debug_panic_route: bool,
     // Set once right after the pool is built (the pool's handler captures
     // this struct, so the pool cannot be a direct field).
     pool_view: OnceLock<(QueueDepthGauge<TcpStream>, usize)>,
@@ -55,13 +62,13 @@ struct ServerShared {
 
 impl ServerShared {
     fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let (queue_depth, workers) = self
+        let (queue_depth, workers, pool_panics) = self
             .pool_view
             .get()
-            .map(|(gauge, workers)| (gauge.depth(), *workers))
-            .unwrap_or((0, 0));
+            .map(|(gauge, workers)| (gauge.depth(), *workers, gauge.panics_total()))
+            .unwrap_or((0, 0, 0));
         self.metrics
-            .snapshot(self.engine.cache_stats(), queue_depth, workers)
+            .snapshot(self.engine.cache_stats(), queue_depth, workers, pool_panics)
     }
 }
 
@@ -88,6 +95,7 @@ impl Server {
             engine,
             metrics: ServeMetrics::default(),
             shutting_down: AtomicBool::new(false),
+            debug_panic_route: config.debug_panic_route,
             pool_view: OnceLock::new(),
         });
 
@@ -245,7 +253,28 @@ impl Reply {
 }
 
 fn route(shared: &ServerShared, conn: &mut TcpStream, request: &Request) {
-    let reply = match (request.method.as_str(), request.path.as_str()) {
+    // Route-level containment (the inner of two layers — the worker loop in
+    // pool.rs carries the outer one): a panic escaping any handler becomes
+    // a 500 on *this* connection plus a `panics_total` tick. Without it the
+    // peer would see a silently dropped connection.
+    let reply = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dispatch(shared, request)
+    })) {
+        Ok(reply) => reply,
+        Err(_) => {
+            shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+            Reply::error(500, "internal error: handler panicked")
+        }
+    };
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(value) = reply.cache_header {
+        headers.push(("x-ultra-cache", value));
+    }
+    write_response(shared, conn, reply.status, &headers, &reply.body);
+}
+
+fn dispatch(shared: &ServerShared, request: &Request) -> Reply {
+    match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/expand") => {
             let sw = Stopwatch::start();
             let reply = handle_expand(shared, &request.body);
@@ -264,16 +293,18 @@ fn route(shared: &ServerShared, conn: &mut TcpStream, request: &Request) {
             shared.metrics.metrics_latency.record(sw.elapsed_micros());
             reply
         }
+        ("POST", "/debug/panic") if shared.debug_panic_route => {
+            // Deliberate panic source for exercising the containment path
+            // end-to-end; compiled in but unreachable unless the operator
+            // opted in via `ServerConfig::debug_panic_route`.
+            // ultra-lint: allow(no-panic-in-lib) test-only route behind an off-by-default config flag
+            panic!("debug panic route triggered")
+        }
         (_, "/expand") | (_, "/healthz") | (_, "/metrics") => {
             Reply::error(405, &format!("method {} not allowed here", request.method))
         }
         (_, path) => Reply::error(404, &format!("no route for `{path}`")),
-    };
-    let mut headers: Vec<(&str, &str)> = Vec::new();
-    if let Some(value) = reply.cache_header {
-        headers.push(("x-ultra-cache", value));
     }
-    write_response(shared, conn, reply.status, &headers, &reply.body);
 }
 
 fn handle_expand(shared: &ServerShared, body: &[u8]) -> Reply {

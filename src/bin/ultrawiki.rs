@@ -310,6 +310,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         addr: format!("127.0.0.1:{port}"),
         workers,
         queue_capacity: queue,
+        ..ServerConfig::default()
     };
     match Server::start(engine, server_cfg) {
         Ok(handle) => {

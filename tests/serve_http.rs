@@ -41,6 +41,7 @@ fn start_server() -> ServerHandle {
             addr: "127.0.0.1:0".into(),
             workers: 4,
             queue_capacity: 64,
+            debug_panic_route: true,
         },
     )
     .expect("server starts")
@@ -184,6 +185,42 @@ fn metrics_count_traffic_and_cache_outcomes() {
     assert!(cache.get("hits").and_then(serde_json::Value::as_u64) >= Some(1));
     let expand = snap.get("expand_latency").expect("expand histogram");
     assert!(expand.get("count").and_then(serde_json::Value::as_u64) >= Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn a_panicking_handler_answers_500_and_the_pool_keeps_serving() {
+    let handle = start_server();
+
+    // Establish a baseline answer before anything panics.
+    let before = roundtrip(&handle, "POST", "/expand", &expand_body(0, 5));
+    assert_eq!(before.status, 200);
+
+    // The debug route panics inside the handler; containment must turn
+    // that into a JSON 500 on this very connection.
+    let boom = roundtrip(&handle, "POST", "/debug/panic", b"");
+    assert_eq!(
+        boom.status, 500,
+        "panic surfaces as 500, not a dropped conn"
+    );
+    let err: serde_json::Value = serde_json::from_slice(&boom.body).expect("json error body");
+    assert!(err.get("error").is_some());
+
+    // Every worker survives: more requests than workers all still answer,
+    // and the expansion bytes are identical to the pre-panic answer.
+    for _ in 0..8 {
+        let after = roundtrip(&handle, "POST", "/expand", &expand_body(0, 5));
+        assert_eq!(after.status, 200);
+        assert_eq!(after.body, before.body, "byte-identical after the panic");
+    }
+
+    // The incident is counted.
+    let resp = roundtrip(&handle, "GET", "/metrics", b"");
+    let snap: serde_json::Value = serde_json::from_slice(&resp.body).expect("json");
+    assert!(
+        snap.get("panics_total").and_then(serde_json::Value::as_u64) >= Some(1),
+        "panics_total records the caught panic"
+    );
     handle.shutdown();
 }
 
