@@ -1,0 +1,426 @@
+//! The differential gate: a committed snapshot of accepted findings, so CI
+//! fails only on *new* ones.
+//!
+//! Retrofitting a new rule onto a living workspace surfaces pre-existing
+//! findings that are real but not this PR's fault. Instead of waiving them
+//! one by one (or worse, weakening the rule), `ultra-lint --write-baseline
+//! lint-baseline.json` snapshots the current findings, the file is
+//! committed, and `ultra-lint --baseline lint-baseline.json` fails only on
+//! findings beyond the snapshot. The snapshot shrinks monotonically: fixing
+//! a finding leaves a stale baseline entry, which the comparison reports so
+//! the file gets re-written smaller.
+//!
+//! Findings are keyed by `(rule, path, message)` — deliberately **not** by
+//! line, so unrelated edits that shift code downward do not churn the
+//! baseline. Identical findings at several sites in one file are handled by
+//! a `count` per key: the gate fires when a key's multiplicity grows.
+//!
+//! The file format is a stable, sorted JSON document (the lint crate has no
+//! runtime dependencies, so both the writer and the parser are hand-rolled):
+//!
+//! ```json
+//! {"version":1,"findings":[
+//!   {"rule":"no-panic-in-lib","path":"crates/x/src/a.rs","message":"...","count":2}
+//! ]}
+//! ```
+
+use crate::rules::Diagnostic;
+use std::collections::BTreeMap;
+
+/// One accepted finding key with its multiplicity.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineFinding {
+    /// Rule name (`no-tainted-ranking`, …).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Exact diagnostic message.
+    pub message: String,
+    /// How many sites share this (rule, path, message).
+    pub count: usize,
+}
+
+/// A parsed (or freshly computed) baseline snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Accepted findings, sorted by (rule, path, message).
+    pub findings: Vec<BaselineFinding>,
+}
+
+/// Result of comparing a run against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Indices into the compared violation slice that exceed the snapshot.
+    pub new: Vec<usize>,
+    /// Baseline keys the run no longer produces (candidates for rewrite).
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    /// Builds a snapshot from a run's violations.
+    pub fn from_violations(violations: &[Diagnostic]) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for d in violations {
+            *counts
+                .entry((d.rule.name().to_string(), d.path.clone(), d.message.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            findings: counts
+                .into_iter()
+                .map(|((rule, path, message), count)| BaselineFinding {
+                    rule,
+                    path,
+                    message,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Marks each violation as known (covered by the snapshot) or new, and
+    /// collects snapshot keys the run no longer hits.
+    pub fn diff(&self, violations: &[Diagnostic]) -> BaselineDiff {
+        let mut budget: BTreeMap<(&str, &str, &str), usize> = self
+            .findings
+            .iter()
+            .map(|f| {
+                (
+                    (f.rule.as_str(), f.path.as_str(), f.message.as_str()),
+                    f.count,
+                )
+            })
+            .collect();
+        let mut diff = BaselineDiff::default();
+        for (i, d) in violations.iter().enumerate() {
+            let key = (d.rule.name(), d.path.as_str(), d.message.as_str());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => diff.new.push(i),
+            }
+        }
+        for ((rule, path, message), n) in budget {
+            if n > 0 {
+                diff.stale
+                    .push(format!("{rule} @ {path}: {message} (×{n} unmatched)"));
+            }
+        }
+        diff
+    }
+
+    /// Renders the stable JSON document (sorted; one finding per line so
+    /// diffs of the committed file read naturally).
+    pub fn render(&self) -> String {
+        if self.findings.is_empty() {
+            return String::from("{\"version\":1,\"findings\":[]}\n");
+        }
+        let mut out = String::from("{\"version\":1,\"findings\":[\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"rule\":{},\"path\":{},\"message\":{},\"count\":{}}}",
+                json_str(&f.rule),
+                json_str(&f.path),
+                json_str(&f.message),
+                f.count
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parses a baseline document (accepts anything [`Baseline::render`]
+    /// emits, plus arbitrary whitespace).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let doc = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        let Json::Object(doc) = doc else {
+            return Err("top level must be an object".into());
+        };
+        match doc.get("version") {
+            Some(Json::Number(1)) => {}
+            Some(Json::Number(v)) => return Err(format!("unsupported baseline version {v}")),
+            _ => return Err("missing `version`".into()),
+        }
+        let Some(Json::Array(raw)) = doc.get("findings") else {
+            return Err("missing `findings` array".into());
+        };
+        let mut findings = Vec::with_capacity(raw.len());
+        for (i, item) in raw.iter().enumerate() {
+            let Json::Object(f) = item else {
+                return Err(format!("findings[{i}] is not an object"));
+            };
+            let get_str = |key: &str| -> Result<String, String> {
+                match f.get(key) {
+                    Some(Json::String(s)) => Ok(s.clone()),
+                    _ => Err(format!("findings[{i}] is missing string `{key}`")),
+                }
+            };
+            let count = match f.get("count") {
+                Some(Json::Number(n)) => *n as usize,
+                _ => return Err(format!("findings[{i}] is missing numeric `count`")),
+            };
+            findings.push(BaselineFinding {
+                rule: get_str("rule")?,
+                path: get_str("path")?,
+                message: get_str("message")?,
+                count,
+            });
+        }
+        findings.sort();
+        Ok(Baseline { findings })
+    }
+}
+
+/// JSON string literal with RFC 8259 escaping (duplicated from the CLI so
+/// the library stays dependency-free in both directions).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The subset of JSON the baseline needs: objects, arrays, strings with the
+/// escapes [`json_str`] emits, and non-negative integers.
+#[derive(Debug)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    Number(u64),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.consume(b':')?;
+                    map.insert(key, self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Object(map));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => self.string().map(Json::String),
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+                text.parse()
+                    .map(Json::Number)
+                    .map_err(|_| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let Some(c) = s.chars().next() else {
+                        return Err("unterminated string".into());
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn diag(rule: Rule, path: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: rule.severity(),
+            path: path.into(),
+            line,
+            message: message.into(),
+            suggestion: "",
+            chain: Vec::new(),
+            origin: None,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let violations = vec![
+            diag(Rule::NoPanicInLib, "crates/x/src/a.rs", 10, "m \"quoted\""),
+            diag(Rule::NoPanicInLib, "crates/x/src/a.rs", 40, "m \"quoted\""),
+            diag(Rule::NoTaintedRanking, "crates/y/src/b.rs", 7, "tainted"),
+        ];
+        let base = Baseline::from_violations(&violations);
+        assert_eq!(base.findings.len(), 2, "same-message sites aggregate");
+        assert_eq!(base.findings[0].count, 2);
+        let parsed = Baseline::parse(&base.render()).expect("parses own output");
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn diff_flags_only_findings_beyond_the_snapshot() {
+        let old = vec![diag(Rule::NoPanicInLib, "a.rs", 10, "m")];
+        let base = Baseline::from_violations(&old);
+
+        // Same finding, shifted line: covered.
+        let shifted = vec![diag(Rule::NoPanicInLib, "a.rs", 25, "m")];
+        let d = base.diff(&shifted);
+        assert!(d.new.is_empty());
+        assert!(d.stale.is_empty());
+
+        // A second site with the same message exceeds the count.
+        let grown = vec![
+            diag(Rule::NoPanicInLib, "a.rs", 10, "m"),
+            diag(Rule::NoPanicInLib, "a.rs", 90, "m"),
+        ];
+        let d = base.diff(&grown);
+        assert_eq!(d.new, vec![1]);
+
+        // A different rule/path/message is new; the unmatched key is stale.
+        let changed = vec![diag(Rule::NoTaintedRanking, "b.rs", 3, "other")];
+        let d = base.diff(&changed);
+        assert_eq!(d.new, vec![0]);
+        assert_eq!(d.stale.len(), 1);
+        assert!(d.stale[0].contains("no-panic-in-lib @ a.rs"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"version\":2,\"findings\":[]}").is_err());
+        assert!(Baseline::parse("{\"version\":1}").is_err());
+        assert!(Baseline::parse("{\"version\":1,\"findings\":[{}]}").is_err());
+        assert!(Baseline::parse("{\"version\":1,\"findings\":[]}extra").is_err());
+        assert!(Baseline::parse("{\"version\":1,\"findings\":[]}")
+            .expect("ok")
+            .findings
+            .is_empty());
+    }
+}

@@ -41,16 +41,18 @@ pub struct CrossAnalysis {
 }
 
 /// A function's global identity: (file index, fn index within the file).
-type FnId = (usize, usize);
+pub(crate) type FnId = (usize, usize);
 
-struct Graph<'a> {
-    models: &'a [FileModel],
+/// The heuristic workspace call graph. Shared with [`crate::dataflow`],
+/// whose taint propagation follows the same resolution layering.
+pub(crate) struct Graph<'a> {
+    pub(crate) models: &'a [FileModel],
     /// (crate key, fn name) → definitions, in (file, fn) order.
     by_crate: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
 }
 
 impl<'a> Graph<'a> {
-    fn build(models: &'a [FileModel]) -> Graph<'a> {
+    pub(crate) fn build(models: &'a [FileModel]) -> Graph<'a> {
         let mut by_crate: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
         for (fi, m) in models.iter().enumerate() {
             for (fj, f) in m.fns.iter().enumerate() {
@@ -69,7 +71,7 @@ impl<'a> Graph<'a> {
     /// Resolves a call made in `file` to workspace definitions (see the
     /// module docs for the same-file → same-crate → imports layering).
     /// Empty means unresolved.
-    fn resolve(&self, file: usize, callee: &str) -> Vec<FnId> {
+    pub(crate) fn resolve(&self, file: usize, callee: &str) -> Vec<FnId> {
         let m = &self.models[file];
         let same_file: Vec<FnId> = m
             .fns
@@ -208,6 +210,7 @@ fn check_panic_reachability(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
                     suggestion: "return an error (or pre-validate) on serve paths — a panic \
                                  here kills a worker; waive only with a bounds/invariant proof",
                     chain: chain_to(graph, &parent, entry, id),
+                    origin: None,
                 });
             }
             for call in &f.calls {
@@ -411,6 +414,7 @@ fn check_lock_order(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
                              owning the locks, and release the first guard before crossing \
                              into code that takes the other",
                 chain: Vec::new(),
+                origin: None,
             });
         }
     }
@@ -437,6 +441,7 @@ fn check_hot_loops(models: &[FileModel], out: &mut Vec<Diagnostic>) {
                                  `with_capacity` and reuse it) or restructure into a bulk \
                                  operation outside the loop",
                     chain: Vec::new(),
+                    origin: None,
                 });
             }
         }

@@ -1,4 +1,4 @@
-//! The `lint.toml` allowlist.
+//! The `lint.toml` allowlist and sanitizer registry.
 //!
 //! Format (a TOML subset parsed without external crates — the build
 //! environment has no crates.io access):
@@ -9,7 +9,16 @@
 //! path = "crates/data/src/export.rs"
 //! line = 42            # optional: omit to waive the rule file-wide
 //! reason = "why this is sound"
+//!
+//! [[sanitizer]]
+//! function = "canonical_order"
+//! reason = "sorts by (score, id) before returning"
 //! ```
+//!
+//! `[[allow]]` waives one finding; `[[sanitizer]]` teaches the L10 taint
+//! pass that a workspace function kills order-taint (its result no longer
+//! depends on iteration order), so every flow through it is clean — a
+//! stronger, reviewable claim than waiving each downstream sink.
 //!
 //! Every entry must carry a non-empty `reason`: a waiver without a
 //! justification is a violation of the policy, not an exception to it.
@@ -38,11 +47,23 @@ impl AllowEntry {
     }
 }
 
-/// Parsed allowlist.
+/// One `[[sanitizer]]` entry: a workspace function L10 treats as killing
+/// order-taint.
+#[derive(Clone, Debug)]
+pub struct SanitizerEntry {
+    /// Function name (last path segment, as called).
+    pub function: String,
+    /// Why its output is order-insensitive (required, non-empty).
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
-    /// All entries, in file order.
+    /// All `[[allow]]` entries, in file order.
     pub entries: Vec<AllowEntry>,
+    /// All `[[sanitizer]]` entries, in file order.
+    pub sanitizers: Vec<SanitizerEntry>,
 }
 
 /// A `lint.toml` parse failure, with its 1-based line.
@@ -62,7 +83,7 @@ impl std::fmt::Display for ConfigError {
 
 /// An `[[allow]]` entry mid-parse: optional rule/path/line/reason fields
 /// plus the line number of the entry header (for error messages).
-type PartialEntry = (
+type PartialAllow = (
     Option<Rule>,
     Option<String>,
     Option<u32>,
@@ -70,48 +91,20 @@ type PartialEntry = (
     u32,
 );
 
+/// A `[[sanitizer]]` entry mid-parse: (function, reason, header line).
+type PartialSanitizer = (Option<String>, Option<String>, u32);
+
+/// Which table the parser is inside.
+enum Current {
+    Allow(PartialAllow),
+    Sanitizer(PartialSanitizer),
+}
+
 impl Allowlist {
     /// Parses the `lint.toml` text.
     pub fn parse(text: &str) -> Result<Allowlist, ConfigError> {
-        let mut entries: Vec<AllowEntry> = Vec::new();
-        // Fields of the entry currently being assembled:
-        // (rule, path, line, reason, line number of the `[[allow]]` header).
-        let mut current: Option<PartialEntry> = None;
-        let finish =
-            |cur: Option<PartialEntry>, entries: &mut Vec<AllowEntry>| -> Result<(), ConfigError> {
-                let Some((rule, path, line, reason, at)) = cur else {
-                    return Ok(());
-                };
-                let err = |message: String| ConfigError { line: at, message };
-                let rule = rule.ok_or_else(|| err("entry is missing `rule`".into()))?;
-                let path = path.ok_or_else(|| err("entry is missing `path`".into()))?;
-                let reason = reason.ok_or_else(|| err("entry is missing `reason`".into()))?;
-                if reason.trim().is_empty() {
-                    return Err(err("`reason` must not be empty".into()));
-                }
-                // A duplicated (rule, path, line) entry is rot: the second
-                // copy can never match anything the first did not already
-                // waive, yet both read as live policy.
-                if entries
-                    .iter()
-                    .any(|e| e.rule == rule && e.path == path && e.line == line)
-                {
-                    let at_line = line.map(|l| format!(":{l}")).unwrap_or_default();
-                    return Err(err(format!(
-                        "duplicate [[allow]] entry for `{} @ {}{}`",
-                        rule.name(),
-                        path,
-                        at_line
-                    )));
-                }
-                entries.push(AllowEntry {
-                    rule,
-                    path,
-                    line,
-                    reason,
-                });
-                Ok(())
-            };
+        let mut out = Allowlist::default();
+        let mut current: Option<Current> = None;
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx as u32 + 1;
             let line = strip_comment(raw).trim();
@@ -119,14 +112,21 @@ impl Allowlist {
                 continue;
             }
             if line == "[[allow]]" {
-                finish(current.take(), &mut entries)?;
-                current = Some((None, None, None, None, lineno));
+                finish(current.take(), &mut out)?;
+                current = Some(Current::Allow((None, None, None, None, lineno)));
+                continue;
+            }
+            if line == "[[sanitizer]]" {
+                finish(current.take(), &mut out)?;
+                current = Some(Current::Sanitizer((None, None, lineno)));
                 continue;
             }
             if line.starts_with('[') {
                 return Err(ConfigError {
                     line: lineno,
-                    message: format!("unknown table `{line}` (only [[allow]] is supported)"),
+                    message: format!(
+                        "unknown table `{line}` (only [[allow]] and [[sanitizer]] are supported)"
+                    ),
                 });
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -135,42 +135,121 @@ impl Allowlist {
                     message: format!("expected `key = value`, got `{line}`"),
                 });
             };
-            let Some(cur) = current.as_mut() else {
-                return Err(ConfigError {
-                    line: lineno,
-                    message: "key outside any [[allow]] entry".into(),
-                });
-            };
             let key = key.trim();
             let value = value.trim();
-            match key {
-                "rule" => {
-                    let name = parse_string(value, lineno)?;
-                    let rule = Rule::from_name(&name).ok_or_else(|| ConfigError {
-                        line: lineno,
-                        message: format!("unknown rule `{name}`"),
-                    })?;
-                    cur.0 = Some(rule);
-                }
-                "path" => cur.1 = Some(parse_string(value, lineno)?),
-                "line" => {
-                    let n: u32 = value.parse().map_err(|_| ConfigError {
-                        line: lineno,
-                        message: format!("`line` must be an integer, got `{value}`"),
-                    })?;
-                    cur.2 = Some(n);
-                }
-                "reason" => cur.3 = Some(parse_string(value, lineno)?),
-                other => {
+            match current.as_mut() {
+                None => {
                     return Err(ConfigError {
                         line: lineno,
-                        message: format!("unknown key `{other}`"),
+                        message: "key outside any [[allow]] or [[sanitizer]] entry".into(),
                     });
                 }
+                Some(Current::Allow(cur)) => match key {
+                    "rule" => {
+                        let name = parse_string(value, lineno)?;
+                        let rule = Rule::from_name(&name).ok_or_else(|| ConfigError {
+                            line: lineno,
+                            message: format!("unknown rule `{name}`"),
+                        })?;
+                        cur.0 = Some(rule);
+                    }
+                    "path" => cur.1 = Some(parse_string(value, lineno)?),
+                    "line" => {
+                        let n: u32 = value.parse().map_err(|_| ConfigError {
+                            line: lineno,
+                            message: format!("`line` must be an integer, got `{value}`"),
+                        })?;
+                        cur.2 = Some(n);
+                    }
+                    "reason" => cur.3 = Some(parse_string(value, lineno)?),
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown key `{other}` in [[allow]]"),
+                        });
+                    }
+                },
+                Some(Current::Sanitizer(cur)) => match key {
+                    "function" => {
+                        let name = parse_string(value, lineno)?;
+                        if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                            || name.is_empty()
+                        {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!(
+                                    "`function` must be a bare function name, got `{name}`"
+                                ),
+                            });
+                        }
+                        cur.0 = Some(name);
+                    }
+                    "reason" => cur.1 = Some(parse_string(value, lineno)?),
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown key `{other}` in [[sanitizer]]"),
+                        });
+                    }
+                },
             }
         }
-        finish(current.take(), &mut entries)?;
-        Ok(Allowlist { entries })
+        finish(current.take(), &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Validates and commits the entry currently being assembled.
+fn finish(cur: Option<Current>, out: &mut Allowlist) -> Result<(), ConfigError> {
+    match cur {
+        None => Ok(()),
+        Some(Current::Allow((rule, path, line, reason, at))) => {
+            let err = |message: String| ConfigError { line: at, message };
+            let rule = rule.ok_or_else(|| err("entry is missing `rule`".into()))?;
+            let path = path.ok_or_else(|| err("entry is missing `path`".into()))?;
+            let reason = reason.ok_or_else(|| err("entry is missing `reason`".into()))?;
+            if reason.trim().is_empty() {
+                return Err(err("`reason` must not be empty".into()));
+            }
+            // A duplicated (rule, path, line) entry is rot: the second copy
+            // can never match anything the first did not already waive, yet
+            // both read as live policy.
+            if out
+                .entries
+                .iter()
+                .any(|e| e.rule == rule && e.path == path && e.line == line)
+            {
+                let at_line = line.map(|l| format!(":{l}")).unwrap_or_default();
+                return Err(err(format!(
+                    "duplicate [[allow]] entry for `{} @ {}{}`",
+                    rule.name(),
+                    path,
+                    at_line
+                )));
+            }
+            out.entries.push(AllowEntry {
+                rule,
+                path,
+                line,
+                reason,
+            });
+            Ok(())
+        }
+        Some(Current::Sanitizer((function, reason, at))) => {
+            let err = |message: String| ConfigError { line: at, message };
+            let function = function.ok_or_else(|| err("entry is missing `function`".into()))?;
+            let reason = reason.ok_or_else(|| err("entry is missing `reason`".into()))?;
+            if reason.trim().is_empty() {
+                return Err(err("`reason` must not be empty".into()));
+            }
+            if out.sanitizers.iter().any(|s| s.function == function) {
+                return Err(err(format!(
+                    "duplicate [[sanitizer]] entry for `{function}`"
+                )));
+            }
+            out.sanitizers.push(SanitizerEntry { function, reason });
+            Ok(())
+        }
     }
 }
 
@@ -232,6 +311,7 @@ reason = "feeds a commutative integer sum"
             message: String::new(),
             suggestion: "",
             chain: Vec::new(),
+            origin: None,
         };
         assert!(list.entries[0].matches(&d));
         assert!(!list.entries[1].matches(&d));
@@ -244,6 +324,7 @@ reason = "feeds a commutative integer sum"
             message: String::new(),
             suggestion: "",
             chain: Vec::new(),
+            origin: None,
         };
         assert!(list.entries[1].matches(&d2));
     }
@@ -288,5 +369,38 @@ reason = "feeds a commutative integer sum"
             .expect("ok")
             .entries
             .is_empty());
+    }
+
+    #[test]
+    fn sanitizer_entries_parse_and_validate() {
+        let toml = r#"
+[[sanitizer]]
+function = "canonical_order"
+reason = "sorts by (score, id) before returning"
+
+[[allow]]
+rule = "no-panic-in-lib"
+path = "x.rs"
+reason = "fine"
+"#;
+        let list = Allowlist::parse(toml).expect("parses");
+        assert_eq!(list.sanitizers.len(), 1);
+        assert_eq!(list.sanitizers[0].function, "canonical_order");
+        assert_eq!(list.entries.len(), 1);
+
+        // Missing reason.
+        let bad = "[[sanitizer]]\nfunction = \"f\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+        // Not a bare identifier.
+        let bad = "[[sanitizer]]\nfunction = \"a::b\"\nreason = \"r\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+        // Duplicate function.
+        let dup = "[[sanitizer]]\nfunction = \"f\"\nreason = \"a\"\n\
+                   [[sanitizer]]\nfunction = \"f\"\nreason = \"b\"\n";
+        let err = Allowlist::parse(dup).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{}", err.message);
+        // Unknown key inside [[sanitizer]].
+        let bad = "[[sanitizer]]\nfunction = \"f\"\npath = \"x.rs\"\nreason = \"r\"\n";
+        assert!(Allowlist::parse(bad).is_err());
     }
 }

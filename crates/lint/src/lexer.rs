@@ -17,8 +17,11 @@ pub enum TokKind {
     Punct(char),
     /// String/char/byte literal (contents dropped).
     Literal,
-    /// Numeric literal.
+    /// Integer literal (no decimal point).
     Number,
+    /// Float literal (contains a decimal point) — L12 uses the distinction
+    /// to recognise float accumulator initialisers like `0.0`.
+    Float,
     /// Lifetime such as `'a`.
     Lifetime,
 }
@@ -141,6 +144,33 @@ pub fn lex(src: &str) -> Lexed {
                 });
                 line += count_lines(start, i.min(bytes.len()));
             }
+            // Byte-string literal `b"..."` — same escape rules as a plain
+            // string, with the `b` prefix consumed so it does not surface as
+            // a stray identifier.
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let start = i;
+                i += 2;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                line += count_lines(start, i.min(bytes.len()));
+            }
+            // Byte-char literal `b'x'`: skip the prefix and let the `'` arm
+            // classify what follows (it is never a lifetime).
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                i += 1;
+            }
             b'r' | b'b' if is_raw_string_start(bytes, i) => {
                 let start = i;
                 // Skip `r`/`br`/`rb` prefix.
@@ -211,21 +241,27 @@ pub fn lex(src: &str) -> Lexed {
             }
             c if c.is_ascii_digit() => {
                 // Numbers (incl. hex/underscores/floats); precise shape is
-                // irrelevant to the rules, so consume greedily.
+                // irrelevant beyond int-vs-float, so consume greedily.
+                let mut saw_dot = false;
                 while matches!(bytes.get(i), Some(&c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'.')
                 {
                     // Stop a method call on a literal (`1.max(2)`) from
                     // swallowing the ident: only consume `.` when followed
                     // by a digit.
-                    if bytes[i] == b'.'
-                        && !matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())
-                    {
-                        break;
+                    if bytes[i] == b'.' {
+                        if !matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()) {
+                            break;
+                        }
+                        saw_dot = true;
                     }
                     i += 1;
                 }
                 out.tokens.push(Tok {
-                    kind: TokKind::Number,
+                    kind: if saw_dot {
+                        TokKind::Float
+                    } else {
+                        TokKind::Number
+                    },
                     line,
                 });
             }
@@ -266,6 +302,14 @@ fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
 /// Extracts `ultra-lint: allow(rule-a, rule-b)` or `ultra-lint: hot` from a
 /// comment's text.
 fn scan_directive(comment: &str, line: u32, out: &mut Lexed) {
+    // Doc comments *describe* directives; only plain comments *are*
+    // directives.
+    if ["///", "//!", "/**", "/*!"]
+        .iter()
+        .any(|p| comment.starts_with(p))
+    {
+        return;
+    }
     let Some(pos) = comment.find("ultra-lint:") else {
         return;
     };
@@ -537,6 +581,68 @@ mod tests {
         let pos_of = |name: &str| lexed.tokens.iter().position(|t| t.is_ident(name)).unwrap();
         assert!(mask[pos_of("HashMap")]);
         assert!(!mask[pos_of("unwrap")], "the following fn is live code");
+    }
+
+    #[test]
+    fn byte_strings_hide_contents_and_emit_no_stray_ident() {
+        let src = "let magic = b\"thread_rng bytes\";\nlet raw = br#\"thread_rng raw \" bytes\"#;\nlet c = b'x';\nafter();";
+        let lexed = lex(src);
+        let ids: Vec<&str> = lexed.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(
+            ids,
+            vec!["let", "magic", "let", "raw", "let", "c", "after"],
+            "no `b` prefix ident, no literal contents"
+        );
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(literals, 3, "b\"..\", br#\"..\"#, b'x'");
+        let after = lexed.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn byte_string_escapes_and_multiline_contents_are_consumed() {
+        let src = "let a = b\"quote \\\" inside\nsecond line\";\nnext();";
+        let lexed = lex(src);
+        let next = lexed.tokens.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 3, "newline inside the byte string counted");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("inside")));
+    }
+
+    #[test]
+    fn unterminated_byte_string_ends_at_eof() {
+        let lexed = lex("let a = b\"never closed");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn floats_and_integers_are_distinguished() {
+        let lexed = lex("let a = 0.0; let b = 42; let c = 1_000.5f32; let d = 0x1f;");
+        let kinds: Vec<&TokKind> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Number | TokKind::Float))
+            .map(|t| &t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &TokKind::Float,
+                &TokKind::Number,
+                &TokKind::Float,
+                &TokKind::Number
+            ]
+        );
     }
 
     #[test]

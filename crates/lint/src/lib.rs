@@ -34,6 +34,20 @@
 //! * **L9 `no-alloc-in-hot-loop`** — no `push`/`collect`/`to_vec`/`clone`/
 //!   `format!` inside loops of functions marked `// ultra-lint: hot`.
 //!
+//! Three determinism-taint rules run over an interprocedural dataflow built
+//! on the same call graph (see [`dataflow`]):
+//!
+//! * **L10 `no-tainted-ranking`** — no nondeterminism source (hash-ordered
+//!   iteration, wall-clock, thread id, OS entropy, `env::var`, pointer
+//!   address) may flow — through locals, call arguments, and return
+//!   values — into a determinism sink (`RankedList` construction, serve
+//!   response bodies, dataset export, loss-curve accumulation) without
+//!   passing a sanitizer; findings print the source→sink chain like L7.
+//! * **L11 `seeded-rng-only`** — every RNG creation site must receive a
+//!   seed derived from config/query state.
+//! * **L12 `ordered-float-reduction`** — no float accumulation inside a
+//!   loop over a hash-ordered collection.
+//!
 //! Findings carry `file:line` locations, severities, and fix suggestions.
 //! Audited exceptions live in the workspace-root `lint.toml` (each with a
 //! mandatory justification) or as inline `// ultra-lint: allow(rule)`
@@ -41,8 +55,10 @@
 //! `#[test]` (`crates/lint/tests/workspace_clean.rs`), so tier-1 fails on
 //! any new violation.
 
+pub mod baseline;
 pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
@@ -151,8 +167,27 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
         .iter()
         .map(|(p, s)| (p.as_str(), s.as_str()))
         .collect();
-    let outcome = check_sources(&borrowed);
+    let sanitizer_names: Vec<String> = allowlist
+        .sanitizers
+        .iter()
+        .map(|s| s.function.clone())
+        .collect();
+    let outcome = check_sources_with(&borrowed, &sanitizer_names);
     report.unresolved_calls = outcome.unresolved_calls;
+    // Malformed inline directives fail the run the same way stale allowlist
+    // entries do: a waiver that never matches is policy rot either way.
+    report.stale_allows.extend(outcome.inline_allow_errors);
+    // A [[sanitizer]] naming a function no scanned source defines or calls
+    // is stale.
+    for s in &allowlist.sanitizers {
+        let mentioned = sources.iter().any(|(_, src)| src.contains(&s.function));
+        if !mentioned {
+            report.stale_allows.push(format!(
+                "sanitizer `{}` matches no scanned source ({})",
+                s.function, s.reason
+            ));
+        }
+    }
     let mut allow_used = vec![false; allowlist.entries.len()];
     for d in outcome.diagnostics {
         let mut waived = false;
@@ -191,11 +226,14 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
 /// Outcome of linting a batch of in-memory sources: diagnostics surviving
 /// inline waivers, plus the graph's unresolved-call count.
 pub struct BatchOutcome {
-    /// All findings (L1–L9), in per-file then cross-file order (callers
+    /// All findings (L1–L12), in per-file then cross-file order (callers
     /// that need a canonical order sort, as [`run_workspace`] does).
     pub diagnostics: Vec<Diagnostic>,
     /// See [`Report::unresolved_calls`].
     pub unresolved_calls: usize,
+    /// Inline `ultra-lint: allow(...)` directives naming unknown rules —
+    /// treated like stale allowlist entries by [`run_workspace`].
+    pub inline_allow_errors: Vec<String>,
 }
 
 /// Lints a batch of sources as one workspace: every file gets the
@@ -206,9 +244,16 @@ pub struct BatchOutcome {
 /// against the directives of the file it landed in; `lint.toml` waivers are
 /// applied by [`run_workspace`].
 pub fn check_sources(files: &[(&str, &str)]) -> BatchOutcome {
+    check_sources_with(files, &[])
+}
+
+/// [`check_sources`] with extra L10 order-sanitizer function names (from
+/// `lint.toml`'s `[[sanitizer]]` entries).
+pub fn check_sources_with(files: &[(&str, &str)], sanitizers: &[String]) -> BatchOutcome {
     let mut diags = Vec::new();
     let mut models = Vec::new();
     let mut allows: Vec<(&str, Vec<lexer::InlineAllow>)> = Vec::with_capacity(files.len());
+    let mut inline_allow_errors = Vec::new();
     for (rel_path, source) in files {
         let lexed = lexer::lex(source);
         let mask = lexer::test_code_mask(&lexed.tokens);
@@ -223,10 +268,21 @@ pub fn check_sources(files: &[(&str, &str)]) -> BatchOutcome {
         if ctx.is_lib {
             models.push(parser::build(rel_path, &lexed, &mask));
         }
+        for a in &lexed.allows {
+            for r in &a.rules {
+                if rules::Rule::from_name(r).is_none() {
+                    inline_allow_errors.push(format!(
+                        "inline allow({r}) @ {rel_path}:{} names no known rule",
+                        a.line
+                    ));
+                }
+            }
+        }
         allows.push((rel_path, lexed.allows));
     }
     let cross = callgraph::check_cross(&models);
     diags.extend(cross.diagnostics);
+    diags.extend(dataflow::check_taint(&models, sanitizers));
     // An inline directive waives its rules on the comment's own line and the
     // line that follows it (so a directive can sit above the flagged line).
     diags.retain(|d| {
@@ -241,6 +297,7 @@ pub fn check_sources(files: &[(&str, &str)]) -> BatchOutcome {
     BatchOutcome {
         diagnostics: diags,
         unresolved_calls: cross.unresolved_calls,
+        inline_allow_errors,
     }
 }
 
@@ -336,6 +393,7 @@ mod tests {
             message: String::new(),
             suggestion: "",
             chain: Vec::new(),
+            origin: None,
         };
         let mut r = Report::default();
         r.violations.push(warn);

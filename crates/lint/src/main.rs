@@ -4,15 +4,22 @@
 //! Exit codes: 0 = clean (or warnings only, with `--allow-warnings`),
 //! 1 = violations, 2 = analyzer/config error. Tier-1 runs the strict mode
 //! via `crates/lint/tests/workspace_clean.rs`.
+//!
+//! The differential gate: `--write-baseline lint-baseline.json` snapshots
+//! the current findings; `--baseline lint-baseline.json` fails only on
+//! findings beyond the snapshot (see [`ultra_lint::baseline`]).
 
 use std::path::PathBuf;
-use ultra_lint::rules::Severity;
+use ultra_lint::baseline::{Baseline, BaselineDiff};
+use ultra_lint::rules::{Rule, Severity};
 use ultra_lint::{run_workspace, Report};
 
 fn main() {
     let mut root: Option<PathBuf> = None;
     let mut deny_warnings = true;
     let mut json = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,6 +28,24 @@ fn main() {
             // Strict mode is the default; accepting the flag keeps CI
             // invocations self-documenting.
             "--deny-warnings" => deny_warnings = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ultra-lint: --baseline takes a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ultra-lint: --write-baseline takes a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--list-rules" => {
+                print!("{}", list_rules());
+                return;
+            }
             "--format" => match args.next().as_deref() {
                 Some("json") => json = true,
                 Some("text") => json = false,
@@ -35,13 +60,18 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "ultra-lint: determinism & panic-safety analyzer\n\n\
-                     USAGE: ultra-lint [--root <dir>] [--allow-warnings] [--format json|text]\n\n\
+                     USAGE: ultra-lint [--root <dir>] [--allow-warnings] [--format json|text]\n\
+                     \x20                 [--baseline <file>] [--write-baseline <file>] [--list-rules]\n\n\
                      Scans every .rs file under the workspace root (default:\n\
                      the directory containing this crate's workspace) and\n\
-                     enforces rules L1-L9 (L7-L9 run over a workspace call\n\
-                     graph); see README.md for the rule list and lint.toml\n\
-                     for the audited allowlist. `--format json` emits a\n\
-                     stable machine-readable report on stdout."
+                     enforces rules L1-L12 (L7-L9 run over a workspace call\n\
+                     graph, L10-L12 over an interprocedural taint dataflow);\n\
+                     `--list-rules` prints the rule table, README.md has the\n\
+                     details and lint.toml the audited allowlist.\n\n\
+                     `--format json` emits a stable machine-readable report\n\
+                     on stdout. `--write-baseline <file>` snapshots current\n\
+                     findings; `--baseline <file>` fails only on findings\n\
+                     beyond the snapshot (the differential CI gate)."
                 );
                 return;
             }
@@ -50,6 +80,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if baseline_path.is_some() && write_baseline_path.is_some() {
+        eprintln!("ultra-lint: --baseline and --write-baseline are mutually exclusive");
+        std::process::exit(2);
     }
     let root = root.unwrap_or_else(|| {
         // crates/lint -> workspace root.
@@ -67,50 +101,142 @@ fn main() {
         }
     };
 
-    if json {
-        println!("{}", render_json(&report));
-    } else {
-        for d in &report.violations {
-            println!("{d}");
+    if let Some(path) = write_baseline_path {
+        let snapshot = Baseline::from_violations(&report.violations);
+        if let Err(e) = std::fs::write(&path, snapshot.render()) {
+            eprintln!("ultra-lint: cannot write {}: {e}", path.display());
+            std::process::exit(2);
         }
-        for s in &report.stale_allows {
-            println!("lint.toml: stale allowlist entry: {s}");
-        }
-        let errors = report
-            .violations
-            .iter()
-            .filter(|d| d.severity == Severity::Error)
-            .count();
-        let warns = report.violations.len() - errors;
         println!(
-            "ultra-lint: {} files scanned, {errors} errors, {warns} warnings, {} allowed, \
-             {} stale allowlist entries, {} unresolved calls",
-            report.files_scanned,
-            report.allowed.len(),
-            report.stale_allows.len(),
-            report.unresolved_calls
+            "ultra-lint: wrote {} finding key(s) covering {} violation(s) to {}",
+            snapshot.findings.len(),
+            report.violations.len(),
+            path.display()
         );
+        // Snapshotting accepts the current state by definition; only
+        // analyzer-level rot (stale allowlist entries) still fails.
+        std::process::exit(if report.stale_allows.is_empty() { 0 } else { 1 });
     }
-    if report.failed(deny_warnings) {
+
+    let diff = match &baseline_path {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(base) => Some(base.diff(&report.violations)),
+                Err(e) => {
+                    eprintln!("ultra-lint: {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("ultra-lint: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+    };
+
+    if json {
+        println!("{}", render_json(&report, diff.as_ref()));
+    } else {
+        render_text(&report, diff.as_ref());
+    }
+    let failed = match &diff {
+        // Differential mode: only findings beyond the snapshot (plus
+        // allowlist rot) fail the gate.
+        Some(diff) => {
+            !report.stale_allows.is_empty()
+                || diff.new.iter().any(|&i| {
+                    let d = &report.violations[i];
+                    d.severity == Severity::Error || (deny_warnings && d.severity == Severity::Warn)
+                })
+        }
+        None => report.failed(deny_warnings),
+    };
+    if failed {
         std::process::exit(1);
     }
 }
 
-/// Renders the report as JSON. Schema (stable; additions only):
+/// The `--list-rules` table (also asserted against the registry in tests).
+fn list_rules() -> String {
+    let mut out = String::from("ID   NAME                           SEVERITY  SCOPE\n");
+    for rule in Rule::ALL {
+        out.push_str(&format!(
+            "{:<4} {:<30} {:<9} {}\n         {}\n",
+            rule.id(),
+            rule.name(),
+            rule.severity().to_string(),
+            rule.scope(),
+            rule.describe(),
+        ));
+    }
+    out
+}
+
+fn render_text(report: &Report, diff: Option<&BaselineDiff>) {
+    let new_set: Option<std::collections::BTreeSet<usize>> =
+        diff.map(|d| d.new.iter().copied().collect());
+    for (i, d) in report.violations.iter().enumerate() {
+        match &new_set {
+            Some(new) if !new.contains(&i) => println!("{d}\n    [known: in baseline]"),
+            Some(_) => println!("{d}\n    [NEW: not in baseline]"),
+            None => println!("{d}"),
+        }
+    }
+    for s in &report.stale_allows {
+        println!("lint.toml: stale allowlist entry: {s}");
+    }
+    if let Some(diff) = diff {
+        for s in &diff.stale {
+            println!("baseline: stale entry (rewrite the snapshot): {s}");
+        }
+    }
+    let errors = report
+        .violations
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warns = report.violations.len() - errors;
+    let baseline_note = match diff {
+        Some(d) => format!(
+            ", {} new / {} known vs baseline",
+            d.new.len(),
+            report.violations.len() - d.new.len()
+        ),
+        None => String::new(),
+    };
+    println!(
+        "ultra-lint: {} files scanned, {errors} errors, {warns} warnings, {} allowed, \
+         {} stale allowlist entries, {} unresolved calls{baseline_note}",
+        report.files_scanned,
+        report.allowed.len(),
+        report.stale_allows.len(),
+        report.unresolved_calls
+    );
+}
+
+/// Renders the report as JSON. Schema v2 (stable; additions only):
 ///
 /// ```json
-/// {"version":1,
+/// {"version":2,
 ///  "files_scanned":N, "allowed":N, "unresolved_calls":N,
 ///  "violations":[{"rule":"...","severity":"...","path":"...","line":N,
 ///                 "message":"...","suggestion":"...",
+///                 "origin":{"desc":"...","path":"...","line":N} | null,
+///                 "new":true|false,          // only with --baseline
 ///                 "chain":[{"function":"...","path":"...","line":N}]}],
-///  "stale_allows":["..."]}
+///  "stale_allows":["..."],
+///  "baseline":{"known":N,"new":N,"stale":["..."]}}  // only with --baseline
 /// ```
 ///
+/// v2 over v1: `origin` on every violation (the taint source for L10, null
+/// otherwise), and the `new`/`baseline` fields in differential mode.
 /// Hand-rolled (no crates.io in the build image); strings are escaped per
 /// RFC 8259.
-fn render_json(report: &Report) -> String {
-    let mut out = String::from("{\"version\":1");
+fn render_json(report: &Report, diff: Option<&BaselineDiff>) -> String {
+    let new_set: Option<std::collections::BTreeSet<usize>> =
+        diff.map(|d| d.new.iter().copied().collect());
+    let mut out = String::from("{\"version\":2");
     out.push_str(&format!(",\"files_scanned\":{}", report.files_scanned));
     out.push_str(&format!(",\"allowed\":{}", report.allowed.len()));
     out.push_str(&format!(
@@ -123,7 +249,7 @@ fn render_json(report: &Report) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{},\"suggestion\":{},\"chain\":[",
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{},\"suggestion\":{}",
             json_str(d.rule.name()),
             json_str(&d.severity.to_string()),
             json_str(&d.path),
@@ -131,6 +257,19 @@ fn render_json(report: &Report) -> String {
             json_str(&d.message),
             json_str(d.suggestion),
         ));
+        match &d.origin {
+            Some(o) => out.push_str(&format!(
+                ",\"origin\":{{\"desc\":{},\"path\":{},\"line\":{}}}",
+                json_str(&o.desc),
+                json_str(&o.path),
+                o.line
+            )),
+            None => out.push_str(",\"origin\":null"),
+        }
+        if let Some(new) = &new_set {
+            out.push_str(&format!(",\"new\":{}", new.contains(&i)));
+        }
+        out.push_str(",\"chain\":[");
         for (j, frame) in d.chain.iter().enumerate() {
             if j > 0 {
                 out.push(',');
@@ -151,7 +290,22 @@ fn render_json(report: &Report) -> String {
         }
         out.push_str(&json_str(s));
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(diff) = diff {
+        out.push_str(&format!(
+            ",\"baseline\":{{\"known\":{},\"new\":{},\"stale\":[",
+            report.violations.len() - diff.new.len(),
+            diff.new.len()
+        ));
+        for (i, s) in diff.stale.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(s));
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
     out
 }
 
@@ -177,7 +331,46 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ultra_lint::rules::{ChainFrame, Diagnostic, Rule};
+    use ultra_lint::rules::{ChainFrame, Diagnostic, Rule, TaintOrigin};
+
+    fn sample_report() -> Report {
+        Report {
+            violations: vec![
+                Diagnostic {
+                    rule: Rule::NoPanicReachableFromServe,
+                    severity: Severity::Warn,
+                    path: "crates/serve/src/cache.rs".into(),
+                    line: 130,
+                    message: "indexing `shards[..]` panics out of bounds".into(),
+                    suggestion: "bound it",
+                    chain: vec![ChainFrame {
+                        function: "handle_expand".into(),
+                        path: "crates/serve/src/server.rs".into(),
+                        line: 279,
+                    }],
+                    origin: None,
+                },
+                Diagnostic {
+                    rule: Rule::NoTaintedRanking,
+                    severity: Severity::Warn,
+                    path: "crates/core/src/ranking.rs".into(),
+                    line: 51,
+                    message: "RankedList receives hash-ordered data".into(),
+                    suggestion: "sort first",
+                    chain: Vec::new(),
+                    origin: Some(TaintOrigin {
+                        desc: "iteration over hash-ordered `m`".into(),
+                        path: "crates/core/src/scores.rs".into(),
+                        line: 12,
+                    }),
+                },
+            ],
+            allowed: Vec::new(),
+            stale_allows: vec!["no-panic-in-lib @ x.rs (gone)".into()],
+            files_scanned: 3,
+            unresolved_calls: 7,
+        }
+    }
 
     #[test]
     fn json_escaping_is_rfc8259() {
@@ -187,41 +380,27 @@ mod tests {
 
     #[test]
     fn json_report_round_trips_through_serde() {
-        let report = Report {
-            violations: vec![Diagnostic {
-                rule: Rule::NoPanicReachableFromServe,
-                severity: Severity::Warn,
-                path: "crates/serve/src/cache.rs".into(),
-                line: 130,
-                message: "indexing `shards[..]` panics out of bounds".into(),
-                suggestion: "bound it",
-                chain: vec![ChainFrame {
-                    function: "handle_expand".into(),
-                    path: "crates/serve/src/server.rs".into(),
-                    line: 279,
-                }],
-            }],
-            allowed: Vec::new(),
-            stale_allows: vec!["no-panic-in-lib @ x.rs (gone)".into()],
-            files_scanned: 3,
-            unresolved_calls: 7,
-        };
-        let text = render_json(&report);
+        let report = sample_report();
+        let text = render_json(&report, None);
         let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         let num = |v: &serde_json::Value, k: &str| v.get(k).and_then(serde_json::Value::as_u64);
-        assert_eq!(num(&value, "version"), Some(1));
+        assert_eq!(num(&value, "version"), Some(2));
         assert_eq!(num(&value, "files_scanned"), Some(3));
         assert_eq!(num(&value, "unresolved_calls"), Some(7));
-        let violation = value
+        let violations = value
             .get("violations")
             .and_then(|v| v.as_array())
-            .and_then(|v| v.first())
-            .expect("one violation");
+            .expect("violations");
+        assert_eq!(violations.len(), 2);
         assert_eq!(
-            violation.get("rule").and_then(serde_json::Value::as_str),
+            violations[0]
+                .get("rule")
+                .and_then(serde_json::Value::as_str),
             Some("no-panic-reachable-from-serve")
         );
-        let frame = violation
+        assert!(violations[0].get("origin").expect("origin key").is_null());
+        assert!(violations[0].get("new").is_none(), "no baseline, no flag");
+        let frame = violations[0]
             .get("chain")
             .and_then(|v| v.as_array())
             .and_then(|v| v.first())
@@ -230,6 +409,11 @@ mod tests {
             frame.get("function").and_then(serde_json::Value::as_str),
             Some("handle_expand")
         );
+        let origin = violations[1].get("origin").expect("taint origin");
+        assert_eq!(
+            origin.get("line").and_then(serde_json::Value::as_u64),
+            Some(12)
+        );
         assert_eq!(
             value
                 .get("stale_allows")
@@ -237,6 +421,61 @@ mod tests {
                 .and_then(|v| v.first())
                 .and_then(serde_json::Value::as_str),
             Some("no-panic-in-lib @ x.rs (gone)")
+        );
+        assert!(value.get("baseline").is_none());
+    }
+
+    #[test]
+    fn json_differential_mode_marks_new_findings() {
+        let report = sample_report();
+        // Baseline knows only the first violation.
+        let base = ultra_lint::baseline::Baseline::from_violations(&report.violations[..1]);
+        let diff = base.diff(&report.violations);
+        let text = render_json(&report, Some(&diff));
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let violations = value
+            .get("violations")
+            .and_then(|v| v.as_array())
+            .expect("violations");
+        assert_eq!(
+            violations[0]
+                .get("new")
+                .and_then(serde_json::Value::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            violations[1]
+                .get("new")
+                .and_then(serde_json::Value::as_bool),
+            Some(true)
+        );
+        let baseline = value.get("baseline").expect("baseline summary");
+        assert_eq!(
+            baseline.get("known").and_then(serde_json::Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            baseline.get("new").and_then(serde_json::Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn list_rules_table_matches_the_registry() {
+        let table = list_rules();
+        for rule in Rule::ALL {
+            assert!(table.contains(rule.id()), "missing id {}", rule.id());
+            assert!(table.contains(rule.name()), "missing name {}", rule.name());
+            assert!(
+                table.contains(rule.describe()),
+                "missing description for {}",
+                rule.id()
+            );
+        }
+        assert_eq!(
+            table.lines().count(),
+            1 + 2 * Rule::ALL.len(),
+            "header plus two lines per rule"
         );
     }
 }

@@ -122,6 +122,12 @@ pub struct FnDef {
     /// Token index range of the body, braces included. Empty for body-less
     /// declarations (trait methods).
     pub body: Range<usize>,
+    /// Token index range of the signature after the name (parameter list
+    /// and return type). Empty for body-less declarations.
+    pub sig: Range<usize>,
+    /// Statement-level dataflow IR for the determinism-taint pass
+    /// (L10–L12); see [`crate::dataflow`].
+    pub flow: crate::dataflow::FnFlow,
     /// Defined inside `#[cfg(test)]` / `#[test]` code.
     pub in_test: bool,
     /// Carries an `// ultra-lint: hot` marker (L9's scope).
@@ -166,8 +172,9 @@ pub fn crate_key(path: &str) -> Option<String> {
     Some(krate.to_string())
 }
 
-/// Keywords that look like calls when followed by `(` but are not.
-const NON_CALL_KEYWORDS: [&str; 23] = [
+/// Keywords that look like calls when followed by `(` but are not. Shared
+/// with [`crate::dataflow`], which skips them as value identifiers too.
+pub(crate) const NON_CALL_KEYWORDS: [&str; 23] = [
     "if", "else", "while", "for", "loop", "match", "return", "let", "in", "as", "move", "fn",
     "pub", "use", "mod", "where", "unsafe", "break", "continue", "struct", "enum", "trait", "impl",
 ];
@@ -212,6 +219,11 @@ pub fn build(path: &str, lexed: &Lexed, mask: &[bool]) -> FileModel {
             }
             _ => {}
         }
+    }
+
+    let file_hash = crate::dataflow::file_hash_idents(toks);
+    for f in &mut fns {
+        f.flow = crate::dataflow::extract_flow(toks, &f.sig, &f.body, &file_hash);
     }
 
     FileModel {
@@ -481,12 +493,19 @@ fn find_fns(toks: &[Tok], mask: &[bool], hots: &[u32]) -> Vec<FnDef> {
             }
             j += 1;
         }
+        let sig = if body.is_empty() {
+            0..0
+        } else {
+            (i + 2).min(body.start)..body.start
+        };
         fns.push(FnDef {
             name: name.to_string(),
             line: toks[i].line,
             body,
+            sig,
             in_test: mask.get(i).copied().unwrap_or(false),
             hot: false,
+            flow: crate::dataflow::FnFlow::default(),
             calls: Vec::new(),
             panics: Vec::new(),
             locks: Vec::new(),

@@ -1,11 +1,13 @@
-//! The nine ultra-lint rules.
+//! The twelve ultra-lint rules.
 //!
 //! L1–L6 are pure functions over a single file's token stream (plus its
 //! test-code mask); L7–L9 are interprocedural and live in
-//! [`crate::callgraph`], but share the [`Rule`]/[`Diagnostic`] vocabulary
-//! defined here. Rules are heuristic by design: they over-approximate
-//! slightly and rely on the allowlist / inline directives for audited
-//! exceptions, which keeps every waiver visible and justified in the repo.
+//! [`crate::callgraph`]; L10–L12 run over the determinism-taint dataflow
+//! pass in [`crate::dataflow`]. All share the [`Rule`]/[`Diagnostic`]
+//! vocabulary defined here. Rules are heuristic by design: they
+//! over-approximate slightly and rely on the allowlist / inline directives
+//! for audited exceptions, which keeps every waiver visible and justified
+//! in the repo.
 
 use crate::lexer::{Tok, TokKind};
 use std::fmt;
@@ -31,11 +33,20 @@ pub enum Rule {
     LockOrder,
     /// L9: allocation inside a loop of a `// ultra-lint: hot` function.
     NoAllocInHotLoop,
+    /// L10: a nondeterminism source flows into a ranked/serialized output
+    /// sink (interprocedural taint).
+    NoTaintedRanking,
+    /// L11: an RNG creation site that does not syntactically receive a
+    /// config/query-derived seed.
+    SeededRngOnly,
+    /// L12: float accumulation inside a loop over a hash-ordered
+    /// collection.
+    OrderedFloatReduction,
 }
 
 impl Rule {
     /// Every rule, in documentation order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 12] = [
         Rule::NoUnseededRng,
         Rule::NoHashIterationOrder,
         Rule::NoNanUnwrapSort,
@@ -45,6 +56,9 @@ impl Rule {
         Rule::NoPanicReachableFromServe,
         Rule::LockOrder,
         Rule::NoAllocInHotLoop,
+        Rule::NoTaintedRanking,
+        Rule::SeededRngOnly,
+        Rule::OrderedFloatReduction,
     ];
 
     /// The kebab-case name used in configuration and output.
@@ -59,6 +73,9 @@ impl Rule {
             Rule::NoPanicReachableFromServe => "no-panic-reachable-from-serve",
             Rule::LockOrder => "lock-order",
             Rule::NoAllocInHotLoop => "no-alloc-in-hot-loop",
+            Rule::NoTaintedRanking => "no-tainted-ranking",
+            Rule::SeededRngOnly => "seeded-rng-only",
+            Rule::OrderedFloatReduction => "ordered-float-reduction",
         }
     }
 
@@ -67,14 +84,74 @@ impl Rule {
         Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 
-    /// Default severity. Everything is deny by default except L4 and L7,
-    /// whose violations in practice include audited boundary cases (e.g.
-    /// modulo-bounded indexing); they still fail the tier-1 gate unless
-    /// allowlisted (the gate runs with `--deny-warnings`), but read as
-    /// "warn" semantics in docs.
+    /// Stable short id (`L1`…`L12`), used by `--list-rules` and the docs.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoUnseededRng => "L1",
+            Rule::NoHashIterationOrder => "L2",
+            Rule::NoNanUnwrapSort => "L3",
+            Rule::NoPanicInLib => "L4",
+            Rule::NoWallclockInScoring => "L5",
+            Rule::NoRawThreadSpawn => "L6",
+            Rule::NoPanicReachableFromServe => "L7",
+            Rule::LockOrder => "L8",
+            Rule::NoAllocInHotLoop => "L9",
+            Rule::NoTaintedRanking => "L10",
+            Rule::SeededRngOnly => "L11",
+            Rule::OrderedFloatReduction => "L12",
+        }
+    }
+
+    /// One-line description, used by `--list-rules` and kept in sync with
+    /// README's rule table by `crates/lint/tests` assertions.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::NoUnseededRng => "thread_rng()/from_entropy() outside tests",
+            Rule::NoHashIterationOrder => "HashMap/HashSet iteration in ranked-output crates",
+            Rule::NoNanUnwrapSort => "partial_cmp + unwrap/default inside sort comparators",
+            Rule::NoPanicInLib => "unwrap/expect/panic macros in non-test library code",
+            Rule::NoWallclockInScoring => "Instant::now/SystemTime reads in library code",
+            Rule::NoRawThreadSpawn => "raw std::thread use outside the execution layer",
+            Rule::NoPanicReachableFromServe => "panic source reachable from a serve entry point",
+            Rule::LockOrder => "a pair of locks acquired in both orders",
+            Rule::NoAllocInHotLoop => "allocation inside a loop of a `hot` function",
+            Rule::NoTaintedRanking => {
+                "nondeterminism source flows into a ranked/serialized output sink"
+            }
+            Rule::SeededRngOnly => "RNG creation site without a config/query-derived seed",
+            Rule::OrderedFloatReduction => {
+                "float accumulation in a loop over a hash-ordered collection"
+            }
+        }
+    }
+
+    /// Which files the rule inspects, for `--list-rules`.
+    pub fn scope(self) -> &'static str {
+        match self {
+            Rule::NoUnseededRng | Rule::NoNanUnwrapSort => "all files",
+            Rule::NoHashIterationOrder => "ranked-output crates",
+            Rule::NoPanicInLib
+            | Rule::NoWallclockInScoring
+            | Rule::NoPanicReachableFromServe
+            | Rule::LockOrder
+            | Rule::NoAllocInHotLoop
+            | Rule::NoTaintedRanking
+            | Rule::SeededRngOnly
+            | Rule::OrderedFloatReduction => "library crates",
+            Rule::NoRawThreadSpawn => "library crates except par/serve",
+        }
+    }
+
+    /// Default severity. Everything is deny by default except L4, L7, and
+    /// L10, whose violations in practice include audited boundary cases
+    /// (e.g. modulo-bounded indexing, intentionally time-derived metrics);
+    /// they still fail the tier-1 gate unless allowlisted (the gate runs
+    /// with `--deny-warnings`), but read as "warn" semantics in docs.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::NoPanicInLib | Rule::NoPanicReachableFromServe => Severity::Warn,
+            Rule::NoPanicInLib | Rule::NoPanicReachableFromServe | Rule::NoTaintedRanking => {
+                Severity::Warn
+            }
             _ => Severity::Error,
         }
     }
@@ -111,6 +188,19 @@ pub struct ChainFrame {
     pub line: u32,
 }
 
+/// The nondeterminism source behind an L10 finding: what it is and where it
+/// enters the dataflow. The diagnostic itself points at the *sink*; this
+/// points at the *source*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaintOrigin {
+    /// Human description of the source ("iteration over hash-ordered `m`").
+    pub desc: String,
+    /// Workspace-relative path of the source site.
+    pub path: String,
+    /// 1-based line of the source site.
+    pub line: u32,
+}
+
 /// One finding: rule, location, message, and a suggested fix.
 #[derive(Clone, Debug)]
 pub struct Diagnostic {
@@ -126,9 +216,13 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it.
     pub suggestion: &'static str,
-    /// For L7: the call chain from the serve entry point down to the
-    /// function containing the panic site. Empty for every other rule.
+    /// For L7/L10: the call chain from the entry (serve handler for L7,
+    /// source function for L10) down to the function containing the finding
+    /// site. Empty for every other rule.
     pub chain: Vec<ChainFrame>,
+    /// For L10: the nondeterminism source feeding the sink. `None` for
+    /// every other rule.
+    pub origin: Option<TaintOrigin>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -142,6 +236,13 @@ impl fmt::Display for Diagnostic {
             self.rule.name(),
             self.message,
         )?;
+        if let Some(origin) = &self.origin {
+            write!(
+                f,
+                "\n    source: {} ({}:{})",
+                origin.desc, origin.path, origin.line
+            )?;
+        }
         if !self.chain.is_empty() {
             let rendered: Vec<String> = self
                 .chain
@@ -200,6 +301,7 @@ fn diag(
         message,
         suggestion,
         chain: Vec::new(),
+        origin: None,
     }
 }
 
@@ -234,7 +336,8 @@ fn is_rand_random(tokens: &[Tok], i: usize) -> bool {
 }
 
 /// Iteration adapters whose order reflects the hash map's internal layout.
-const HASH_ITER_METHODS: [&str; 8] = [
+/// Shared with [`crate::dataflow`], which treats them as taint sources.
+pub(crate) const HASH_ITER_METHODS: [&str; 8] = [
     "iter",
     "iter_mut",
     "keys",

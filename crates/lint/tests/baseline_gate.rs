@@ -1,0 +1,173 @@
+//! End-to-end differential gate: runs the real `ultra-lint` binary against
+//! a scratch workspace containing a tainted flow, snapshots it with
+//! `--write-baseline`, verifies `--baseline` passes on the snapshot, then
+//! introduces a fresh tainted flow and verifies the gate fails on — and
+//! only flags — the new finding.
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A scratch workspace under the target directory, removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("gate-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/core/src")).expect("mkdir");
+        Scratch { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        std::fs::write(self.root.join(rel), content).expect("write");
+    }
+
+    fn lint(&self, extra: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_ultra-lint"))
+            .arg("--root")
+            .arg(&self.root)
+            .args(extra)
+            .output()
+            .expect("run ultra-lint")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const TAINTED: &str = "\
+fn collect(m: &HashMap<u64, f32>) -> Vec<(u64, f32)> {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+fn rank(m: &HashMap<u64, f32>) -> RankedList {
+    RankedList::from_sorted(collect(m))
+}
+";
+
+const FRESH_FLOW: &str = "
+fn rank_again(m: &HashMap<u64, f32>) -> RankedList {
+    let pairs = collect(m);
+    RankedList::from_scores(pairs)
+}
+";
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn parse(out: &Output) -> Value {
+    let text = stdout(out);
+    serde_json::from_str(text.trim()).unwrap_or_else(|e| panic!("invalid JSON ({e:?}): {text}"))
+}
+
+fn violations(v: &Value) -> Vec<&Value> {
+    v.get("violations")
+        .and_then(Value::as_array)
+        .expect("violations array")
+        .iter()
+        .collect()
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> &'v str {
+    v.get(key).and_then(Value::as_str).expect("string field")
+}
+
+#[test]
+fn baseline_round_trip_gates_only_new_findings() {
+    let ws = Scratch::new("round-trip");
+    ws.write("crates/core/src/lib.rs", TAINTED);
+
+    // 1. Without a baseline the tainted flow fails the run, and the JSON
+    //    report carries the full chain and the taint origin.
+    let out = ws.lint(&["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let v = parse(&out);
+    assert_eq!(v.get("version").and_then(Value::as_u64), Some(2));
+    let l10: Vec<&Value> = violations(&v)
+        .into_iter()
+        .filter(|d| str_field(d, "rule") == "no-tainted-ranking")
+        .collect();
+    assert_eq!(l10.len(), 1, "{}", stdout(&out));
+    let chain: Vec<&str> = l10[0]
+        .get("chain")
+        .and_then(Value::as_array)
+        .expect("chain")
+        .iter()
+        .map(|f| str_field(f, "function"))
+        .collect();
+    assert_eq!(chain, ["collect", "rank"], "full chain in the JSON report");
+    let origin = l10[0].get("origin").expect("origin field");
+    assert_eq!(
+        origin.get("line").and_then(Value::as_u64),
+        Some(3),
+        "origin is the hash iteration"
+    );
+
+    // 2. Snapshot the findings; the write itself exits 0.
+    let base = ws.root.join("lint-baseline.json");
+    let base = base.to_str().expect("utf-8 path").to_string();
+    let out = ws.lint(&["--write-baseline", &base]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+
+    // 3. Against the snapshot the same workspace passes: zero new findings.
+    let out = ws.lint(&["--baseline", &base, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let v = parse(&out);
+    let summary = v.get("baseline").expect("baseline summary");
+    assert_eq!(summary.get("new").and_then(Value::as_u64), Some(0));
+    assert!(violations(&v)
+        .iter()
+        .all(|d| d.get("new").and_then(Value::as_bool) == Some(false)));
+
+    // 4. A fresh tainted flow fails the gate, and only it is marked new.
+    let grown = format!("{TAINTED}{FRESH_FLOW}");
+    ws.write("crates/core/src/lib.rs", &grown);
+    let out = ws.lint(&["--baseline", &base, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let v = parse(&out);
+    let summary = v.get("baseline").expect("baseline summary");
+    assert_eq!(summary.get("new").and_then(Value::as_u64), Some(1));
+    let new_rules: Vec<&str> = violations(&v)
+        .into_iter()
+        .filter(|d| d.get("new").and_then(Value::as_bool) == Some(true))
+        .map(|d| str_field(d, "rule"))
+        .collect();
+    assert_eq!(new_rules, ["no-tainted-ranking"], "{}", stdout(&out));
+
+    // 5. Text mode labels the same split for humans.
+    let out = ws.lint(&["--baseline", &base]);
+    let text = stdout(&out);
+    assert!(text.contains("[NEW: not in baseline]"), "{text}");
+    assert!(text.contains("[known: in baseline]"), "{text}");
+}
+
+#[test]
+fn list_rules_prints_the_full_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ultra-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run ultra-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for id in [
+        "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12",
+    ] {
+        assert!(
+            text.lines()
+                .any(|l| l.split_whitespace().next() == Some(id)),
+            "missing {id} in:\n{text}"
+        );
+    }
+    assert!(text.contains("no-tainted-ranking"), "{text}");
+}

@@ -1,0 +1,18 @@
+//! L11 fixture: RNG creation sites must take a config/query-derived seed;
+//! the derived twins are silent.
+
+fn fresh(x: u64) -> UltraRng {
+    UltraRng::seed_from_u64(x)
+}
+
+fn hardcoded() -> UltraRng {
+    UltraRng::seed_from_u64(0xdead_beef)
+}
+
+fn derived(cfg: &RunConfig) -> UltraRng {
+    UltraRng::seed_from_u64(mix_seed(cfg.seed, stream_label("fixture")))
+}
+
+fn threaded(query: &Query) -> UltraRng {
+    derive_rng(query.seed, 7)
+}

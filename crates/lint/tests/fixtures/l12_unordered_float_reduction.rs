@@ -1,0 +1,26 @@
+//! L12 fixture: float accumulation inside a loop over a hash-ordered
+//! collection; the `BTreeMap` and integer twins are silent.
+
+fn tainted_total(weights: &HashMap<u64, f32>) -> f32 {
+    let mut sum = 0.0;
+    for (_, w) in weights.iter() {
+        sum += *w;
+    }
+    sum
+}
+
+fn ordered_total(weights: &BTreeMap<u64, f32>) -> f32 {
+    let mut sum = 0.0;
+    for (_, w) in weights.iter() {
+        sum += *w;
+    }
+    sum
+}
+
+fn counting_is_exact(weights: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_, w) in weights.iter() {
+        total += *w;
+    }
+    total
+}

@@ -175,3 +175,72 @@ fn fixtures_outside_lib_scope_relax_scoped_rules() {
     let as_lm = check_source("crates/lm/src/l2.rs", &fixture("l2_hash_iteration.rs"));
     assert!(as_lm.iter().all(|d| d.rule != Rule::NoHashIterationOrder));
 }
+
+#[test]
+fn l10_fixture_reports_the_three_deep_taint_chain_and_spares_the_sorted_twin() {
+    let diags = check_source("crates/core/src/l10.rs", &fixture("l10_tainted_ranking.rs"));
+    let l10: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::NoTaintedRanking)
+        .collect();
+    assert_eq!(l10.len(), 1, "{diags:#?}");
+    let d = l10[0];
+    assert_eq!(d.line, 19, "fires at the RankedList construction");
+    let names: Vec<&str> = d.chain.iter().map(|c| c.function.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["collect_scores", "assemble", "rank"],
+        "full source-to-sink chain; `rank_sorted` stays quiet"
+    );
+    let origin = d.origin.as_ref().expect("L10 carries a taint origin");
+    assert_eq!(origin.line, 6, "origin is the hash iteration");
+    assert!(origin.desc.contains("hash-ordered"), "{}", origin.desc);
+    // The rendered diagnostic tells the whole story for humans too.
+    let text = format!("{d}");
+    assert!(text.contains("source:"), "{text}");
+    assert!(text.contains("collect_scores"), "{text}");
+    assert!(text.contains("assemble"), "{text}");
+}
+
+#[test]
+fn l11_fixture_fires_on_underived_seeds_only() {
+    let hits = check("l11_unseeded_construction.rs");
+    let l11: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::SeededRngOnly)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        l11,
+        vec![5, 9],
+        "raw argument + hardcoded literal; the cfg/query-derived twins are quiet"
+    );
+}
+
+#[test]
+fn l12_fixture_fires_on_the_hash_ordered_float_reduction_only() {
+    let hits = check("l12_unordered_float_reduction.rs");
+    let l12: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::OrderedFloatReduction)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(
+        l12,
+        vec![7],
+        "float += over the HashMap; BTreeMap and integer twins are quiet"
+    );
+    let diags = check_source(
+        "crates/core/src/l12.rs",
+        &fixture("l12_unordered_float_reduction.rs"),
+    );
+    let d = diags
+        .iter()
+        .find(|d| d.rule == Rule::OrderedFloatReduction)
+        .expect("l12 finding");
+    assert!(
+        d.message.contains("line 6"),
+        "names the loop: {}",
+        d.message
+    );
+}
