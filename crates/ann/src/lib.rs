@@ -1,0 +1,114 @@
+//! **ultra-ann** — deterministic sublinear candidate retrieval.
+//!
+//! RetExpan's preliminary expansion ranks candidates by their dot product
+//! against the seed query vector (the factorized Eq. 4 kernel in
+//! `ultra-embed`). Scoring *every* entity keeps that stage O(N) per query,
+//! which caps the serving story at toy world sizes. This crate puts an
+//! IVF-style index in front of the exact kernel: a coarse quantizer
+//! (seeded, fixed-iteration spherical k-means) partitions the entities
+//! into inverted lists; at query time only the `nprobe` lists whose
+//! centroids best match the seed query are scanned, and only their members
+//! are scored — with the *same* `ultra-embed`/`ultra-par` kernels the
+//! exhaustive path uses, so the scores of every scored entity are
+//! bit-identical to what the exhaustive path would have produced.
+//!
+//! Everything is deterministic by construction (see [`ivf`] for the exact
+//! policy): two builds over the same embeddings are byte-reproducible at
+//! any thread count, and probing **all** lists yields ranked output
+//! byte-identical to the exhaustive path, because the lists partition the
+//! entity set and per-entity scores are a pure function of
+//! `(entity, seed set)`.
+//!
+//! The [`CandidateSource`] trait is the seam the RetExpan pipeline routes
+//! through: [`Exhaustive`] preserves the pre-index behaviour exactly,
+//! [`IvfSource`] trades recall for sublinear scan cost via `nprobe`.
+
+pub mod ivf;
+pub mod source;
+
+pub use ivf::{IvfConfig, IvfIndex};
+pub use source::{CandidateSource, Exhaustive, IvfSource};
+
+use std::sync::Arc;
+use ultra_embed::EntityEmbeddings;
+use ultra_par::Pool;
+
+/// Which candidate source the RetExpan preliminary stage should use.
+///
+/// This is plain configuration data (`Clone` + comparable), so it can sit
+/// inside pipeline/engine config structs; [`AnnSpec::build_source`] turns
+/// it into a live [`CandidateSource`] for a concrete embedding matrix.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum AnnSpec {
+    /// Score every entity (the original O(N) path).
+    #[default]
+    Exhaustive,
+    /// IVF index with the given build/probe parameters.
+    Ivf(IvfConfig),
+}
+
+impl AnnSpec {
+    /// Builds the live candidate source for `reps`. For [`AnnSpec::Ivf`]
+    /// this trains the coarse quantizer (the expensive part); callers that
+    /// need the build time on a clock measure around this call.
+    pub fn build_source(&self, reps: &EntityEmbeddings, pool: &Pool) -> Box<dyn CandidateSource> {
+        match self {
+            AnnSpec::Exhaustive => Box::new(Exhaustive),
+            AnnSpec::Ivf(cfg) => {
+                let index = Arc::new(IvfIndex::build(reps, cfg, pool));
+                Box::new(IvfSource::new(index, cfg.nprobe))
+            }
+        }
+    }
+
+    /// Parses the CLI surface (`--ann exhaustive|ivf` plus optional
+    /// `--nlist`/`--nprobe` overrides; `0` keeps the respective default /
+    /// "all lists" semantics).
+    pub fn from_flags(kind: &str, nlist: Option<usize>, nprobe: Option<usize>) -> Option<AnnSpec> {
+        match kind {
+            "exhaustive" | "" => Some(AnnSpec::Exhaustive),
+            "ivf" => {
+                let mut cfg = IvfConfig::default();
+                if let Some(n) = nlist {
+                    cfg.nlist = n;
+                }
+                if let Some(p) = nprobe {
+                    cfg.nprobe = p;
+                }
+                Some(AnnSpec::Ivf(cfg))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_cli_surface() {
+        assert_eq!(
+            AnnSpec::from_flags("exhaustive", None, None),
+            Some(AnnSpec::Exhaustive)
+        );
+        assert_eq!(
+            AnnSpec::from_flags("", None, None),
+            Some(AnnSpec::Exhaustive)
+        );
+        let ivf = AnnSpec::from_flags("ivf", Some(32), Some(4));
+        match ivf {
+            Some(AnnSpec::Ivf(cfg)) => {
+                assert_eq!(cfg.nlist, 32);
+                assert_eq!(cfg.nprobe, 4);
+            }
+            other => panic!("expected Ivf spec, got {other:?}"),
+        }
+        assert_eq!(AnnSpec::from_flags("hnsw", None, None), None);
+    }
+
+    #[test]
+    fn default_is_exhaustive() {
+        assert_eq!(AnnSpec::default(), AnnSpec::Exhaustive);
+    }
+}

@@ -1,0 +1,72 @@
+//! `ann_build` — CI gate for deterministic IVF index construction.
+//!
+//! Builds the IVF coarse quantizer twice over the same trained embeddings
+//! and across thread counts (pools of 1 and 4 workers), then compares the
+//! full serialized images. Any byte difference — a centroid bit, a list
+//! ordering, a length field — exits non-zero. Profile/seed come from
+//! `ULTRA_PROFILE` / `ULTRA_SEED` (CI runs it on `small`).
+//!
+//! ```text
+//! cargo run --release -p ultra-bench --bin ann_build
+//! ```
+
+use ultra_ann::{IvfConfig, IvfIndex};
+use ultra_bench::world_from_env;
+use ultra_embed::EncoderConfig;
+use ultra_par::Pool;
+use ultra_retexpan::{RetExpan, RetExpanConfig};
+
+fn main() {
+    let world = world_from_env();
+    eprintln!("[ann_build] training encoder…");
+    let ret = RetExpan::train(&world, EncoderConfig::default(), RetExpanConfig::default());
+    let cfg = IvfConfig::default();
+
+    // Two identical builds, then one per pool width. All four serialized
+    // images must be byte-equal: k-means assignment is the only parallel
+    // step and it reduces in entity-id order regardless of chunking.
+    let builds = [
+        (
+            "build#1 pool=global",
+            IvfIndex::build(&ret.reps, &cfg, &Pool::global()),
+        ),
+        (
+            "build#2 pool=global",
+            IvfIndex::build(&ret.reps, &cfg, &Pool::global()),
+        ),
+        (
+            "build#3 pool=1",
+            IvfIndex::build(&ret.reps, &cfg, &Pool::new(1)),
+        ),
+        (
+            "build#4 pool=4",
+            IvfIndex::build(&ret.reps, &cfg, &Pool::new(4)),
+        ),
+    ];
+    let reference = builds[0].1.to_bytes();
+    eprintln!(
+        "[ann_build] reference image: {} bytes, {} lists, fingerprint {:016x}",
+        reference.len(),
+        builds[0].1.nlist(),
+        builds[0].1.fingerprint(),
+    );
+    let mut ok = true;
+    for (label, index) in &builds[1..] {
+        let bytes = index.to_bytes();
+        if bytes == reference {
+            eprintln!("[ann_build] {label}: byte-identical");
+        } else {
+            eprintln!(
+                "[ann_build] {label}: DIVERGED ({} bytes, fingerprint {:016x})",
+                bytes.len(),
+                index.fingerprint(),
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        eprintln!("[ann_build] FAILED: IVF construction is not byte-reproducible");
+        std::process::exit(1);
+    }
+    println!("[ann_build] OK: 4/4 builds byte-identical");
+}

@@ -9,11 +9,15 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--top-k K]
+//!         [--profile tiny|small|paper|huge] [--ann exhaustive|ivf] [--nprobe K]
 //! ```
 //!
 //! Without `--addr` it boots an in-process server on an ephemeral port
-//! (profile/seed from `ULTRA_PROFILE` / `ULTRA_SEED`, default `tiny`), so
-//! `cargo run -p ultra-bench --bin loadgen` works standalone. Exits 0 on
+//! (profile/seed from `--profile` / `ULTRA_PROFILE` / `ULTRA_SEED`, default
+//! `tiny`; `--ann`/`--nprobe` select the candidate source), so
+//! `cargo run -p ultra-bench --bin loadgen` works standalone. After the run
+//! it reads back `GET /metrics` and prints the server's active candidate
+//! source, so results are attributable to an index configuration. Exits 0 on
 //! success, 1 on any non-200 response or determinism mismatch.
 
 use std::collections::HashMap;
@@ -30,6 +34,9 @@ struct Flags {
     requests: usize,
     threads: usize,
     top_k: usize,
+    profile: Option<String>,
+    ann: String,
+    nprobe: Option<usize>,
 }
 
 fn parse_args() -> Flags {
@@ -38,6 +45,9 @@ fn parse_args() -> Flags {
         requests: 300,
         threads: 8,
         top_k: 20,
+        profile: None,
+        ann: "exhaustive".into(),
+        nprobe: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -50,10 +60,16 @@ fn parse_args() -> Flags {
             }
             ("--threads", Some(v)) => flags.threads = v.parse().expect("--threads takes a number"),
             ("--top-k", Some(v)) => flags.top_k = v.parse().expect("--top-k takes a number"),
+            ("--profile", Some(v)) => flags.profile = Some(v.clone()),
+            ("--ann", Some(v)) => flags.ann = v.clone(),
+            ("--nprobe", Some(v)) => {
+                flags.nprobe = Some(v.parse().expect("--nprobe takes a number"))
+            }
             (other, _) => {
                 eprintln!("unknown or valueless flag `{other}`");
                 eprintln!(
-                    "usage: loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--top-k K]"
+                    "usage: loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--top-k K] \
+                     [--profile tiny|small|paper|huge] [--ann exhaustive|ivf] [--nprobe K]"
                 );
                 std::process::exit(2);
             }
@@ -111,17 +127,30 @@ fn main() {
     let (addr, _local) = match &flags.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let profile = std::env::var("ULTRA_PROFILE").unwrap_or_else(|_| "tiny".into());
+            let profile = flags
+                .profile
+                .clone()
+                .or_else(|| std::env::var("ULTRA_PROFILE").ok())
+                .unwrap_or_else(|| "tiny".into());
             let seed: u64 = std::env::var("ULTRA_SEED")
                 .ok()
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(42);
+            let ann = ultra_ann::AnnSpec::from_flags(&flags.ann, None, flags.nprobe)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown --ann `{}` (expected exhaustive|ivf)", flags.ann);
+                    std::process::exit(2);
+                });
             eprintln!(
                 "[loadgen] no --addr; booting in-process server (profile={profile}, seed={seed})…"
             );
             let engine = ExpansionEngine::build(EngineConfig {
                 profile,
                 seed,
+                retexpan: ultra_retexpan::RetExpanConfig {
+                    ann,
+                    ..ultra_retexpan::RetExpanConfig::default()
+                },
                 ..EngineConfig::default()
             })
             .expect("engine build");
@@ -226,6 +255,22 @@ fn main() {
         println!(
             "cold/hit p50 speedup: {:.1}x",
             cold_p50 as f64 / hit_p50 as f64
+        );
+    }
+
+    let metrics = get_json(&addr, "/metrics");
+    if let Some(index) = metrics.get("index") {
+        let source = index
+            .get("candidate_source")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("unknown");
+        let build_micros = index
+            .get("index_build_micros")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0);
+        println!(
+            "candidate source: {source} (index build {:.1}ms)",
+            build_micros as f64 / 1e3
         );
     }
 

@@ -1,25 +1,30 @@
 //! `perf` — wall-clock benchmark of the `ultra-par` data-parallel hot
-//! paths: preliminary-list scoring, contrastive training, and evaluation.
+//! paths (preliminary-list scoring, contrastive training, evaluation) plus
+//! the `ultra-ann` candidate index.
 //!
 //! Emits `BENCH_expand.json` (to `target/experiments/` and the repo root)
-//! so future PRs have a perf trajectory to compare against. Three numbers
-//! matter per stage:
+//! so future PRs have a perf trajectory to compare against. The report is
+//! `schema_version: 2`:
 //!
-//! * `threads1_ms` / `threads4_ms` — the same chunked code path at 1 and 4
-//!   workers. On a multi-core host the ratio is the parallel speedup; on a
-//!   single-core host (CI containers) it hovers near 1.
-//! * `scalar_prepr_ms` (scoring only) — the pre-`ultra-par` per-entity
-//!   mean-of-cosines loop. The factorized seed-query kernel replaces
-//!   `|S|` cosines (≈ `3·|S|·d` multiplies) with one unrolled dot
-//!   (`d` multiplies), so this speedup is algorithmic and shows up at any
-//!   core count.
+//! * `scoring` / `training` / `eval` — the schema-v1 thread-scaling stages.
+//!   On the `huge` profile (100k+ entities) they are skipped (`null`): the
+//!   profile exists to size the *index* comparison, and re-timing the
+//!   training loop there would dominate the run without adding signal.
+//! * `index` — per-index-type numbers: IVF build time, then a `nprobe`
+//!   sweep reporting recall@10/recall@50 against the exhaustive preliminary
+//!   ranking and per-query latency percentiles (p50/p99), plus the p50
+//!   speedup over the exhaustive scan.
 //!
-//! Every timed pair is also checked for byte identity: ranked lists
-//! (entity + score bits) at threads=1 vs threads=4, and contrastive loss
-//! curves bit-for-bit.
+//! Determinism gates enforced in-binary (hard asserts, not just fields):
+//! ranked lists at threads=1 vs threads=4 are byte-identical, and the IVF
+//! full-probe (`nprobe=all`) expansion is byte-identical to the exhaustive
+//! path at both thread counts. On `huge` the acceptance gate also asserts
+//! the sweep contains a point with recall@50 ≥ 0.95 and ≥ 5x p50 speedup.
 
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
+use ultra_ann::{CandidateSource, Exhaustive, IvfConfig, IvfIndex, IvfSource};
 use ultra_bench::{dump_json, world_from_env};
 use ultra_core::{EntityId, Query, RankedList};
 use ultra_data::{KnowledgeOracle, OracleConfig, World};
@@ -40,7 +45,7 @@ struct StageTiming {
 #[derive(Serialize)]
 struct ScoringStage {
     /// Pre-PR baseline: per-entity mean of `|S|` cosines (the code shape
-    /// this PR replaced), timed on the same queries.
+    /// the `ultra-par` PR replaced), timed on the same queries.
     scalar_prepr_ms: f64,
     threads1_ms: f64,
     threads4_ms: f64,
@@ -60,15 +65,49 @@ struct TrainingStage {
     num_batches: usize,
 }
 
+/// One operating point of the IVF `nprobe` sweep. `nprobe: 0` means "probe
+/// every list" (the configuration provably identical to exhaustive).
+#[derive(Serialize)]
+struct ProbePoint {
+    nprobe: usize,
+    recall_at_10: f64,
+    recall_at_50: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+    speedup_vs_exhaustive_p50: f64,
+}
+
+#[derive(Serialize)]
+struct IndexStage {
+    kind: String,
+    nlist: usize,
+    kmeans_iters: usize,
+    build_ms: f64,
+    /// Exhaustive preliminary-scoring latency, the sweep's baseline.
+    exhaustive_p50_micros: u64,
+    exhaustive_p99_micros: u64,
+    nprobe_sweep: Vec<ProbePoint>,
+    /// Smallest swept `nprobe` whose recall@50 ≥ 0.95, with its speedup —
+    /// the operating point the acceptance gate reads on `huge`.
+    best_nprobe_at_recall50_95: Option<usize>,
+    best_speedup_at_recall50_95: Option<f64>,
+    /// Hard-asserted in-binary: IVF `nprobe=all` expansion output is
+    /// byte-identical to the exhaustive path at threads 1 and 4.
+    full_probe_byte_identical_to_exhaustive: bool,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
+    schema_version: u32,
     profile: String,
     seed: u64,
     host_parallelism: usize,
     num_queries: usize,
-    scoring: ScoringStage,
-    training: TrainingStage,
-    eval: StageTiming,
+    num_entities: usize,
+    scoring: Option<ScoringStage>,
+    training: Option<TrainingStage>,
+    eval: Option<StageTiming>,
+    index: IndexStage,
     note: String,
 }
 
@@ -107,8 +146,8 @@ fn fingerprint(lists: &[RankedList]) -> u64 {
     h
 }
 
-/// The pre-PR scoring loop: every candidate against every positive seed,
-/// one cosine at a time.
+/// The pre-`ultra-par` scoring loop: every candidate against every positive
+/// seed, one cosine at a time.
 fn scalar_preliminary(ret: &RetExpan, world: &World, q: &Query) -> Vec<(EntityId, f32)> {
     world
         .entities
@@ -129,147 +168,370 @@ fn scalar_preliminary(ret: &RetExpan, world: &World, q: &Query) -> Vec<(EntityId
         .collect()
 }
 
-fn expand_all(ret: &RetExpan, world: &World) -> Vec<RankedList> {
-    world
-        .queries()
-        .map(|(_u, q)| ret.expand(world, q))
-        .collect()
+fn expand_all<'w>(ret: &RetExpan, world: &'w World, queries: &[&'w Query]) -> Vec<RankedList> {
+    queries.iter().map(|q| ret.expand(world, q)).collect()
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the preliminary scoring stage of `source` over every query, timing
+/// each pass and keeping its top-`keep` entity ids (rank order: score desc,
+/// then id — the `RankedList` contract). Returns `(sorted_micros, tops)`.
+fn sweep_source(
+    source: &dyn CandidateSource,
+    ret: &RetExpan,
+    queries: &[&Query],
+    keep: usize,
+    pool: &Pool,
+) -> (Vec<u64>, Vec<Vec<EntityId>>) {
+    let mut micros = Vec::with_capacity(queries.len());
+    let mut tops = Vec::with_capacity(queries.len());
+    for q in queries {
+        let t = Instant::now();
+        let scored = source.scored_candidates(&ret.reps, &q.pos_seeds, pool);
+        let ranked = RankedList::from_scores(scored);
+        micros.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+        tops.push(
+            ranked
+                .entries()
+                .iter()
+                .take(keep)
+                .map(|&(e, _)| e)
+                .collect(),
+        );
+    }
+    micros.sort_unstable();
+    (micros, tops)
+}
+
+/// Mean fraction of the exhaustive top-`k` recovered in the probed top-`k`.
+fn recall_at(k: usize, exact: &[Vec<EntityId>], probed: &[Vec<EntityId>]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for (e, p) in exact.iter().zip(probed) {
+        let truth: Vec<EntityId> = e.iter().take(k).copied().collect();
+        if truth.is_empty() {
+            total += 1.0;
+            continue;
+        }
+        let hit = p.iter().take(k).filter(|id| truth.contains(id)).count();
+        total += hit as f64 / truth.len() as f64;
+    }
+    total / exact.len() as f64
 }
 
 fn main() {
     let world = world_from_env();
     let profile = std::env::var("ULTRA_PROFILE").unwrap_or_else(|_| "small".into());
+    let huge = profile == "huge";
     let num_queries: usize = world.ultra_classes.iter().map(|u| u.queries.len()).sum();
-    eprintln!("[perf] training RetExpan encoder…");
-    let ret = RetExpan::train(&world, EncoderConfig::default(), RetExpanConfig::default());
 
-    // --- Scoring stage -----------------------------------------------------
-    // Warm up, then time whole passes over every query (best of 3).
-    let _ = expand_all(&ret, &world);
-    let mut scalar_checksum = 0.0f64;
-    let scalar_prepr_ms = best_of_3(|| {
-        scalar_checksum = 0.0;
-        for (_u, q) in world.queries() {
-            for (_, s) in scalar_preliminary(&ret, &world, q) {
-                scalar_checksum += s as f64;
-            }
+    // On `huge` the encoder is deliberately cheap: the index stage measures
+    // retrieval against the *exhaustive ranking over the same embeddings*,
+    // so embedding quality is irrelevant — only N and dim matter.
+    let encoder_cfg = if huge {
+        EncoderConfig {
+            epochs: 1,
+            dim: 64,
+            neg_samples: 16,
+            max_sentences_per_entity: 2,
+            ..EncoderConfig::default()
         }
-    });
+    } else {
+        EncoderConfig::default()
+    };
+    eprintln!("[perf] training RetExpan encoder…");
+    let ret = RetExpan::train(&world, encoder_cfg, RetExpanConfig::default());
 
-    set_threads(1);
-    let lists_t1 = expand_all(&ret, &world);
-    let scoring_t1_ms = best_of_3(|| {
-        let _ = expand_all(&ret, &world);
-    });
+    let all_queries: Vec<&Query> = world.queries().map(|(_u, q)| q).collect();
+    // The thread-identity gate re-runs full expansions several times; cap
+    // the replayed set on `huge` so the gate stays minutes, not hours.
+    let gate_queries: Vec<&Query> = if huge {
+        all_queries.iter().copied().take(64).collect()
+    } else {
+        all_queries.clone()
+    };
 
-    set_threads(4);
-    let lists_t4 = expand_all(&ret, &world);
-    let scoring_t4_ms = best_of_3(|| {
-        let _ = expand_all(&ret, &world);
-    });
-    let ranked_identical = fingerprint(&lists_t1) == fingerprint(&lists_t4);
+    // --- Scoring / training / eval stages (schema v1; skipped on huge) ----
+    let mut scoring = None;
+    let mut training = None;
+    let mut eval = None;
+    let mut scalar_checksum = 0.0f64;
+    if !huge {
+        // Warm up, then time whole passes over every query (best of 3).
+        let _ = expand_all(&ret, &world, &all_queries);
+        let scalar_prepr_ms = best_of_3(|| {
+            scalar_checksum = 0.0;
+            for q in &all_queries {
+                for (_, s) in scalar_preliminary(&ret, &world, q) {
+                    scalar_checksum += s as f64;
+                }
+            }
+        });
 
-    // --- Training stage ----------------------------------------------------
-    eprintln!("[perf] mining lists for contrastive training…");
-    let oracle = KnowledgeOracle::new(&world, OracleConfig::default());
-    let mined = mine_lists(&world, &ret, &oracle, 30, 10);
-    let pair_cfg = PairConfig::default();
+        set_threads(1);
+        let lists_t1 = expand_all(&ret, &world, &all_queries);
+        let scoring_t1_ms = best_of_3(|| {
+            let _ = expand_all(&ret, &world, &all_queries);
+        });
 
-    set_threads(1);
-    let mut enc1 = ret.encoder.clone();
-    let t = Instant::now();
-    let losses_t1 = train_contrastive(&mut enc1, &world, &mined, &pair_cfg);
-    let training_t1_ms = ms(t);
-
-    set_threads(4);
-    let mut enc4 = ret.encoder.clone();
-    let t = Instant::now();
-    let losses_t4 = train_contrastive(&mut enc4, &world, &mined, &pair_cfg);
-    let training_t4_ms = ms(t);
-    let loss_identical = losses_t1.len() == losses_t4.len()
-        && losses_t1
-            .iter()
-            .zip(&losses_t4)
-            .all(|(a, b)| a.to_bits() == b.to_bits());
-
-    // --- Eval stage --------------------------------------------------------
-    let r1 = evaluate_method_par(&world, &Pool::new(1), |_u, q| ret.expand(&world, q));
-    let eval_t1_ms = best_of_3(|| {
-        let _ = evaluate_method_par(&world, &Pool::new(1), |_u, q| ret.expand(&world, q));
-    });
-    let r4 = evaluate_method_par(&world, &Pool::new(4), |_u, q| ret.expand(&world, q));
-    let eval_t4_ms = best_of_3(|| {
-        let _ = evaluate_method_par(&world, &Pool::new(4), |_u, q| ret.expand(&world, q));
-    });
-    assert_eq!(r1.num_queries, r4.num_queries);
-    set_threads(0); // restore ambient default
-
-    let report = BenchReport {
-        profile,
-        seed: world.config.seed,
-        host_parallelism: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-        num_queries,
-        scoring: ScoringStage {
+        set_threads(4);
+        let lists_t4 = expand_all(&ret, &world, &all_queries);
+        let scoring_t4_ms = best_of_3(|| {
+            let _ = expand_all(&ret, &world, &all_queries);
+        });
+        let ranked_identical = fingerprint(&lists_t1) == fingerprint(&lists_t4);
+        scoring = Some(ScoringStage {
             scalar_prepr_ms,
             threads1_ms: scoring_t1_ms,
             threads4_ms: scoring_t4_ms,
             speedup_t4_vs_t1: scoring_t1_ms / scoring_t4_ms.max(1e-9),
             speedup_vs_prepr_scalar: scalar_prepr_ms / scoring_t4_ms.max(1e-9),
             ranked_lists_byte_identical: ranked_identical,
-        },
-        training: TrainingStage {
+        });
+
+        eprintln!("[perf] mining lists for contrastive training…");
+        let oracle = KnowledgeOracle::new(&world, OracleConfig::default());
+        let mined = mine_lists(&world, &ret, &oracle, 30, 10);
+        let pair_cfg = PairConfig::default();
+
+        set_threads(1);
+        let mut enc1 = ret.encoder.clone();
+        let t = Instant::now();
+        let losses_t1 = train_contrastive(&mut enc1, &world, &mined, &pair_cfg);
+        let training_t1_ms = ms(t);
+
+        set_threads(4);
+        let mut enc4 = ret.encoder.clone();
+        let t = Instant::now();
+        let losses_t4 = train_contrastive(&mut enc4, &world, &mined, &pair_cfg);
+        let training_t4_ms = ms(t);
+        let loss_identical = losses_t1.len() == losses_t4.len()
+            && losses_t1
+                .iter()
+                .zip(&losses_t4)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        training = Some(TrainingStage {
             threads1_ms: training_t1_ms,
             threads4_ms: training_t4_ms,
             speedup_t4_vs_t1: training_t1_ms / training_t4_ms.max(1e-9),
             loss_curve_bit_identical: loss_identical,
             num_batches: losses_t1.len(),
-        },
-        eval: StageTiming {
+        });
+
+        let r1 = evaluate_method_par(&world, &Pool::new(1), |_u, q| ret.expand(&world, q));
+        let eval_t1_ms = best_of_3(|| {
+            let _ = evaluate_method_par(&world, &Pool::new(1), |_u, q| ret.expand(&world, q));
+        });
+        let r4 = evaluate_method_par(&world, &Pool::new(4), |_u, q| ret.expand(&world, q));
+        let eval_t4_ms = best_of_3(|| {
+            let _ = evaluate_method_par(&world, &Pool::new(4), |_u, q| ret.expand(&world, q));
+        });
+        assert_eq!(r1.num_queries, r4.num_queries);
+        eval = Some(StageTiming {
             threads1_ms: eval_t1_ms,
             threads4_ms: eval_t4_ms,
             speedup_t4_vs_t1: eval_t1_ms / eval_t4_ms.max(1e-9),
-        },
+        });
+        set_threads(0); // restore ambient default
+    }
+
+    // --- Index stage -------------------------------------------------------
+    let pool = Pool::global();
+    let ivf_cfg = IvfConfig::default();
+    eprintln!("[perf] building IVF index…");
+    let t = Instant::now();
+    let index = Arc::new(IvfIndex::build(&ret.reps, &ivf_cfg, &pool));
+    let build_ms = ms(t);
+    let nlist = index.nlist();
+    eprintln!("[perf] IVF ready: {nlist} lists, build {build_ms:.1}ms");
+
+    let keep = 50;
+    let (ex_micros, ex_tops) = sweep_source(&Exhaustive, &ret, &all_queries, keep, &pool);
+    let exhaustive_p50 = percentile(&ex_micros, 0.50);
+    let exhaustive_p99 = percentile(&ex_micros, 0.99);
+
+    let mut sweep = Vec::new();
+    for nprobe in [1usize, 2, 4, 8, 16, 32, 64, 0] {
+        if nprobe >= nlist && nprobe != 0 {
+            continue; // ≥ nlist is "all lists"; the 0 point already covers it
+        }
+        let source = IvfSource::new(index.clone(), nprobe);
+        let (micros, tops) = sweep_source(&source, &ret, &all_queries, keep, &pool);
+        let p50 = percentile(&micros, 0.50);
+        let point = ProbePoint {
+            nprobe,
+            recall_at_10: recall_at(10, &ex_tops, &tops),
+            recall_at_50: recall_at(50, &ex_tops, &tops),
+            p50_micros: p50,
+            p99_micros: percentile(&micros, 0.99),
+            speedup_vs_exhaustive_p50: exhaustive_p50 as f64 / (p50.max(1)) as f64,
+        };
+        eprintln!(
+            "[perf] nprobe={:<4} recall@10={:.3} recall@50={:.3} p50={}µs p99={}µs ({:.2}x)",
+            if point.nprobe == 0 {
+                "all".to_string()
+            } else {
+                point.nprobe.to_string()
+            },
+            point.recall_at_10,
+            point.recall_at_50,
+            point.p50_micros,
+            point.p99_micros,
+            point.speedup_vs_exhaustive_p50,
+        );
+        sweep.push(point);
+    }
+
+    // Full-probe recall must be exact — the sweep's own sanity anchor.
+    if let Some(all_point) = sweep.iter().find(|p| p.nprobe == 0) {
+        assert!(
+            (all_point.recall_at_50 - 1.0).abs() < 1e-12,
+            "nprobe=all recall@50 must be exactly 1.0, got {}",
+            all_point.recall_at_50
+        );
+    }
+    let best = sweep
+        .iter()
+        .filter(|p| p.nprobe != 0 && p.recall_at_50 >= 0.95)
+        .min_by_key(|p| p.nprobe)
+        .map(|p| (p.nprobe, p.speedup_vs_exhaustive_p50));
+
+    // Byte-identity gate: IVF with nprobe=all routed through the full
+    // RetExpan pipeline must reproduce the exhaustive expansion exactly,
+    // at both thread counts.
+    eprintln!("[perf] checking full-probe byte identity across thread counts…");
+    let mut ret = ret;
+    let mut full_probe_identical = true;
+    for threads in [1usize, 4] {
+        set_threads(threads);
+        ret.set_source(Box::new(Exhaustive));
+        let exhaustive_lists = expand_all(&ret, &world, &gate_queries);
+        ret.set_source(Box::new(IvfSource::new(index.clone(), 0)));
+        let ivf_lists = expand_all(&ret, &world, &gate_queries);
+        let same = fingerprint(&exhaustive_lists) == fingerprint(&ivf_lists);
+        eprintln!(
+            "[perf]   threads={threads}: {}",
+            if same { "identical" } else { "DIVERGED" }
+        );
+        full_probe_identical &= same;
+    }
+    ret.set_source(Box::new(Exhaustive));
+    set_threads(0);
+    assert!(
+        full_probe_identical,
+        "IVF nprobe=all expansion diverged from the exhaustive path"
+    );
+
+    let index_stage = IndexStage {
+        kind: "ivf".into(),
+        nlist,
+        kmeans_iters: ivf_cfg.kmeans_iters,
+        build_ms,
+        exhaustive_p50_micros: exhaustive_p50,
+        exhaustive_p99_micros: exhaustive_p99,
+        nprobe_sweep: sweep,
+        best_nprobe_at_recall50_95: best.map(|(np, _)| np),
+        best_speedup_at_recall50_95: best.map(|(_, sp)| sp),
+        full_probe_byte_identical_to_exhaustive: full_probe_identical,
+    };
+
+    if huge {
+        let best = index_stage
+            .best_speedup_at_recall50_95
+            .expect("huge profile: no nprobe point reached recall@50 ≥ 0.95");
+        assert!(
+            best >= 5.0,
+            "huge profile: IVF p50 speedup {best:.2}x < 5x at recall@50 ≥ 0.95"
+        );
+        eprintln!(
+            "[perf] huge gate OK: nprobe={} gives {best:.2}x at recall@50 ≥ 0.95",
+            index_stage.best_nprobe_at_recall50_95.unwrap_or(0)
+        );
+    }
+
+    let report = BenchReport {
+        schema_version: 2,
+        profile,
+        seed: world.config.seed,
+        host_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        num_queries,
+        num_entities: world.num_entities(),
+        scoring,
+        training,
+        eval,
+        index: index_stage,
         note: format!(
             "scalar checksum {scalar_checksum:.3}; threads=1 and threads=4 run the same \
              chunked kernels (fixed chunk boundaries, ordered reduction), so outputs are \
-             byte-identical and t4-vs-t1 reflects hardware parallelism only. \
-             speedup_vs_prepr_scalar is this PR's algorithmic win over the per-entity \
-             mean-of-cosines loop it replaced."
+             byte-identical and t4-vs-t1 reflects hardware parallelism only. The index \
+             sweep times the preliminary scoring stage (candidate generation + ranking) \
+             per query; IVF speedups are algorithmic (scan nprobe/nlist of the entities) \
+             and hold on single-core hosts. scoring/training/eval are null on the huge \
+             profile by design."
         ),
     };
-    assert!(
-        report.scoring.ranked_lists_byte_identical,
-        "ranked lists diverged between thread counts"
-    );
-    assert!(
-        report.training.loss_curve_bit_identical,
-        "loss curves diverged between thread counts"
-    );
+    if let Some(s) = &report.scoring {
+        assert!(
+            s.ranked_lists_byte_identical,
+            "ranked lists diverged between thread counts"
+        );
+    }
+    if let Some(t) = &report.training {
+        assert!(
+            t.loss_curve_bit_identical,
+            "loss curves diverged between thread counts"
+        );
+    }
     dump_json("BENCH_expand", &report);
     // A copy at the repo root gives the acceptance gate a stable path.
     if let Ok(json) = serde_json::to_string_pretty(&report) {
         let _ = std::fs::write("BENCH_expand.json", json + "\n");
         eprintln!("[perf] wrote BENCH_expand.json");
     }
+    if let Some(s) = &report.scoring {
+        println!(
+            "scoring: scalar {:.1}ms  t1 {:.1}ms  t4 {:.1}ms  (vs-scalar {:.2}x, t4/t1 {:.2}x)",
+            s.scalar_prepr_ms,
+            s.threads1_ms,
+            s.threads4_ms,
+            s.speedup_vs_prepr_scalar,
+            s.speedup_t4_vs_t1,
+        );
+    }
+    if let Some(t) = &report.training {
+        println!(
+            "training: t1 {:.1}ms  t4 {:.1}ms  ({:.2}x, {} batches)",
+            t.threads1_ms, t.threads4_ms, t.speedup_t4_vs_t1, t.num_batches,
+        );
+    }
+    if let Some(e) = &report.eval {
+        println!(
+            "eval: t1 {:.1}ms  t4 {:.1}ms  ({:.2}x)",
+            e.threads1_ms, e.threads4_ms, e.speedup_t4_vs_t1,
+        );
+    }
     println!(
-        "scoring: scalar {:.1}ms  t1 {:.1}ms  t4 {:.1}ms  (vs-scalar {:.2}x, t4/t1 {:.2}x)",
-        report.scoring.scalar_prepr_ms,
-        report.scoring.threads1_ms,
-        report.scoring.threads4_ms,
-        report.scoring.speedup_vs_prepr_scalar,
-        report.scoring.speedup_t4_vs_t1,
-    );
-    println!(
-        "training: t1 {:.1}ms  t4 {:.1}ms  ({:.2}x, {} batches)",
-        report.training.threads1_ms,
-        report.training.threads4_ms,
-        report.training.speedup_t4_vs_t1,
-        report.training.num_batches,
-    );
-    println!(
-        "eval: t1 {:.1}ms  t4 {:.1}ms  ({:.2}x)",
-        report.eval.threads1_ms, report.eval.threads4_ms, report.eval.speedup_t4_vs_t1,
+        "index: ivf nlist={} build {:.1}ms  exhaustive p50={}µs  best ≥0.95-recall point: {}",
+        report.index.nlist,
+        report.index.build_ms,
+        report.index.exhaustive_p50_micros,
+        match (
+            report.index.best_nprobe_at_recall50_95,
+            report.index.best_speedup_at_recall50_95
+        ) {
+            (Some(np), Some(sp)) => format!("nprobe={np} ({sp:.2}x)"),
+            _ => "none".into(),
+        },
     );
 }

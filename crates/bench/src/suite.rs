@@ -13,6 +13,7 @@ pub fn world_from_env() -> World {
         .unwrap_or(42);
     let cfg = match profile.as_str() {
         "paper" => WorldConfig::paper(),
+        "huge" => WorldConfig::huge(),
         "tiny" => WorldConfig::tiny(),
         _ => WorldConfig::small(),
     };

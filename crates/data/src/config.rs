@@ -127,6 +127,35 @@ impl WorldConfig {
         }
     }
 
+    /// Huge profile: ≥100k entities (≈22.8k in-class at 8× the paper's
+    /// class sizes plus 80k distractors) for exercising sublinear candidate
+    /// retrieval (`ultra-ann`) at a scale where O(N) preliminary scoring
+    /// visibly hurts. Value cardinalities scale with the entity factor per
+    /// the same rule the reduced profiles use, so the entities-per-value
+    /// ratio — and thus target-set sizes — stays close to the paper
+    /// profile's. Sentence and query budgets are trimmed so generation and
+    /// encoding stay tractable: this profile benchmarks *retrieval*, not
+    /// encoder quality.
+    pub fn huge() -> Self {
+        Self {
+            seed: 42,
+            classes: scaled_classes(8.0, 1.0),
+            distractors: 80_000,
+            hard_negatives_per_class: 60,
+            sentences_per_entity: 6.0,
+            zipf_exponent: 0.7,
+            sentence_len: 12,
+            filler_vocab: 8000,
+            topic_tokens_per_class: 140,
+            marker_tokens_per_value: 12,
+            marker_noise: 0.02,
+            queries_per_class: 1,
+            seeds_min: 3,
+            seeds_max: 5,
+            n_thred: 6,
+        }
+    }
+
     /// Overrides the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -160,13 +189,15 @@ fn scaled_classes(e_scale: f64, u_scale: f64) -> Vec<ClassSpec> {
     use CoarseType::*;
     let e = |n: usize| ((n as f64 * e_scale) as usize).max(30);
     let u = |n: usize| ((n as f64 * u_scale) as usize).max(3);
-    // Reduced profiles also shrink value cardinalities so the
-    // entities-per-value ratio (and thus target-set sizes) stays close to
-    // the paper profile's.
+    // Scaled profiles also scale value cardinalities with the entity
+    // factor so the entities-per-value ratio (and thus target-set sizes)
+    // stays close to the paper profile's: reduced profiles shrink them
+    // (clamped to stay usable), scaled-up profiles (e.g. `huge`) grow them
+    // by the same factor. `e_scale = 1.0` reproduces Table 11 exactly.
     let a = move |name: &'static str, cardinality: usize, signal: f64| AttrSpec {
         name,
         cardinality: if e_scale >= 1.0 {
-            cardinality
+            ((cardinality as f64 * e_scale).round() as usize).max(cardinality)
         } else {
             ((cardinality as f64 * e_scale).round() as usize).clamp(2, cardinality)
         },
@@ -279,6 +310,24 @@ mod tests {
         assert!(cfg.total_class_entities() < WorldConfig::paper().total_class_entities());
         assert!(cfg.classes.iter().all(|c| c.entities >= 30));
         assert!(cfg.classes.iter().all(|c| c.ultra_classes >= 3));
+    }
+
+    #[test]
+    fn huge_profile_crosses_one_hundred_thousand_entities() {
+        let cfg = WorldConfig::huge();
+        assert!(
+            cfg.total_class_entities() + cfg.distractors >= 100_000,
+            "huge profile must request >=100k entities, got {}",
+            cfg.total_class_entities() + cfg.distractors
+        );
+        // Cardinalities scale with the 8x entity factor, so the
+        // entities-per-value ratio stays near the paper profile's.
+        let paper = WorldConfig::paper();
+        for (h, p) in cfg.classes.iter().zip(&paper.classes) {
+            for (ha, pa) in h.attrs.iter().zip(&p.attrs) {
+                assert_eq!(ha.cardinality, pa.cardinality * 8, "{}", ha.name);
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,14 @@ impl EntityEmbeddings {
         cosine(self.row(a), self.row(b))
     }
 
+    /// The cached inverse row norm (`0` for zero rows). Index builders use
+    /// this to normalize rows with exactly the weights the scoring kernel
+    /// applies.
+    #[inline]
+    pub fn inv_norm(&self, e: EntityId) -> f32 {
+        self.inv_norms[e.index()]
+    }
+
     /// The seed query vector `(1/|S|) Σ_s h(s)/‖h(s)‖`; `None` if `seeds`
     /// is empty. Dotting a normalized candidate against it computes Eq. 4's
     /// mean seed similarity in one pass.

@@ -71,7 +71,7 @@ use std::path::{Path, PathBuf};
 /// belongs here because it hands out cached `RankedList`s: iteration-order
 /// nondeterminism anywhere in its request path would break the byte-identity
 /// contract between served and offline results.
-pub const RANKED_CRATES: [&str; 7] = [
+pub const RANKED_CRATES: [&str; 8] = [
     "core",
     "retexpan",
     "genexpan",
@@ -79,6 +79,7 @@ pub const RANKED_CRATES: [&str; 7] = [
     "eval",
     "data",
     "serve",
+    "ann",
 ];
 
 /// Directory names never scanned.

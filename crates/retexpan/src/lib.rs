@@ -33,3 +33,4 @@ pub use decoupled::DecoupledRetExpan;
 pub use dynamic_ra::DynamicRaRetExpan;
 pub use mining::mine_lists;
 pub use pipeline::{RetExpan, RetExpanConfig};
+pub use ultra_ann::{AnnSpec, CandidateSource, IvfConfig};

@@ -1,5 +1,6 @@
 //! The RetExpan pipeline: representation → expansion → re-ranking.
 
+use ultra_ann::{AnnSpec, CandidateSource};
 use ultra_core::{segmented_rerank, EntityId, Query, RankedList};
 use ultra_data::World;
 use ultra_embed::{EncoderConfig, EntityEmbeddings, EntityEncoder};
@@ -15,6 +16,11 @@ pub struct RetExpanConfig {
     pub segment_len: usize,
     /// Whether negative-seed re-ranking runs at all (Table 5 ablation).
     pub rerank: bool,
+    /// Candidate source for the preliminary stage: exhaustive scoring
+    /// (default; the paper's exact path) or a deterministic IVF index
+    /// (`ultra-ann`). With `nprobe = 0` ("all") the IVF output is
+    /// byte-identical to exhaustive.
+    pub ann: AnnSpec,
 }
 
 impl Default for RetExpanConfig {
@@ -23,6 +29,7 @@ impl Default for RetExpanConfig {
             top_k: 200,
             segment_len: 20,
             rerank: true,
+            ann: AnnSpec::Exhaustive,
         }
     }
 }
@@ -35,6 +42,9 @@ pub struct RetExpan {
     pub reps: EntityEmbeddings,
     /// Pipeline configuration.
     pub config: RetExpanConfig,
+    /// Candidate source built from `config.ann` over `reps`; rebuilt
+    /// whenever the representations change.
+    source: Box<dyn CandidateSource>,
 }
 
 impl RetExpan {
@@ -46,26 +56,53 @@ impl RetExpan {
         let mut encoder = EntityEncoder::new(world, enc_cfg);
         encoder.train_entity_prediction(world);
         let reps = encoder.entity_embeddings(world);
+        let source = config.ann.build_source(&reps, &Pool::global());
         Self {
             encoder,
             reps,
             config,
+            source,
         }
     }
 
     /// Wraps an externally trained encoder.
     pub fn from_encoder(world: &World, encoder: EntityEncoder, config: RetExpanConfig) -> Self {
         let reps = encoder.entity_embeddings(world);
+        let source = config.ann.build_source(&reps, &Pool::global());
         Self {
             encoder,
             reps,
             config,
+            source,
         }
     }
 
-    /// Recomputes cached representations after additional encoder training.
+    /// Recomputes cached representations after additional encoder training,
+    /// and rebuilds the candidate source over them (a stale index would
+    /// probe the *old* geometry).
     pub fn refresh_reps(&mut self, world: &World) {
         self.reps = self.encoder.entity_embeddings(world);
+        self.source = self.config.ann.build_source(&self.reps, &Pool::global());
+    }
+
+    /// Switches the candidate source, rebuilding any index over the current
+    /// representations (serve/bench use this to install — and time — the
+    /// configured source after training).
+    pub fn set_ann(&mut self, spec: AnnSpec) {
+        self.config.ann = spec;
+        self.source = self.config.ann.build_source(&self.reps, &Pool::global());
+    }
+
+    /// Installs a pre-built candidate source (bench sweeps reuse one IVF
+    /// index across many `nprobe` operating points this way). The caller is
+    /// responsible for the source matching `self.reps`.
+    pub fn set_source(&mut self, source: Box<dyn CandidateSource>) {
+        self.source = source;
+    }
+
+    /// Wire label of the active candidate source.
+    pub fn source_name(&self) -> String {
+        self.source.name()
     }
 
     /// Consuming form of [`refresh_reps`](Self::refresh_reps) for builder
@@ -101,14 +138,16 @@ impl RetExpan {
                 cands.into_iter().zip(s).collect()
             }
             None => {
-                // Score every row in one blocked pass, then drop the seeds;
-                // filtering afterwards keeps the scored ranges contiguous.
-                let all = self.reps.seed_scores_all(&query.pos_seeds, &pool);
-                world
-                    .entities
-                    .iter()
-                    .filter(|e| !query.is_seed(e.id))
-                    .map(|e| (e.id, all[e.id.index()]))
+                // The candidate source decides *which* entities get scored
+                // (all of them for `Exhaustive`, the probed inverted lists
+                // for `Ivf`); scores come from the same factorized kernel
+                // either way. Seeds are dropped afterwards, exactly as the
+                // pre-index code did.
+                debug_assert_eq!(world.entities.len(), self.reps.len());
+                self.source
+                    .scored_candidates(&self.reps, &query.pos_seeds, &pool)
+                    .into_iter()
+                    .filter(|&(e, _)| !query.is_seed(e))
                     .collect()
             }
         };
@@ -249,6 +288,64 @@ mod tests {
         for s in q.all_seeds() {
             assert_eq!(l0.rank_of(s), None);
         }
+    }
+
+    #[test]
+    fn ivf_full_probe_expansion_is_byte_identical_to_exhaustive() {
+        let world = World::generate(WorldConfig::tiny()).unwrap();
+        let mut ret = RetExpan::train(
+            &world,
+            EncoderConfig {
+                epochs: 2,
+                ..quick_enc()
+            },
+            RetExpanConfig::default(),
+        );
+        let exhaustive: Vec<RankedList> = world
+            .queries()
+            .map(|(_u, q)| ret.expand(&world, q))
+            .collect();
+        ret.set_ann(ultra_ann::AnnSpec::Ivf(ultra_ann::IvfConfig {
+            nprobe: 0,
+            ..ultra_ann::IvfConfig::default()
+        }));
+        assert!(ret.source_name().contains("ivf"));
+        for ((_u, q), exh) in world.queries().zip(&exhaustive) {
+            let ivf = ret.expand(&world, q);
+            // `RankedList` equality is bit-exact on score bits.
+            assert_eq!(&ivf, exh, "ivf(nprobe=all) diverged from exhaustive");
+        }
+    }
+
+    #[test]
+    fn narrow_probe_keeps_high_overlap_with_exhaustive_head() {
+        let world = World::generate(WorldConfig::tiny()).unwrap();
+        let mut ret = RetExpan::train(&world, quick_enc(), RetExpanConfig::default());
+        let exhaustive: Vec<Vec<EntityId>> = world
+            .queries()
+            .map(|(_u, q)| ret.preliminary_list(&world, q, None).entities().collect())
+            .collect();
+        ret.set_ann(ultra_ann::AnnSpec::Ivf(ultra_ann::IvfConfig {
+            nprobe: 8,
+            ..ultra_ann::IvfConfig::default()
+        }));
+        let k = 10;
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for ((_u, q), exh) in world.queries().zip(&exhaustive) {
+            let ivf: Vec<EntityId> = ret.preliminary_list(&world, q, None).entities().collect();
+            for e in exh.iter().take(k) {
+                total += 1;
+                if ivf.iter().take(k).any(|x| x == e) {
+                    hits += 1;
+                }
+            }
+        }
+        let recall = hits as f64 / total.max(1) as f64;
+        assert!(
+            recall > 0.6,
+            "recall@{k} of a reasonable probe width collapsed: {recall:.2}"
+        );
     }
 
     #[test]

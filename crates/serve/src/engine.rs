@@ -21,7 +21,7 @@ use ultra_retexpan::{RetExpan, RetExpanConfig};
 /// Offline-phase configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// World profile: `"tiny"`, `"small"`, or `"paper"`.
+    /// World profile: `"tiny"`, `"small"`, `"paper"`, or `"huge"`.
     pub profile: String,
     /// World seed.
     pub seed: u64,
@@ -63,9 +63,10 @@ impl EngineConfig {
             "paper" => WorldConfig::paper(),
             "tiny" => WorldConfig::tiny(),
             "small" => WorldConfig::small(),
+            "huge" => WorldConfig::huge(),
             other => {
                 return Err(ServeError::BadRequest(format!(
-                    "unknown profile `{other}` (expected tiny|small|paper)"
+                    "unknown profile `{other}` (expected tiny|small|paper|huge)"
                 )))
             }
         };
@@ -92,6 +93,27 @@ impl CacheOutcome {
     }
 }
 
+/// Which candidate source the engine's RetExpan preliminary stage uses and
+/// what its index cost to build — surfaced in the startup log and under
+/// `GET /metrics` so load tests against large profiles are attributable.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndexInfo {
+    /// Wire label of the active source (e.g. `"ivf(nlist=316,nprobe=8)"`).
+    pub candidate_source: String,
+    /// Wall-clock cost of building that source at startup (µs); `0` for
+    /// the index-free exhaustive path.
+    pub index_build_micros: u64,
+}
+
+impl Default for IndexInfo {
+    fn default() -> Self {
+        Self {
+            candidate_source: "exhaustive".to_string(),
+            index_build_micros: 0,
+        }
+    }
+}
+
 /// The trained, immutable serving engine.
 pub struct ExpansionEngine {
     config: EngineConfig,
@@ -99,6 +121,7 @@ pub struct ExpansionEngine {
     retexpan: RetExpan,
     genexpan: Option<GenExpan>,
     cache: ShardedLruCache,
+    index: IndexInfo,
 }
 
 impl ExpansionEngine {
@@ -114,7 +137,24 @@ impl ExpansionEngine {
         if config.threads > 0 {
             ultra_par::set_threads(config.threads);
         }
-        let retexpan = RetExpan::train(&world, config.encoder.clone(), config.retexpan.clone());
+        // Train with the index-free exhaustive source, then install the
+        // configured source separately so its build cost is measured on its
+        // own (the stopwatch feeds the startup log and `/metrics` only —
+        // never a score).
+        let mut retexpan_cfg = config.retexpan.clone();
+        let ann = std::mem::take(&mut retexpan_cfg.ann);
+        let mut retexpan = RetExpan::train(&world, config.encoder.clone(), retexpan_cfg);
+        let sw = crate::metrics::Stopwatch::start();
+        retexpan.set_ann(ann);
+        let index = IndexInfo {
+            candidate_source: retexpan.source_name(),
+            index_build_micros: sw.elapsed_micros(),
+        };
+        eprintln!(
+            "[engine] candidate source: {} (index build {:.1}ms)",
+            index.candidate_source,
+            index.index_build_micros as f64 / 1e3
+        );
         let genexpan = config
             .genexpan
             .clone()
@@ -126,7 +166,13 @@ impl ExpansionEngine {
             retexpan,
             genexpan,
             cache,
+            index,
         })
+    }
+
+    /// The active candidate source and its startup build cost.
+    pub fn index_info(&self) -> &IndexInfo {
+        &self.index
     }
 
     /// The generated world.

@@ -8,6 +8,7 @@
 //! counters tolerate torn cross-counter reads in a snapshot).
 
 use crate::cache::CacheStats;
+use crate::engine::IndexInfo;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -174,6 +175,7 @@ impl ServeMetrics {
         queue_depth: usize,
         workers: usize,
         pool_panics: u64,
+        index: IndexInfo,
     ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests_total: self.requests_total.load(Ordering::Relaxed),
@@ -188,6 +190,7 @@ impl ServeMetrics {
             queue_depth,
             workers,
             cache,
+            index,
             expand_latency: self.expand_latency.snapshot(),
             healthz_latency: self.healthz_latency.snapshot(),
             metrics_latency: self.metrics_latency.snapshot(),
@@ -217,6 +220,8 @@ pub struct MetricsSnapshot {
     pub workers: usize,
     /// Result-cache counters.
     pub cache: CacheStats,
+    /// Active candidate source and its startup index-build cost.
+    pub index: IndexInfo,
     /// `POST /expand` latency.
     pub expand_latency: HistogramSnapshot,
     /// `GET /healthz` latency.
@@ -261,7 +266,7 @@ mod tests {
         m.record_status(204);
         m.record_status(400);
         m.record_status(503);
-        let snap = m.snapshot(CacheStats::default(), 0, 4, 0);
+        let snap = m.snapshot(CacheStats::default(), 0, 4, 0, IndexInfo::default());
         assert_eq!(snap.responses_2xx, 2);
         assert_eq!(snap.responses_4xx, 1);
         assert_eq!(snap.responses_5xx, 1);
@@ -272,7 +277,7 @@ mod tests {
     fn panics_total_sums_route_and_pool_counts() {
         let m = ServeMetrics::default();
         m.panics_caught.fetch_add(2, Ordering::Relaxed);
-        let snap = m.snapshot(CacheStats::default(), 0, 1, 3);
+        let snap = m.snapshot(CacheStats::default(), 0, 1, 3, IndexInfo::default());
         assert_eq!(snap.panics_total, 5);
     }
 
@@ -281,7 +286,7 @@ mod tests {
         let m = ServeMetrics::default();
         m.expand_latency.record(123);
         m.record_status(200);
-        let snap = m.snapshot(CacheStats::default(), 2, 8, 1);
+        let snap = m.snapshot(CacheStats::default(), 2, 8, 1, IndexInfo::default());
         let json = serde_json::to_string(&snap).expect("serialize");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, snap);

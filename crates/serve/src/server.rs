@@ -67,8 +67,13 @@ impl ServerShared {
             .get()
             .map(|(gauge, workers)| (gauge.depth(), *workers, gauge.panics_total()))
             .unwrap_or((0, 0, 0));
-        self.metrics
-            .snapshot(self.engine.cache_stats(), queue_depth, workers, pool_panics)
+        self.metrics.snapshot(
+            self.engine.cache_stats(),
+            queue_depth,
+            workers,
+            pool_panics,
+            self.engine.index_info().clone(),
+        )
     }
 }
 

@@ -57,10 +57,25 @@ fn build_world(flags: &HashMap<String, String>) -> World {
     let cfg = match profile {
         "paper" => WorldConfig::paper(),
         "tiny" => WorldConfig::tiny(),
+        "huge" => WorldConfig::huge(),
         _ => WorldConfig::small(),
     };
     eprintln!("generating world (profile={profile}, seed={seed})…");
     World::generate(cfg.with_seed(seed)).expect("world generation")
+}
+
+/// Parses `--ann` / `--nlist` / `--nprobe` into a candidate-source spec.
+fn ann_spec(flags: &HashMap<String, String>) -> AnnSpec {
+    let kind = flags.get("ann").map(String::as_str).unwrap_or("exhaustive");
+    let nlist = flags.get("nlist").and_then(|s| s.parse().ok());
+    let nprobe = flags.get("nprobe").and_then(|s| s.parse().ok());
+    match AnnSpec::from_flags(kind, nlist, nprobe) {
+        Some(spec) => spec,
+        None => {
+            eprintln!("unknown --ann `{kind}` (expected exhaustive|ivf)");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn cmd_stats(flags: &HashMap<String, String>) {
@@ -117,7 +132,7 @@ enum AnyMethod {
 }
 
 impl AnyMethod {
-    fn build(name: &str, world: &World) -> AnyMethod {
+    fn build(name: &str, world: &World, ann: AnnSpec) -> AnyMethod {
         match name {
             "genexpan" => {
                 eprintln!("training GenExpan LM…");
@@ -127,11 +142,16 @@ impl AnyMethod {
             "setexpan" => AnyMethod::Set(SetExpan::new(world)),
             _ => {
                 eprintln!("training RetExpan encoder…");
-                AnyMethod::Ret(Box::new(RetExpan::train(
+                let ret = RetExpan::train(
                     world,
                     EncoderConfig::default(),
-                    RetExpanConfig::default(),
-                )))
+                    RetExpanConfig {
+                        ann,
+                        ..RetExpanConfig::default()
+                    },
+                );
+                eprintln!("candidate source: {}", ret.source_name());
+                AnyMethod::Ret(Box::new(ret))
             }
         }
     }
@@ -154,7 +174,7 @@ fn cmd_expand(flags: &HashMap<String, String>) {
         .unwrap_or("retexpan");
     let query_idx: usize = flags.get("query").and_then(|s| s.parse().ok()).unwrap_or(0);
     let top: usize = flags.get("top").and_then(|s| s.parse().ok()).unwrap_or(15);
-    let method = AnyMethod::build(method_name, &world);
+    let method = AnyMethod::build(method_name, &world, ann_spec(flags));
     let Some((ultra, query)) = world.queries().nth(query_idx) else {
         eprintln!("query index {query_idx} out of range");
         std::process::exit(2);
@@ -216,7 +236,7 @@ fn cmd_eval(flags: &HashMap<String, String>) {
         .get("method")
         .map(String::as_str)
         .unwrap_or("retexpan");
-    let method = AnyMethod::build(method_name, &world);
+    let method = AnyMethod::build(method_name, &world, ann_spec(flags));
     let pool = Pool::global();
     eprintln!("evaluating over every query ({} threads)…", pool.threads());
     let report = evaluate_method_par(&world, &pool, |u, q| method.expand(&world, u, q));
@@ -293,6 +313,10 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         genexpan,
         cache_capacity: cache_cap,
         threads,
+        retexpan: RetExpanConfig {
+            ann: ann_spec(flags),
+            ..RetExpanConfig::default()
+        },
         ..EngineConfig::default()
     };
     eprintln!(
@@ -331,25 +355,34 @@ const USAGE: &str = "\
 ultrawiki — Ultra-ESE reproduction CLI
 
 USAGE:
-  ultrawiki stats   [--profile small|paper|tiny] [--seed N]
+  ultrawiki stats   [--profile small|paper|tiny|huge] [--seed N]
   ultrawiki classes [--profile ...] [--seed N]
   ultrawiki expand  [--profile ...] [--method retexpan|genexpan|gpt4|setexpan]
-                    [--query N] [--top K]
-  ultrawiki eval    [--profile ...] [--method ...]
+                    [--query N] [--top K] [--ann exhaustive|ivf]
+                    [--nlist N] [--nprobe N]
+  ultrawiki eval    [--profile ...] [--method ...] [--ann ...] [--nlist N]
+                    [--nprobe N]
   ultrawiki export  [--profile ...] [--out DIR]
   ultrawiki serve   [--profile ...] [--seed N] [--port N] [--workers N]
                     [--queue N] [--cache-cap N] [--methods retexpan[,genexpan]]
+                    [--ann exhaustive|ivf] [--nlist N] [--nprobe N]
 
 Every command also accepts --threads N (data-parallel worker count for
 scoring/training/eval; overrides ULTRA_THREADS; output is byte-identical
-at any value).
+at any value). --ann ivf puts a deterministic IVF index in front of
+RetExpan preliminary scoring; --nprobe 0 probes every list (byte-identical
+to --ann exhaustive), --nlist 0 picks sqrt(N) lists.
 ";
 
 /// Flags each command accepts (unknown flags are reported, not ignored).
 fn known_flags(cmd: &str) -> &'static [&'static str] {
     match cmd {
-        "expand" => &["profile", "seed", "method", "query", "top", "threads"],
-        "eval" => &["profile", "seed", "method", "threads"],
+        "expand" => &[
+            "profile", "seed", "method", "query", "top", "threads", "ann", "nlist", "nprobe",
+        ],
+        "eval" => &[
+            "profile", "seed", "method", "threads", "ann", "nlist", "nprobe",
+        ],
         "export" => &["profile", "seed", "out", "threads"],
         "serve" => &[
             "profile",
@@ -360,6 +393,9 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "cache-cap",
             "methods",
             "threads",
+            "ann",
+            "nlist",
+            "nprobe",
         ],
         _ => &["profile", "seed", "threads"],
     }

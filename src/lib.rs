@@ -45,6 +45,7 @@
 //! See `examples/` for realistic end-to-end scenarios and `crates/bench`
 //! for the binaries regenerating every table and figure of the paper.
 
+pub use ultra_ann as ann;
 pub use ultra_baselines as baselines;
 pub use ultra_core as core;
 pub use ultra_data as data;
@@ -60,6 +61,7 @@ pub use ultra_text as text;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use ultra_ann::{AnnSpec, CandidateSource, IvfConfig, IvfIndex};
     pub use ultra_baselines::{CaSE, CgExpan, Gpt4Baseline, ProbExpan, SetExpan};
     pub use ultra_core::{AttrConstraint, EntityId, Query, RankedList, UltraClass, UltraError};
     pub use ultra_data::{KnowledgeOracle, OracleConfig, World, WorldConfig, WorldStats};

@@ -1,0 +1,127 @@
+//! Deterministic-construction contract of the `ultra-ann` IVF index:
+//! building the same index twice — at any thread count — must produce
+//! byte-identical serialized images, and probing *all* lists must be
+//! indistinguishable from the exhaustive scan (recall exactly 1.0, same
+//! ranked output). These are workspace-level tests because the contract
+//! spans crates: `ultra-ann` construction, `ultra-embed` scoring kernels,
+//! and `ultra-par` scheduling.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use ultrawiki::ann::{CandidateSource, Exhaustive, IvfConfig, IvfIndex, IvfSource};
+use ultrawiki::embed::EntityEmbeddings;
+use ultrawiki::nn::Matrix;
+use ultrawiki::prelude::*;
+
+/// Synthetic but deterministic embedding matrix (no RNG: a fixed integer
+/// hash per cell, so every run and platform sees the same f32 values).
+fn synthetic_reps(n: usize, dim: usize) -> EntityEmbeddings {
+    let data: Vec<f32> = (0..n * dim)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect();
+    EntityEmbeddings::new(Matrix::from_vec(n, dim, data))
+}
+
+#[test]
+fn ivf_builds_are_byte_reproducible_across_builds_and_thread_counts() {
+    let reps = synthetic_reps(700, 24);
+    let cfg = IvfConfig::default();
+
+    // Two builds with the globally-configured pool at ULTRA_THREADS∈{1,4},
+    // plus explicit pools — every image must match the first byte for byte.
+    set_threads(1);
+    let reference = IvfIndex::build(&reps, &cfg, &Pool::global()).to_bytes();
+    let again = IvfIndex::build(&reps, &cfg, &Pool::global()).to_bytes();
+    assert_eq!(reference, again, "same-pool rebuild diverged");
+    set_threads(4);
+    let t4 = IvfIndex::build(&reps, &cfg, &Pool::global()).to_bytes();
+    set_threads(0);
+    assert_eq!(reference, t4, "threads=1 vs threads=4 build diverged");
+    for workers in [1usize, 2, 4, 8] {
+        let img = IvfIndex::build(&reps, &cfg, &Pool::new(workers)).to_bytes();
+        assert_eq!(reference, img, "explicit {workers}-worker build diverged");
+    }
+}
+
+#[test]
+fn ivf_build_is_reproducible_on_trained_embeddings() {
+    // Same contract on *real* (trained) embeddings rather than synthetic
+    // ones — catches determinism bugs that only trigger on clustered data.
+    let world = World::generate(WorldConfig::tiny().with_seed(42)).expect("world generation");
+    let model = RetExpan::train(
+        &world,
+        EncoderConfig {
+            epochs: 1,
+            dim: 32,
+            neg_samples: 16,
+            max_sentences_per_entity: 4,
+            ..EncoderConfig::default()
+        },
+        RetExpanConfig::default(),
+    );
+    let cfg = IvfConfig::default();
+    let a = IvfIndex::build(&model.reps, &cfg, &Pool::new(1));
+    let b = IvfIndex::build(&model.reps, &cfg, &Pool::new(4));
+    assert_eq!(a.to_bytes(), b.to_bytes());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+proptest! {
+    /// Probing every list is exactly the exhaustive scan: same candidate
+    /// set, same scores, same ranked order — recall@k is 1.0 for every k.
+    #[test]
+    fn full_probe_ranking_equals_exhaustive(
+        n in 1usize..160,
+        dim in 2usize..10,
+        nlist in 0usize..20,
+        num_seeds in 1usize..4,
+    ) {
+        let reps = synthetic_reps(n, dim);
+        let cfg = IvfConfig { nlist, ..IvfConfig::default() };
+        let pool = Pool::new(2);
+        let index = Arc::new(IvfIndex::build(&reps, &cfg, &pool));
+        let seeds: Vec<EntityId> = (0..num_seeds.min(n))
+            .map(|i| EntityId::from_index(i * n / num_seeds.min(n).max(1)))
+            .collect();
+
+        let exact = RankedList::from_scores(
+            Exhaustive.scored_candidates(&reps, &seeds, &pool),
+        );
+        let probed = RankedList::from_scores(
+            IvfSource::new(index, 0).scored_candidates(&reps, &seeds, &pool),
+        );
+        prop_assert_eq!(exact.entries(), probed.entries());
+    }
+
+    /// Narrow probes never invent candidates: every returned id is a valid
+    /// entity index and appears at most once.
+    #[test]
+    fn probed_candidates_are_in_range_and_unique(
+        n in 1usize..160,
+        dim in 2usize..10,
+        nlist in 0usize..20,
+        nprobe in 0usize..24,
+    ) {
+        let reps = synthetic_reps(n, dim);
+        let cfg = IvfConfig { nlist, ..IvfConfig::default() };
+        let pool = Pool::new(1);
+        let index = IvfIndex::build(&reps, &cfg, &pool);
+        let query: Vec<f32> = (0..dim).map(|i| (i as f32 + 0.5) / dim as f32).collect();
+        let candidates = index.candidates(&query, nprobe);
+        let mut seen = vec![false; n];
+        for e in &candidates {
+            prop_assert!(e.index() < n, "candidate id {} out of range", e.index());
+            prop_assert!(!seen[e.index()], "candidate id {} duplicated", e.index());
+            seen[e.index()] = true;
+        }
+        if nprobe == 0 || nprobe >= index.nlist() {
+            prop_assert_eq!(candidates.len(), n, "full probe must cover every entity");
+        }
+    }
+}
