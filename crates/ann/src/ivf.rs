@@ -64,6 +64,36 @@ impl Default for IvfConfig {
 }
 
 impl IvfConfig {
+    /// Strict validation for *resolved* configurations — the form persisted
+    /// in snapshots, where the `0` placeholders ("auto" / "all lists") must
+    /// already have been replaced by concrete values. Returns a typed
+    /// [`UltraError`](ultra_core::UltraError) instead of relying on any
+    /// downstream behaviour: `nlist = 0` would build an index with no
+    /// lists and `nprobe = 0` would silently mean "all", both of which a
+    /// persisted artifact must spell out explicitly.
+    pub fn validate_resolved(&self) -> ultra_core::Result<()> {
+        use ultra_core::UltraError;
+        if self.nlist == 0 {
+            return Err(UltraError::InvalidConfig(
+                "ivf: resolved nlist must be non-zero (0 = auto is a build-time placeholder)"
+                    .into(),
+            ));
+        }
+        if self.nprobe == 0 {
+            return Err(UltraError::InvalidConfig(
+                "ivf: resolved nprobe must be non-zero (0 = all-lists is a probe-time placeholder)"
+                    .into(),
+            ));
+        }
+        if self.nprobe > self.nlist {
+            return Err(UltraError::InvalidConfig(format!(
+                "ivf: nprobe {} exceeds nlist {}",
+                self.nprobe, self.nlist
+            )));
+        }
+        Ok(())
+    }
+
     /// The concrete list count for an `n`-entity world.
     pub fn effective_nlist(&self, n: usize) -> usize {
         let auto = if self.nlist == 0 {
@@ -272,6 +302,97 @@ impl IvfIndex {
             }
         }
         out
+    }
+
+    /// Strict inverse of [`to_bytes`](Self::to_bytes): validates the magic,
+    /// format version, centroid count, and that the inverted lists are
+    /// each strictly ascending and together partition `0..num_entities`
+    /// exactly — so a loaded index can never silently drop or duplicate a
+    /// candidate. Every failure is a typed
+    /// [`UltraError::Corrupt`](ultra_core::UltraError::Corrupt); the method
+    /// never panics and never allocates more than the payload justifies.
+    ///
+    /// The reconstructed [`IvfConfig`] records the *resolved* `nlist` and
+    /// the stored build seed / k-means rounds; `nprobe` is probe-time
+    /// configuration not present in the image and is restored as `0`
+    /// ("all lists") — callers pass their own probe width to
+    /// [`candidates`](Self::candidates).
+    pub fn from_bytes(bytes: &[u8]) -> ultra_core::Result<IvfIndex> {
+        use ultra_core::{ByteReader, UltraError};
+        let corrupt = |msg: &str| UltraError::Corrupt(format!("uann: {msg}"));
+        let mut r = ByteReader::new(bytes, "uann");
+        if r.take(4)? != b"UANN" {
+            return Err(corrupt("bad magic"));
+        }
+        let version = r.u32()?;
+        if version != 1 {
+            return Err(corrupt(&format!("unsupported format version {version}")));
+        }
+        let dim = r.u32()? as usize;
+        let num_entities = r.u32()? as usize;
+        let nlist = r.u32()? as usize;
+        let seed = r.u64()?;
+        let kmeans_iters = r.u32()? as usize;
+        let centroid_cells = nlist
+            .checked_mul(dim)
+            .ok_or_else(|| corrupt("centroid shape overflows"))?;
+        let _ = r.check_count(centroid_cells as u64, 4, "centroid cells")?;
+        let mut centroids = Vec::with_capacity(centroid_cells);
+        for _ in 0..centroid_cells {
+            centroids.push(r.f32()?);
+        }
+        // The list-length prefixes alone need 4 bytes per list, and every
+        // entity id 4 more — bound both before allocating.
+        let _ = r.check_count(nlist as u64, 4, "inverted lists")?;
+        let _ = r.check_count(num_entities as u64, 0, "entities")?;
+        if num_entities > 0 && r.remaining() / 4 < num_entities {
+            return Err(corrupt("entity ids exceed remaining payload"));
+        }
+        let mut seen = vec![false; num_entities];
+        let mut total = 0usize;
+        let mut lists = Vec::with_capacity(nlist);
+        for l in 0..nlist {
+            let declared = u64::from(r.u32()?);
+            let len = r.check_count(declared, 4, "list members")?;
+            let mut list = Vec::with_capacity(len);
+            let mut prev: Option<u32> = None;
+            for _ in 0..len {
+                let id = r.u32()?;
+                if prev.is_some_and(|p| p >= id) {
+                    return Err(corrupt(&format!("list {l} not strictly ascending")));
+                }
+                prev = Some(id);
+                let idx = id as usize;
+                if idx >= num_entities {
+                    return Err(corrupt(&format!("entity id {id} out of range")));
+                }
+                if seen[idx] {
+                    return Err(corrupt(&format!("entity id {id} appears twice")));
+                }
+                seen[idx] = true;
+                total += 1;
+                list.push(EntityId::new(id));
+            }
+            lists.push(list);
+        }
+        if total != num_entities {
+            return Err(corrupt(&format!(
+                "lists cover {total} of {num_entities} entities"
+            )));
+        }
+        r.expect_end()?;
+        Ok(IvfIndex {
+            dim,
+            num_entities,
+            config: IvfConfig {
+                nlist,
+                nprobe: 0,
+                kmeans_iters,
+                seed,
+            },
+            centroids,
+            lists,
+        })
     }
 
     /// FNV-1a over [`to_bytes`](Self::to_bytes) — a compact reproducibility

@@ -61,6 +61,43 @@ impl AnnSpec {
         }
     }
 
+    /// Strict validation for specs headed into a persisted artifact: an
+    /// [`AnnSpec::Ivf`] must carry a fully *resolved* configuration (see
+    /// [`IvfConfig::validate_resolved`]) — the `0` placeholders accepted by
+    /// the CLI surface are rejected here with typed errors rather than
+    /// being reinterpreted at load time. [`AnnSpec::Exhaustive`] has no
+    /// parameters and always validates.
+    pub fn validate_resolved(&self) -> ultra_core::Result<()> {
+        match self {
+            AnnSpec::Exhaustive => Ok(()),
+            AnnSpec::Ivf(cfg) => cfg.validate_resolved(),
+        }
+    }
+
+    /// Resolves the `0` placeholders against a concrete world size: `nlist`
+    /// becomes [`IvfConfig::effective_nlist`] and `nprobe = 0` becomes
+    /// "every list". The result always passes
+    /// [`validate_resolved`](Self::validate_resolved) for non-empty worlds.
+    pub fn resolve(&self, num_entities: usize) -> AnnSpec {
+        match self {
+            AnnSpec::Exhaustive => AnnSpec::Exhaustive,
+            AnnSpec::Ivf(cfg) => {
+                let nlist = cfg.effective_nlist(num_entities);
+                let nprobe = if cfg.nprobe == 0 {
+                    nlist
+                } else {
+                    cfg.nprobe.min(nlist)
+                };
+                AnnSpec::Ivf(IvfConfig {
+                    nlist,
+                    nprobe,
+                    kmeans_iters: cfg.kmeans_iters,
+                    seed: cfg.seed,
+                })
+            }
+        }
+    }
+
     /// Parses the CLI surface (`--ann exhaustive|ivf` plus optional
     /// `--nlist`/`--nprobe` overrides; `0` keeps the respective default /
     /// "all lists" semantics).
@@ -110,5 +147,61 @@ mod tests {
     #[test]
     fn default_is_exhaustive() {
         assert_eq!(AnnSpec::default(), AnnSpec::Exhaustive);
+    }
+
+    #[test]
+    fn zero_placeholders_are_typed_errors_not_panics() {
+        use ultra_core::UltraError;
+        // The CLI surface accepts the 0 placeholders…
+        let spec = AnnSpec::from_flags("ivf", Some(0), Some(0)).expect("cli accepts 0");
+        // …but a persisted spec must be resolved: validation returns a
+        // typed error, gracefully, for each placeholder.
+        assert!(matches!(
+            spec.validate_resolved(),
+            Err(UltraError::InvalidConfig(_))
+        ));
+        let nlist_only = AnnSpec::Ivf(IvfConfig {
+            nlist: 8,
+            nprobe: 0,
+            ..IvfConfig::default()
+        });
+        assert!(matches!(
+            nlist_only.validate_resolved(),
+            Err(UltraError::InvalidConfig(msg)) if msg.contains("nprobe")
+        ));
+        let nprobe_only = AnnSpec::Ivf(IvfConfig {
+            nlist: 0,
+            nprobe: 4,
+            ..IvfConfig::default()
+        });
+        assert!(matches!(
+            nprobe_only.validate_resolved(),
+            Err(UltraError::InvalidConfig(msg)) if msg.contains("nlist")
+        ));
+        let inverted = AnnSpec::Ivf(IvfConfig {
+            nlist: 4,
+            nprobe: 9,
+            ..IvfConfig::default()
+        });
+        assert!(inverted.validate_resolved().is_err());
+        assert!(AnnSpec::Exhaustive.validate_resolved().is_ok());
+    }
+
+    #[test]
+    fn resolve_replaces_placeholders_with_concrete_values() {
+        let spec = AnnSpec::from_flags("ivf", Some(0), Some(0)).expect("cli accepts 0");
+        let resolved = spec.resolve(100);
+        match &resolved {
+            AnnSpec::Ivf(cfg) => {
+                assert_eq!(cfg.nlist, 10, "auto nlist = round(sqrt(100))");
+                assert_eq!(cfg.nprobe, 10, "nprobe 0 resolves to all lists");
+            }
+            other => panic!("expected Ivf, got {other:?}"),
+        }
+        assert!(resolved.validate_resolved().is_ok());
+        // An over-wide explicit nprobe clamps to nlist instead of failing.
+        let wide = AnnSpec::from_flags("ivf", Some(4), Some(64)).expect("spec");
+        assert!(wide.resolve(100).validate_resolved().is_ok());
+        assert_eq!(AnnSpec::Exhaustive.resolve(100), AnnSpec::Exhaustive);
     }
 }

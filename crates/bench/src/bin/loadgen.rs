@@ -10,12 +10,16 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--top-k K]
 //!         [--profile tiny|small|paper|huge] [--ann exhaustive|ivf] [--nprobe K]
+//!         [--snapshot PATH]
 //! ```
 //!
 //! Without `--addr` it boots an in-process server on an ephemeral port
 //! (profile/seed from `--profile` / `ULTRA_PROFILE` / `ULTRA_SEED`, default
 //! `tiny`; `--ann`/`--nprobe` select the candidate source), so
-//! `cargo run -p ultra-bench --bin loadgen` works standalone. After the run
+//! `cargo run -p ultra-bench --bin loadgen` works standalone. `--snapshot`
+//! boots the in-process server from a snapshot file (built with
+//! `ultrawiki build-index`) instead of training, and conflicts with
+//! `--profile`/`--ann`/`--nprobe`, which a snapshot pins. After the run
 //! it reads back `GET /metrics` and prints the server's active candidate
 //! source, so results are attributable to an index configuration. Exits 0 on
 //! success, 1 on any non-200 response or determinism mismatch.
@@ -37,6 +41,7 @@ struct Flags {
     profile: Option<String>,
     ann: String,
     nprobe: Option<usize>,
+    snapshot: Option<String>,
 }
 
 fn parse_args() -> Flags {
@@ -48,6 +53,7 @@ fn parse_args() -> Flags {
         profile: None,
         ann: "exhaustive".into(),
         nprobe: None,
+        snapshot: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -65,11 +71,13 @@ fn parse_args() -> Flags {
             ("--nprobe", Some(v)) => {
                 flags.nprobe = Some(v.parse().expect("--nprobe takes a number"))
             }
+            ("--snapshot", Some(v)) => flags.snapshot = Some(v.clone()),
             (other, _) => {
                 eprintln!("unknown or valueless flag `{other}`");
                 eprintln!(
                     "usage: loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--top-k K] \
-                     [--profile tiny|small|paper|huge] [--ann exhaustive|ivf] [--nprobe K]"
+                     [--profile tiny|small|paper|huge] [--ann exhaustive|ivf] [--nprobe K] \
+                     [--snapshot PATH]"
                 );
                 std::process::exit(2);
             }
@@ -127,33 +135,49 @@ fn main() {
     let (addr, _local) = match &flags.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let profile = flags
-                .profile
-                .clone()
-                .or_else(|| std::env::var("ULTRA_PROFILE").ok())
-                .unwrap_or_else(|| "tiny".into());
-            let seed: u64 = std::env::var("ULTRA_SEED")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(42);
-            let ann = ultra_ann::AnnSpec::from_flags(&flags.ann, None, flags.nprobe)
-                .unwrap_or_else(|| {
-                    eprintln!("unknown --ann `{}` (expected exhaustive|ivf)", flags.ann);
+            let engine = if let Some(path) = &flags.snapshot {
+                if flags.profile.is_some() || flags.ann != "exhaustive" || flags.nprobe.is_some() {
+                    eprintln!(
+                        "--snapshot pins profile/ann/nprobe; drop those flags when replaying one"
+                    );
                     std::process::exit(2);
-                });
-            eprintln!(
-                "[loadgen] no --addr; booting in-process server (profile={profile}, seed={seed})…"
-            );
-            let engine = ExpansionEngine::build(EngineConfig {
-                profile,
-                seed,
-                retexpan: ultra_retexpan::RetExpanConfig {
-                    ann,
-                    ..ultra_retexpan::RetExpanConfig::default()
-                },
-                ..EngineConfig::default()
-            })
-            .expect("engine build");
+                }
+                eprintln!("[loadgen] no --addr; booting in-process server from snapshot {path}…");
+                ExpansionEngine::load_snapshot(
+                    std::path::Path::new(path),
+                    ultra_serve::SnapshotRuntime::default(),
+                )
+                .expect("snapshot load")
+            } else {
+                let profile = flags
+                    .profile
+                    .clone()
+                    .or_else(|| std::env::var("ULTRA_PROFILE").ok())
+                    .unwrap_or_else(|| "tiny".into());
+                let seed: u64 = std::env::var("ULTRA_SEED")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(42);
+                let ann = ultra_ann::AnnSpec::from_flags(&flags.ann, None, flags.nprobe)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown --ann `{}` (expected exhaustive|ivf)", flags.ann);
+                        std::process::exit(2);
+                    });
+                eprintln!(
+                    "[loadgen] no --addr; booting in-process server \
+                     (profile={profile}, seed={seed})…"
+                );
+                ExpansionEngine::build(EngineConfig {
+                    profile,
+                    seed,
+                    retexpan: ultra_retexpan::RetExpanConfig {
+                        ann,
+                        ..ultra_retexpan::RetExpanConfig::default()
+                    },
+                    ..EngineConfig::default()
+                })
+                .expect("engine build")
+            };
             let handle = Server::start(
                 Arc::new(engine),
                 ServerConfig {
@@ -272,6 +296,19 @@ fn main() {
             "candidate source: {source} (index build {:.1}ms)",
             build_micros as f64 / 1e3
         );
+        if let Some(fp) = index
+            .get("snapshot_fingerprint")
+            .and_then(serde_json::Value::as_str)
+        {
+            let load_micros = index
+                .get("snapshot_load_micros")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0);
+            println!(
+                "served from snapshot {fp} (loaded in {:.1}ms)",
+                load_micros as f64 / 1e3
+            );
+        }
     }
 
     if failed.load(Ordering::Relaxed) {

@@ -4,7 +4,7 @@
 //!
 //! Emits `BENCH_expand.json` (to `target/experiments/` and the repo root)
 //! so future PRs have a perf trajectory to compare against. The report is
-//! `schema_version: 2`:
+//! `schema_version: 3`:
 //!
 //! * `scoring` / `training` / `eval` — the schema-v1 thread-scaling stages.
 //!   On the `huge` profile (100k+ entities) they are skipped (`null`): the
@@ -14,12 +14,18 @@
 //!   sweep reporting recall@10/recall@50 against the exhaustive preliminary
 //!   ranking and per-query latency percentiles (p50/p99), plus the p50
 //!   speedup over the exhaustive scan.
+//! * `startup` (schema v3) — serve startup time: full train-at-startup vs
+//!   loading a USNP snapshot of the same engine, with the byte-identity of
+//!   the two engines' answers as a hard witness. Skipped on `huge` (the
+//!   double training run would dominate the benchmark).
 //!
 //! Determinism gates enforced in-binary (hard asserts, not just fields):
 //! ranked lists at threads=1 vs threads=4 are byte-identical, and the IVF
 //! full-probe (`nprobe=all`) expansion is byte-identical to the exhaustive
 //! path at both thread counts. On `huge` the acceptance gate also asserts
-//! the sweep contains a point with recall@50 ≥ 0.95 and ≥ 5x p50 speedup.
+//! the sweep contains a point with recall@50 ≥ 0.95 and ≥ 5x p50 speedup;
+//! on `small` the startup stage asserts snapshot load is ≥ 20x faster than
+//! train-at-startup.
 
 use serde::Serialize;
 use std::sync::Arc;
@@ -34,6 +40,7 @@ use ultra_eval::evaluate_method_par;
 use ultra_nn::cosine;
 use ultra_par::{set_threads, Pool};
 use ultra_retexpan::{mine_lists, RetExpan, RetExpanConfig};
+use ultra_serve::{EngineConfig, ExpansionEngine, Method, SnapshotRuntime};
 
 #[derive(Serialize)]
 struct StageTiming {
@@ -96,6 +103,25 @@ struct IndexStage {
     full_probe_byte_identical_to_exhaustive: bool,
 }
 
+/// Serve startup: full offline training vs loading a USNP snapshot of the
+/// very same engine (schema v3).
+#[derive(Serialize)]
+struct StartupStage {
+    /// `ExpansionEngine::build` wall clock: world generation + training.
+    train_ms: f64,
+    /// `ExpansionEngine::from_snapshot_bytes` wall clock: checksum-verified
+    /// decode + world regeneration + cross-checks + reassembly.
+    snapshot_load_ms: f64,
+    speedup_load_vs_train: f64,
+    snapshot_bytes: usize,
+    /// Whole-file FNV fingerprint (hex) of the snapshot, as `/metrics`
+    /// reports it.
+    snapshot_fingerprint: String,
+    /// Hard-asserted in-binary: the loaded engine answers every sampled
+    /// query byte-identically to the trained one.
+    answers_byte_identical: bool,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema_version: u32,
@@ -108,6 +134,7 @@ struct BenchReport {
     training: Option<TrainingStage>,
     eval: Option<StageTiming>,
     index: IndexStage,
+    startup: Option<StartupStage>,
     note: String,
 }
 
@@ -458,8 +485,66 @@ fn main() {
         );
     }
 
+    // --- Startup stage (schema v3; skipped on huge) ------------------------
+    let mut startup = None;
+    if !huge {
+        eprintln!("[perf] startup stage: train-at-startup vs snapshot load…");
+        let engine_cfg = EngineConfig {
+            profile: profile.clone(),
+            seed: world.config.seed,
+            ..EngineConfig::default()
+        };
+        let t = Instant::now();
+        let trained = ExpansionEngine::build(engine_cfg).expect("engine builds");
+        let train_ms = ms(t);
+        let bytes = trained.to_snapshot().expect("snapshot encodes").to_bytes();
+        let snapshot_fingerprint = format!("{:016x}", ultra_snap::file_fingerprint(&bytes));
+        let t = Instant::now();
+        let loaded = ExpansionEngine::from_snapshot_bytes(&bytes, SnapshotRuntime::default())
+            .expect("snapshot loads");
+        let snapshot_load_ms = ms(t);
+
+        let answers = |engine: &ExpansionEngine| -> Vec<RankedList> {
+            engine
+                .world()
+                .queries()
+                .take(64)
+                .map(|(_u, q)| {
+                    engine
+                        .expand_uncached(Method::RetExpan, q, 0)
+                        .expect("engine expands")
+                })
+                .collect()
+        };
+        let identical = fingerprint(&answers(&trained)) == fingerprint(&answers(&loaded));
+        assert!(
+            identical,
+            "snapshot-loaded engine diverged from train-at-startup"
+        );
+        let speedup = train_ms / snapshot_load_ms.max(1e-9);
+        eprintln!(
+            "[perf] startup: train {train_ms:.0}ms vs snapshot load {snapshot_load_ms:.1}ms \
+             ({speedup:.0}x, {} bytes, fingerprint {snapshot_fingerprint})",
+            bytes.len()
+        );
+        if profile == "small" {
+            assert!(
+                speedup >= 20.0,
+                "small profile: snapshot load must be ≥ 20x faster than training, got {speedup:.1}x"
+            );
+        }
+        startup = Some(StartupStage {
+            train_ms,
+            snapshot_load_ms,
+            speedup_load_vs_train: speedup,
+            snapshot_bytes: bytes.len(),
+            snapshot_fingerprint,
+            answers_byte_identical: identical,
+        });
+    }
+
     let report = BenchReport {
-        schema_version: 2,
+        schema_version: 3,
         profile,
         seed: world.config.seed,
         host_parallelism: std::thread::available_parallelism()
@@ -471,14 +556,16 @@ fn main() {
         training,
         eval,
         index: index_stage,
+        startup,
         note: format!(
             "scalar checksum {scalar_checksum:.3}; threads=1 and threads=4 run the same \
              chunked kernels (fixed chunk boundaries, ordered reduction), so outputs are \
              byte-identical and t4-vs-t1 reflects hardware parallelism only. The index \
              sweep times the preliminary scoring stage (candidate generation + ranking) \
              per query; IVF speedups are algorithmic (scan nprobe/nlist of the entities) \
-             and hold on single-core hosts. scoring/training/eval are null on the huge \
-             profile by design."
+             and hold on single-core hosts. scoring/training/eval/startup are null on \
+             the huge profile by design. The startup stage times the full offline phase \
+             against a checksum-verified USNP snapshot load of the same engine."
         ),
     };
     if let Some(s) = &report.scoring {
@@ -519,6 +606,12 @@ fn main() {
         println!(
             "eval: t1 {:.1}ms  t4 {:.1}ms  ({:.2}x)",
             e.threads1_ms, e.threads4_ms, e.speedup_t4_vs_t1,
+        );
+    }
+    if let Some(s) = &report.startup {
+        println!(
+            "startup: train {:.0}ms  snapshot load {:.1}ms  ({:.0}x, {} bytes)",
+            s.train_ms, s.snapshot_load_ms, s.speedup_load_vs_train, s.snapshot_bytes,
         );
     }
     println!(

@@ -23,6 +23,9 @@ pub enum UltraError {
     Shape(String),
     /// Training or decoding was asked to run with an empty input set.
     EmptyInput(String),
+    /// A serialized artifact failed validation while being decoded
+    /// (truncated payload, out-of-range id, non-canonical ordering, …).
+    Corrupt(String),
 }
 
 impl fmt::Display for UltraError {
@@ -33,6 +36,7 @@ impl fmt::Display for UltraError {
             UltraError::UnknownClass(msg) => write!(f, "unknown semantic class: {msg}"),
             UltraError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
             UltraError::EmptyInput(msg) => write!(f, "empty input: {msg}"),
+            UltraError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
         }
     }
 }

@@ -14,6 +14,7 @@
 //! * positive/negative target entity sets `P` and `N` ([`UltraClass`]).
 
 pub mod attr;
+pub mod bytes;
 pub mod class;
 pub mod corpus;
 pub mod entity;
@@ -26,6 +27,7 @@ pub mod rng;
 pub mod stable;
 
 pub use attr::{AttrConstraint, AttributeSchema, AttributeValueId};
+pub use bytes::{ByteReader, ByteWriter};
 pub use class::{CoarseType, FineClass, UltraClass};
 pub use corpus::{Corpus, Sentence};
 pub use entity::Entity;

@@ -310,6 +310,56 @@ impl World {
         self.entities.len()
     }
 
+    /// Stable FNV-1a fingerprint of the generated content: entity names,
+    /// corpus sentences, list documents, and query structure. Two worlds
+    /// agree on this value iff they would drive every downstream consumer
+    /// (encoder training, LM streams, tries, BM25) identically — the
+    /// snapshot loader compares it against the value recorded at build
+    /// time to detect profile/seed mismatches and generator drift.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = ultra_core::StableHasher::default();
+        h.write_u64(self.vocab.len() as u64);
+        h.write_u64(self.num_entities() as u64);
+        h.write_u64(self.list_sep.index() as u64);
+        for name in &self.name_tokens {
+            h.write_u64(name.len() as u64);
+            for t in name {
+                h.write_u64(t.index() as u64);
+            }
+        }
+        for s in self.corpus.sentences() {
+            h.write_u64(s.tokens.len() as u64);
+            for t in &s.tokens {
+                h.write_u64(t.index() as u64);
+            }
+            for (pos, e) in &s.mentions {
+                h.write_u64(*pos as u64);
+                h.write_u64(e.index() as u64);
+            }
+        }
+        for d in &self.list_docs {
+            h.write_u64(d.tokens.len() as u64);
+            for t in &d.tokens {
+                h.write_u64(t.index() as u64);
+            }
+        }
+        h.write_u64(self.ultra_classes.len() as u64);
+        for u in &self.ultra_classes {
+            h.write_u64(u.queries.len() as u64);
+            for q in &u.queries {
+                for e in &q.pos_seeds {
+                    h.write_u64(e.index() as u64);
+                }
+                h.write_u64(u64::MAX); // seed-set delimiter
+                for e in &q.neg_seeds {
+                    h.write_u64(e.index() as u64);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Entity behind a canonical mention token, if any.
     pub fn entity_of_mention(&self, token: TokenId) -> Option<EntityId> {
         self.mention_to_entity.get(&token).copied()

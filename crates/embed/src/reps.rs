@@ -73,6 +73,41 @@ impl EntityEmbeddings {
         self.mat.rows() == 0
     }
 
+    /// Serializes the representation matrix: `rows`/`cols` as `u32` LE
+    /// followed by row-major `f32` bit patterns. Inverse norms are *not*
+    /// stored — [`from_bytes`](Self::from_bytes) recomputes them through
+    /// the identical [`new`](Self::new) path, so the reconstructed
+    /// embeddings score bit-identically to the originals.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ultra_core::ByteWriter::new();
+        w.u32(self.mat.rows() as u32);
+        w.u32(self.mat.cols() as u32);
+        for &v in self.mat.as_slice() {
+            w.f32(v);
+        }
+        w.finish()
+    }
+
+    /// Strict inverse of [`to_bytes`](Self::to_bytes): the payload must
+    /// contain exactly `rows × cols` floats — any shortfall or surplus is a
+    /// typed [`UltraError::Corrupt`](ultra_core::UltraError::Corrupt), never
+    /// a panic.
+    pub fn from_bytes(bytes: &[u8]) -> ultra_core::Result<Self> {
+        let mut r = ultra_core::ByteReader::new(bytes, "embeddings");
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        let count = rows.checked_mul(cols).ok_or_else(|| {
+            ultra_core::UltraError::Corrupt(format!("embeddings: {rows}x{cols} overflows"))
+        })?;
+        let _ = r.check_count(count as u64, 4, "matrix cells")?;
+        let mut data = Vec::with_capacity(count);
+        for _ in 0..count {
+            data.push(r.f32()?);
+        }
+        r.expect_end()?;
+        Ok(Self::new(Matrix::from_vec(rows, cols, data)))
+    }
+
     /// One entity's representation.
     #[inline]
     pub fn row(&self, e: EntityId) -> &[f32] {
@@ -309,5 +344,36 @@ mod tests {
     fn sim_is_symmetric() {
         let r = embeddings();
         assert_eq!(r.sim(eid(0), eid(2)), r.sim(eid(2), eid(0)));
+    }
+
+    #[test]
+    fn byte_round_trip_is_canonical_and_score_identical() {
+        let r = embeddings();
+        let bytes = r.to_bytes();
+        let back = EntityEmbeddings::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.to_bytes(), bytes, "re-serialization must be canonical");
+        assert_eq!((back.len(), back.dim()), (r.len(), r.dim()));
+        let pool = Pool::new(1);
+        let a = r.seed_scores_all(&[eid(0), eid(1)], &pool);
+        let b = back.seed_scores_all(&[eid(0), eid(1)], &pool);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_and_padded_payloads_are_typed_errors() {
+        let bytes = embeddings().to_bytes();
+        for cut in [0, 3, 7, bytes.len() - 1] {
+            assert!(EntityEmbeddings::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(EntityEmbeddings::from_bytes(&padded).is_err());
+        // A hostile header cannot trigger a huge allocation.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(EntityEmbeddings::from_bytes(&hostile).is_err());
     }
 }

@@ -172,6 +172,37 @@ impl GenExpan {
         }
     }
 
+    /// Reassembles a pipeline from previously persisted parts (snapshot
+    /// load): the trained LM and trie are supplied, while the co-occurrence
+    /// index and the list separator — cheap, pure functions of the world —
+    /// are rebuilt in place. The restricted-pool setting is a transient
+    /// experiment configuration and is never persisted.
+    pub fn from_parts(
+        world: &World,
+        config: GenExpanConfig,
+        lm: NgramLm,
+        trie: PrefixTrie,
+    ) -> Self {
+        Self {
+            config,
+            lm,
+            trie,
+            cooc: CoocIndex::build(world),
+            sep: world.list_sep,
+            pool: None,
+        }
+    }
+
+    /// The trained n-gram LM (read-only; snapshot serialization).
+    pub fn lm(&self) -> &NgramLm {
+        &self.lm
+    }
+
+    /// The candidate prefix trie (read-only; snapshot serialization).
+    pub fn trie(&self) -> &PrefixTrie {
+        &self.trie
+    }
+
     /// Eq. 7: `sco(e → e') = P(e'|f(e))^(1/|e'|)` where `f(e)` is the
     /// list-continuation template `"{e} ,"` (the substitute for
     /// "`{e}` is similar to" — see crate docs).

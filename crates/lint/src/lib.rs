@@ -70,8 +70,10 @@ use std::path::{Path, PathBuf};
 /// Crates whose ranked output must be reproducible (L2's scope). `serve`
 /// belongs here because it hands out cached `RankedList`s: iteration-order
 /// nondeterminism anywhere in its request path would break the byte-identity
-/// contract between served and offline results.
-pub const RANKED_CRATES: [&str; 8] = [
+/// contract between served and offline results. `snap` belongs here because
+/// snapshots must be byte-identical across builds: any iteration-order
+/// nondeterminism while serializing sections would break `cmp a.usnp b.usnp`.
+pub const RANKED_CRATES: [&str; 9] = [
     "core",
     "retexpan",
     "genexpan",
@@ -80,6 +82,7 @@ pub const RANKED_CRATES: [&str; 8] = [
     "data",
     "serve",
     "ann",
+    "snap",
 ];
 
 /// Directory names never scanned.

@@ -1,7 +1,7 @@
 //! Interpolated back-off n-gram language model.
 
 use std::collections::HashMap;
-use ultra_core::TokenId;
+use ultra_core::{ByteReader, ByteWriter, TokenId, UltraError};
 
 /// Smoothing family. Stands in for the LLM *family* axis of Figure 8:
 /// Witten-Bell plays the weaker BLOOM, absolute discounting (the
@@ -68,6 +68,12 @@ impl NgramLm {
     #[inline]
     pub fn order(&self) -> usize {
         self.order
+    }
+
+    /// Vocabulary size bounding the unigram floor.
+    #[inline]
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
     }
 
     /// Accumulates counts from documents (token sequences).
@@ -194,6 +200,140 @@ impl NgramLm {
         }
         out
     }
+
+    /// Serializes the count tables in canonical form: for every table the
+    /// contexts are emitted in lexicographic key order and every context's
+    /// continuation counts in ascending token order, so two identically
+    /// trained models produce byte-identical output regardless of hasher
+    /// state or insertion history.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(self.order as u32);
+        match self.smoothing {
+            Smoothing::WittenBell => {
+                w.u8(0);
+                w.f64(0.0);
+            }
+            Smoothing::AbsoluteDiscount(d) => {
+                w.u8(1);
+                w.f64(d);
+            }
+        }
+        w.u64(self.vocab_size as u64);
+        for table in &self.tables {
+            w.u64(table.len() as u64);
+            let mut keys: Vec<&[u32]> = table.keys().map(|k| k.as_ref()).collect();
+            keys.sort_unstable();
+            for key in keys {
+                w.u32(key.len() as u32);
+                for &tok in key {
+                    w.u32(tok);
+                }
+                let ctx = &table[key];
+                w.u64(ctx.total);
+                w.u32(ctx.counts.len() as u32);
+                let mut toks: Vec<u32> = ctx.counts.keys().copied().collect();
+                toks.sort_unstable();
+                for tok in toks {
+                    w.u32(tok);
+                    w.u32(ctx.counts[&tok]);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Strict inverse of [`to_bytes`](Self::to_bytes). Validates every
+    /// invariant [`new`](Self::new) asserts (order ≥ 1, vocab > 0, discount
+    /// in `(0,1)`) *before* construction, plus canonical ordering (strictly
+    /// increasing contexts and tokens — rejecting duplicates and
+    /// reorderings), context-length/table agreement, and count/total
+    /// consistency, all as typed errors.
+    pub fn from_bytes(bytes: &[u8]) -> ultra_core::Result<Self> {
+        let corrupt = |msg: String| UltraError::Corrupt(format!("ngram-lm: {msg}"));
+        let mut r = ByteReader::new(bytes, "ngram-lm");
+        let order = r.u32()? as usize;
+        if order == 0 || order > 16 {
+            return Err(corrupt(format!("order {order} outside 1..=16")));
+        }
+        let smoothing = match (r.u8()?, r.f64()?) {
+            (0, _) => Smoothing::WittenBell,
+            (1, d) if d > 0.0 && d < 1.0 => Smoothing::AbsoluteDiscount(d),
+            (1, d) => return Err(corrupt(format!("discount {d} outside (0,1)"))),
+            (tag, _) => return Err(corrupt(format!("unknown smoothing tag {tag}"))),
+        };
+        let vocab_size = r.u64()?;
+        if vocab_size == 0 || vocab_size > u32::MAX as u64 {
+            return Err(corrupt(format!("vocab size {vocab_size} out of range")));
+        }
+        let mut tables: Vec<HashMap<Box<[u32]>, Ctx>> = Vec::with_capacity(order);
+        for k in 0..order {
+            let declared = r.u64()?;
+            // A context entry is at least key-len + total + count-len bytes.
+            let n = r.check_count(declared, 16, "contexts")?;
+            let mut table: HashMap<Box<[u32]>, Ctx> = HashMap::with_capacity(n);
+            let mut prev_key: Option<Box<[u32]>> = None;
+            for _ in 0..n {
+                let key_len = r.u32()? as usize;
+                if key_len != k {
+                    return Err(corrupt(format!(
+                        "table {k} context has key length {key_len}"
+                    )));
+                }
+                let mut key = Vec::with_capacity(key_len);
+                for _ in 0..key_len {
+                    key.push(r.u32()?);
+                }
+                let key: Box<[u32]> = key.into_boxed_slice();
+                if let Some(prev) = &prev_key {
+                    if *prev >= key {
+                        return Err(corrupt(format!(
+                            "table {k} contexts not strictly increasing"
+                        )));
+                    }
+                }
+                let total = r.u64()?;
+                let declared_types = u64::from(r.u32()?);
+                let type_count = r.check_count(declared_types, 8, "continuations")?;
+                let mut counts: HashMap<u32, u32> = HashMap::with_capacity(type_count);
+                let mut sum = 0u64;
+                let mut prev_tok: Option<u32> = None;
+                for _ in 0..type_count {
+                    let tok = r.u32()?;
+                    if prev_tok.is_some_and(|p| p >= tok) {
+                        return Err(corrupt(format!(
+                            "table {k} continuations not strictly increasing"
+                        )));
+                    }
+                    prev_tok = Some(tok);
+                    if u64::from(tok) >= vocab_size {
+                        return Err(corrupt(format!("token {tok} outside vocabulary")));
+                    }
+                    let count = r.u32()?;
+                    if count == 0 {
+                        return Err(corrupt("zero continuation count".into()));
+                    }
+                    sum += u64::from(count);
+                    counts.insert(tok, count);
+                }
+                if sum != total {
+                    return Err(corrupt(format!(
+                        "context total {total} disagrees with summed counts {sum}"
+                    )));
+                }
+                prev_key = Some(key.clone());
+                table.insert(key, Ctx { total, counts });
+            }
+            tables.push(table);
+        }
+        r.expect_end()?;
+        Ok(Self {
+            order,
+            smoothing,
+            tables,
+            vocab_size: vocab_size as usize,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -294,5 +434,48 @@ mod tests {
     #[should_panic(expected = "order must be")]
     fn zero_order_is_rejected() {
         NgramLm::new(0, Smoothing::WittenBell, 10);
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_every_probability() {
+        for smoothing in [Smoothing::WittenBell, Smoothing::AbsoluteDiscount(0.75)] {
+            let lm = toy_lm(smoothing);
+            let bytes = lm.to_bytes();
+            let back = NgramLm::from_bytes(&bytes).expect("round trip");
+            assert_eq!(back.to_bytes(), bytes, "re-serialization must be canonical");
+            for ctx in [vec![], vec![t(1)], vec![t(1), t(2)], vec![t(9), t(9)]] {
+                for w in 0..8 {
+                    assert_eq!(
+                        lm.prob(&ctx, t(w)).to_bits(),
+                        back.prob(&ctx, t(w)).to_bits(),
+                        "prob diverged for ctx {ctx:?} w {w}"
+                    );
+                }
+            }
+            assert_eq!(back.tokens_seen(), lm.tokens_seen());
+        }
+    }
+
+    #[test]
+    fn corrupt_lm_payloads_are_typed_errors() {
+        let bytes = toy_lm(Smoothing::WittenBell).to_bytes();
+        // Truncations at every byte boundary.
+        for cut in 0..bytes.len() {
+            assert!(NgramLm::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(NgramLm::from_bytes(&padded).is_err());
+        // Invalid header fields.
+        let mut zero_order = bytes.clone();
+        zero_order[0..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(NgramLm::from_bytes(&zero_order).is_err());
+        let mut bad_smoothing = bytes.clone();
+        bad_smoothing[4] = 9;
+        assert!(NgramLm::from_bytes(&bad_smoothing).is_err());
+        let mut bad_discount = toy_lm(Smoothing::AbsoluteDiscount(0.75)).to_bytes();
+        bad_discount[5..13].copy_from_slice(&1.5f64.to_bits().to_le_bytes());
+        assert!(NgramLm::from_bytes(&bad_discount).is_err());
     }
 }

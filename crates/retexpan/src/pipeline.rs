@@ -65,6 +65,23 @@ impl RetExpan {
         }
     }
 
+    /// Reassembles a pipeline from previously persisted parts (snapshot
+    /// load). No training and no index build happen here: the candidate
+    /// source starts as [`Exhaustive`](ultra_ann::Exhaustive) and the caller
+    /// installs the deserialized index via [`set_source`](Self::set_source).
+    pub fn from_parts(
+        encoder: EntityEncoder,
+        reps: EntityEmbeddings,
+        config: RetExpanConfig,
+    ) -> Self {
+        Self {
+            encoder,
+            reps,
+            config,
+            source: Box::new(ultra_ann::Exhaustive),
+        }
+    }
+
     /// Wraps an externally trained encoder.
     pub fn from_encoder(world: &World, encoder: EntityEncoder, config: RetExpanConfig) -> Self {
         let reps = encoder.entity_embeddings(world);

@@ -12,11 +12,14 @@ use crate::api::{ExpandRequest, Method};
 use crate::cache::{CacheKey, CacheStats, ShardedLruCache};
 use crate::ServeError;
 use std::sync::Arc;
+use ultra_ann::{AnnSpec, CandidateSource, Exhaustive, IvfIndex, IvfSource};
 use ultra_core::{Query, RankedList, UltraClass, UltraError};
 use ultra_data::{World, WorldConfig};
-use ultra_embed::EncoderConfig;
+use ultra_embed::{EncoderConfig, EntityEmbeddings, EntityEncoder};
 use ultra_genexpan::{GenExpan, GenExpanConfig};
 use ultra_retexpan::{RetExpan, RetExpanConfig};
+use ultra_snap::{SnapError, Snapshot, SnapshotMeta};
+use ultra_text::{Bm25Index, Bm25Params};
 
 /// Offline-phase configuration.
 #[derive(Clone, Debug)]
@@ -103,6 +106,12 @@ pub struct IndexInfo {
     /// Wall-clock cost of building that source at startup (µs); `0` for
     /// the index-free exhaustive path.
     pub index_build_micros: u64,
+    /// Whole-file fingerprint (hex) of the snapshot this engine was loaded
+    /// from; absent when the engine was trained at startup.
+    pub snapshot_fingerprint: Option<String>,
+    /// Wall-clock cost of loading that snapshot (µs), from first byte
+    /// parsed to engine ready; absent when trained at startup.
+    pub snapshot_load_micros: Option<u64>,
 }
 
 impl Default for IndexInfo {
@@ -110,6 +119,32 @@ impl Default for IndexInfo {
         Self {
             candidate_source: "exhaustive".to_string(),
             index_build_micros: 0,
+            snapshot_fingerprint: None,
+            snapshot_load_micros: None,
+        }
+    }
+}
+
+/// Engine knobs that are *not* persisted in a snapshot: cache sizing and
+/// the data-parallel worker count are serving-time choices, and none of
+/// them can change a served byte.
+#[derive(Clone, Debug)]
+pub struct SnapshotRuntime {
+    /// Total result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Data-parallel worker count (`0` keeps the ambient default).
+    pub threads: usize,
+}
+
+impl Default for SnapshotRuntime {
+    fn default() -> Self {
+        let d = EngineConfig::default();
+        Self {
+            cache_capacity: d.cache_capacity,
+            cache_shards: d.cache_shards,
+            threads: 0,
         }
     }
 }
@@ -122,6 +157,29 @@ pub struct ExpansionEngine {
     genexpan: Option<GenExpan>,
     cache: ShardedLruCache,
     index: IndexInfo,
+    /// The built IVF index (shared with the installed `IvfSource`), kept so
+    /// [`to_snapshot`](Self::to_snapshot) can serialize it; `None` on the
+    /// exhaustive path.
+    ivf: Option<Arc<IvfIndex>>,
+}
+
+/// Builds the live candidate source for `spec` over `reps`, returning the
+/// built index alongside so the engine can persist it later. Must stay
+/// behaviourally identical to [`AnnSpec::build_source`].
+fn build_ann_source(
+    spec: &AnnSpec,
+    reps: &EntityEmbeddings,
+) -> (Box<dyn CandidateSource>, Option<Arc<IvfIndex>>) {
+    match spec {
+        AnnSpec::Exhaustive => (Box::new(Exhaustive), None),
+        AnnSpec::Ivf(cfg) => {
+            let index = Arc::new(IvfIndex::build(reps, cfg, &ultra_par::Pool::global()));
+            (
+                Box::new(IvfSource::new(index.clone(), cfg.nprobe)),
+                Some(index),
+            )
+        }
+    }
 }
 
 impl ExpansionEngine {
@@ -145,10 +203,13 @@ impl ExpansionEngine {
         let ann = std::mem::take(&mut retexpan_cfg.ann);
         let mut retexpan = RetExpan::train(&world, config.encoder.clone(), retexpan_cfg);
         let sw = crate::metrics::Stopwatch::start();
-        retexpan.set_ann(ann);
+        let (source, ivf) = build_ann_source(&ann, &retexpan.reps);
+        retexpan.config.ann = ann;
+        retexpan.set_source(source);
         let index = IndexInfo {
             candidate_source: retexpan.source_name(),
             index_build_micros: sw.elapsed_micros(),
+            ..IndexInfo::default()
         };
         eprintln!(
             "[engine] candidate source: {} (index build {:.1}ms)",
@@ -167,6 +228,194 @@ impl ExpansionEngine {
             genexpan,
             cache,
             index,
+            ivf,
+        })
+    }
+
+    /// Serializes this engine's trained artifacts into a [`Snapshot`]. The
+    /// persisted ANN spec is the **resolved** form (see [`AnnSpec::resolve`])
+    /// so the snapshot spells out concrete `nlist`/`nprobe` values instead
+    /// of the CLI's `0` placeholders.
+    pub fn to_snapshot(&self) -> Result<Snapshot, ServeError> {
+        let num_entities = self.world.num_entities();
+        let resolved = self.retexpan.config.ann.resolve(num_entities);
+        resolved.validate_resolved().map_err(|e| {
+            ServeError::Snapshot(SnapError::Mismatch(format!(
+                "ann spec does not resolve to a persistable form: {e}"
+            )))
+        })?;
+        let ivf = match (&resolved, &self.ivf) {
+            (AnnSpec::Ivf(_), Some(index)) => Some((**index).clone()),
+            (AnnSpec::Ivf(_), None) => {
+                return Err(ServeError::Snapshot(SnapError::Mismatch(
+                    "engine has an ivf spec but never built an index".into(),
+                )))
+            }
+            (AnnSpec::Exhaustive, _) => None,
+        };
+        let docs = self.world.lm_sentences();
+        let bm25 = Bm25Index::build(docs.iter().map(Vec::as_slice), Bm25Params::default());
+        let meta = SnapshotMeta {
+            profile: self.config.profile.clone(),
+            seed: self.config.seed,
+            world_fingerprint: self.world.fingerprint(),
+            num_entities,
+            num_queries: self.num_queries(),
+            num_docs: bm25.num_docs(),
+            encoder: self.config.encoder.clone(),
+            retexpan: RetExpanConfig {
+                ann: resolved,
+                ..self.retexpan.config.clone()
+            },
+            genexpan_enabled: self.genexpan.is_some(),
+        };
+        Ok(Snapshot {
+            meta,
+            reps: self.retexpan.reps.clone(),
+            lm: self.genexpan.as_ref().map(|g| g.lm().clone()),
+            trie: self.genexpan.as_ref().map(|g| g.trie().clone()),
+            bm25,
+            ivf,
+        })
+    }
+
+    /// Loads an engine from snapshot bytes: full container validation, then
+    /// world regeneration from `(profile, seed)` with a fingerprint
+    /// cross-check, then reassembly of the trained pipelines — no training.
+    /// The reported [`IndexInfo`] carries the snapshot fingerprint and the
+    /// wall-clock load time.
+    pub fn from_snapshot_bytes(bytes: &[u8], runtime: SnapshotRuntime) -> Result<Self, ServeError> {
+        let sw = crate::metrics::Stopwatch::start();
+        let fingerprint = ultra_snap::file_fingerprint(bytes);
+        let snapshot = Snapshot::from_bytes(bytes)?;
+        let mut engine = Self::from_snapshot(snapshot, runtime)?;
+        engine.index.snapshot_fingerprint = Some(format!("{fingerprint:016x}"));
+        engine.index.snapshot_load_micros = Some(sw.elapsed_micros());
+        eprintln!(
+            "[engine] loaded snapshot {:016x} in {:.1}ms (candidate source: {})",
+            fingerprint,
+            engine.index.snapshot_load_micros.unwrap_or(0) as f64 / 1e3,
+            engine.index.candidate_source
+        );
+        Ok(engine)
+    }
+
+    /// [`from_snapshot_bytes`](Self::from_snapshot_bytes) over a file.
+    pub fn load_snapshot(
+        path: &std::path::Path,
+        runtime: SnapshotRuntime,
+    ) -> Result<Self, ServeError> {
+        let bytes = ultra_snap::read_bytes(path)?;
+        Self::from_snapshot_bytes(&bytes, runtime)
+    }
+
+    /// Reassembles an engine from a decoded, container-validated snapshot.
+    /// Every cheap derived structure (world, co-occurrence index, encoder
+    /// initialization) is rebuilt from `(profile, seed)` and cross-checked
+    /// against the snapshot metadata; any disagreement is a typed
+    /// [`SnapError::Mismatch`], never a silently different engine.
+    pub fn from_snapshot(snapshot: Snapshot, runtime: SnapshotRuntime) -> Result<Self, ServeError> {
+        if runtime.threads > 0 {
+            ultra_par::set_threads(runtime.threads);
+        }
+        let mismatch = |msg: String| ServeError::Snapshot(SnapError::Mismatch(msg));
+        let Snapshot {
+            meta,
+            reps,
+            lm,
+            trie,
+            bm25,
+            ivf,
+        } = snapshot;
+        let genexpan_cfg = meta.genexpan_enabled.then(GenExpanConfig::default);
+        let config = EngineConfig {
+            profile: meta.profile.clone(),
+            seed: meta.seed,
+            encoder: meta.encoder.clone(),
+            retexpan: meta.retexpan.clone(),
+            genexpan: genexpan_cfg.clone(),
+            cache_capacity: runtime.cache_capacity,
+            cache_shards: runtime.cache_shards,
+            threads: runtime.threads,
+        };
+        let world = World::generate(config.world_config()?)?;
+        if world.fingerprint() != meta.world_fingerprint {
+            return Err(mismatch(format!(
+                "regenerated world fingerprint {:016x} != snapshot {:016x} (profile={}, seed={})",
+                world.fingerprint(),
+                meta.world_fingerprint,
+                meta.profile,
+                meta.seed
+            )));
+        }
+        if world.num_entities() != meta.num_entities {
+            return Err(mismatch(format!(
+                "regenerated world has {} entities, snapshot says {}",
+                world.num_entities(),
+                meta.num_entities
+            )));
+        }
+        let num_queries: usize = world.ultra_classes.iter().map(|u| u.queries.len()).sum();
+        if num_queries != meta.num_queries {
+            return Err(mismatch(format!(
+                "regenerated world has {num_queries} queries, snapshot says {}",
+                meta.num_queries
+            )));
+        }
+        if bm25.num_docs() != world.corpus.len() {
+            return Err(mismatch(format!(
+                "BM25 section indexes {} documents, regenerated corpus has {}",
+                bm25.num_docs(),
+                world.corpus.len()
+            )));
+        }
+        let encoder = EntityEncoder::new(&world, meta.encoder.clone());
+        let mut retexpan = RetExpan::from_parts(encoder, reps, meta.retexpan.clone());
+        let ivf = match (&retexpan.config.ann, ivf) {
+            (AnnSpec::Exhaustive, None) => None,
+            (AnnSpec::Ivf(cfg), Some(index)) => {
+                let index = Arc::new(index);
+                retexpan.set_source(Box::new(IvfSource::new(index.clone(), cfg.nprobe)));
+                Some(index)
+            }
+            // Unreachable after `Snapshot::cross_check`, but spelled out so
+            // this constructor is safe on hand-built snapshots too.
+            _ => return Err(mismatch("ann spec and UANN section disagree".into())),
+        };
+        let genexpan = match (genexpan_cfg, lm, trie) {
+            (Some(cfg), Some(lm), Some(trie)) => {
+                if lm.order() != cfg.model.order {
+                    return Err(mismatch(format!(
+                        "NGLM order {} != serving LM order {}",
+                        lm.order(),
+                        cfg.model.order
+                    )));
+                }
+                if lm.vocab_size() != world.vocab.len() {
+                    return Err(mismatch(format!(
+                        "NGLM vocabulary {} != regenerated vocabulary {}",
+                        lm.vocab_size(),
+                        world.vocab.len()
+                    )));
+                }
+                Some(GenExpan::from_parts(&world, cfg, lm, trie))
+            }
+            (None, None, None) => None,
+            _ => return Err(mismatch("genexpan flag and sections disagree".into())),
+        };
+        let index = IndexInfo {
+            candidate_source: retexpan.source_name(),
+            ..IndexInfo::default()
+        };
+        let cache = ShardedLruCache::new(runtime.cache_capacity, runtime.cache_shards);
+        Ok(Self {
+            config,
+            world,
+            retexpan,
+            genexpan,
+            cache,
+            index,
+            ivf,
         })
     }
 
@@ -442,6 +691,85 @@ mod tests {
             engine.validate(&bogus),
             Err(ServeError::Engine(UltraError::UnknownClass(_)))
         ));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_every_served_byte() {
+        let engine = quick_engine();
+        let bytes = engine.to_snapshot().expect("snapshot").to_bytes();
+        let loaded = ExpansionEngine::from_snapshot_bytes(&bytes, SnapshotRuntime::default())
+            .expect("snapshot loads");
+        assert!(loaded.index_info().snapshot_fingerprint.is_some());
+        assert!(loaded.index_info().snapshot_load_micros.is_some());
+        assert_eq!(
+            loaded.index_info().candidate_source,
+            engine.index_info().candidate_source
+        );
+        for (_u, query) in engine.world().queries() {
+            let trained = engine
+                .expand_uncached(Method::RetExpan, query, 0)
+                .expect("trained expands");
+            let served = loaded
+                .expand_uncached(Method::RetExpan, query, 0)
+                .expect("loaded expands");
+            assert_eq!(
+                serde_json::to_string(&trained).expect("json"),
+                serde_json::to_string(&served).expect("json"),
+                "snapshot-served answer differs from train-at-startup"
+            );
+        }
+        // Canonical: re-snapshotting the loaded engine reproduces the file.
+        assert_eq!(loaded.to_snapshot().expect("re-snapshot").to_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_covers_ivf_and_genexpan_sections() {
+        let config = EngineConfig {
+            profile: "tiny".into(),
+            encoder: EncoderConfig {
+                epochs: 1,
+                dim: 16,
+                neg_samples: 8,
+                max_sentences_per_entity: 4,
+                ..EncoderConfig::default()
+            },
+            retexpan: RetExpanConfig {
+                ann: AnnSpec::Ivf(ultra_ann::IvfConfig {
+                    nlist: 4,
+                    nprobe: 2,
+                    ..ultra_ann::IvfConfig::default()
+                }),
+                ..RetExpanConfig::default()
+            },
+            genexpan: Some(GenExpanConfig::default()),
+            cache_capacity: 64,
+            cache_shards: 2,
+            ..EngineConfig::default()
+        };
+        let engine = ExpansionEngine::build(config).expect("engine builds");
+        let bytes = engine.to_snapshot().expect("snapshot").to_bytes();
+        let loaded = ExpansionEngine::from_snapshot_bytes(&bytes, SnapshotRuntime::default())
+            .expect("snapshot loads");
+        assert_eq!(
+            loaded.index_info().candidate_source,
+            engine.index_info().candidate_source,
+            "/metrics candidate source label must survive the roundtrip"
+        );
+        assert_eq!(loaded.methods(), engine.methods());
+        let (_u, query) = engine.world().queries().next().expect("has queries");
+        for method in [Method::RetExpan, Method::GenExpan] {
+            let trained = engine
+                .expand_uncached(method, query, 0)
+                .expect("trained expands");
+            let served = loaded
+                .expand_uncached(method, query, 0)
+                .expect("loaded expands");
+            assert_eq!(
+                serde_json::to_string(&trained).expect("json"),
+                serde_json::to_string(&served).expect("json")
+            );
+        }
+        assert_eq!(loaded.to_snapshot().expect("re-snapshot").to_bytes(), bytes);
     }
 
     #[test]

@@ -51,10 +51,10 @@ pub mod server;
 
 pub use api::{ExpandRequest, ExpandResponse, HealthResponse, Method};
 pub use cache::{CacheKey, CacheStats, ShardedLruCache};
-pub use engine::{CacheOutcome, EngineConfig, ExpansionEngine};
+pub use engine::{CacheOutcome, EngineConfig, ExpansionEngine, IndexInfo, SnapshotRuntime};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use pool::WorkerPool;
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{EngineInstaller, Server, ServerConfig, ServerHandle};
 
 use std::fmt;
 use ultra_core::UltraError;
@@ -68,6 +68,8 @@ pub enum ServeError {
     BadRequest(String),
     /// A socket or I/O operation failed.
     Io(std::io::Error),
+    /// A snapshot failed to serialize, deserialize, or validate.
+    Snapshot(ultra_snap::SnapError),
 }
 
 impl fmt::Display for ServeError {
@@ -76,6 +78,7 @@ impl fmt::Display for ServeError {
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -91,5 +94,11 @@ impl From<UltraError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<ultra_snap::SnapError> for ServeError {
+    fn from(e: ultra_snap::SnapError) -> Self {
+        ServeError::Snapshot(e)
     }
 }

@@ -51,7 +51,11 @@ impl Default for ServerConfig {
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 struct ServerShared {
-    engine: Arc<ExpansionEngine>,
+    /// The serving engine, installed exactly once. A server can bind and
+    /// accept *before* its engine is ready (snapshot still validating,
+    /// training still running); until installation every route answers 503
+    /// so probes see "up but not ready", never a wrong answer.
+    engine: OnceLock<Arc<ExpansionEngine>>,
     metrics: ServeMetrics,
     shutting_down: AtomicBool,
     debug_panic_route: bool,
@@ -61,23 +65,25 @@ struct ServerShared {
 }
 
 impl ServerShared {
-    fn metrics_snapshot(&self) -> MetricsSnapshot {
+    /// `None` while the engine is still warming.
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let engine = self.engine.get()?;
         let (queue_depth, workers, pool_panics) = self
             .pool_view
             .get()
             .map(|(gauge, workers)| (gauge.depth(), *workers, gauge.panics_total()))
             .unwrap_or((0, 0, 0));
-        self.metrics.snapshot(
-            self.engine.cache_stats(),
+        Some(self.metrics.snapshot(
+            engine.cache_stats(),
             queue_depth,
             workers,
             pool_panics,
-            self.engine.index_info().clone(),
-        )
+            engine.index_info().clone(),
+        ))
     }
 }
 
-/// Namespace for [`Server::start`].
+/// Namespace for [`Server::start`] and [`Server::start_warming`].
 pub struct Server;
 
 /// A running server: bound address, live metrics, and shutdown control.
@@ -87,17 +93,46 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
 }
 
+/// One-shot engine installer returned by [`Server::start_warming`]. The
+/// server answers 503 on every route until [`EngineInstaller::install`] is
+/// called with a validated engine; install is idempotent-safe (the first
+/// engine wins, later calls return `false`).
+pub struct EngineInstaller {
+    shared: Arc<ServerShared>,
+}
+
+impl EngineInstaller {
+    /// Installs the engine, flipping the server from 503-warming to serving.
+    /// Returns `false` if an engine was already installed.
+    pub fn install(&self, engine: Arc<ExpansionEngine>) -> bool {
+        self.shared.engine.set(engine).is_ok()
+    }
+}
+
 impl Server {
     /// Binds the listener, spawns the worker pool and acceptor thread, and
-    /// returns immediately.
+    /// returns immediately with a ready engine installed.
     pub fn start(
         engine: Arc<ExpansionEngine>,
         config: ServerConfig,
     ) -> Result<ServerHandle, ServeError> {
+        let (handle, installer) = Self::start_warming(config)?;
+        installer.install(engine);
+        Ok(handle)
+    }
+
+    /// Binds the listener and starts accepting *before* an engine exists.
+    /// Every route answers 503 ("engine warming up") until the returned
+    /// [`EngineInstaller`] installs a validated engine — so a snapshot can
+    /// be checksum-verified (or training can finish) while the port is
+    /// already up for liveness probes.
+    pub fn start_warming(
+        config: ServerConfig,
+    ) -> Result<(ServerHandle, EngineInstaller), ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
-            engine,
+            engine: OnceLock::new(),
             metrics: ServeMetrics::default(),
             shutting_down: AtomicBool::new(false),
             debug_panic_route: config.debug_panic_route,
@@ -120,11 +155,12 @@ impl Server {
                 .map_err(ServeError::Io)?
         };
 
-        Ok(ServerHandle {
+        let handle = ServerHandle {
             addr,
-            shared,
+            shared: shared.clone(),
             acceptor: Some(acceptor),
-        })
+        };
+        Ok((handle, EngineInstaller { shared }))
     }
 }
 
@@ -134,8 +170,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Point-in-time metrics (the same numbers `GET /metrics` serves).
-    pub fn metrics(&self) -> MetricsSnapshot {
+    /// Point-in-time metrics (the same numbers `GET /metrics` serves), or
+    /// `None` while the engine is still warming.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
         self.shared.metrics_snapshot()
     }
 
@@ -312,16 +349,21 @@ fn dispatch(shared: &ServerShared, request: &Request) -> Reply {
     }
 }
 
+const WARMING_MESSAGE: &str = "engine warming up, not ready to serve";
+
 fn handle_expand(shared: &ServerShared, body: &[u8]) -> Reply {
+    let Some(engine) = shared.engine.get() else {
+        return Reply::error(503, WARMING_MESSAGE);
+    };
     let request = match serde_json::from_slice::<crate::api::ExpandRequest>(body) {
         Ok(req) => req,
         Err(err) => return Reply::error(400, &format!("invalid JSON body: {err}")),
     };
-    let (method, query, top_k) = match shared.engine.resolve(&request) {
+    let (method, query, top_k) = match engine.resolve(&request) {
         Ok(resolved) => resolved,
         Err(err) => return Reply::error(400, &format!("{err}")),
     };
-    match shared.engine.expand(method, &query, top_k) {
+    match engine.expand(method, &query, top_k) {
         Ok((list, outcome)) => {
             let response = ExpandResponse {
                 method: method.name().to_string(),
@@ -341,7 +383,9 @@ fn handle_expand(shared: &ServerShared, body: &[u8]) -> Reply {
 }
 
 fn handle_healthz(shared: &ServerShared) -> Reply {
-    let engine = &shared.engine;
+    let Some(engine) = shared.engine.get() else {
+        return Reply::error(503, WARMING_MESSAGE);
+    };
     let health = HealthResponse {
         status: "ok".to_string(),
         profile: engine.config().profile.clone(),
@@ -354,8 +398,10 @@ fn handle_healthz(shared: &ServerShared) -> Reply {
 }
 
 fn handle_metrics(shared: &ServerShared) -> Reply {
-    let snapshot = shared.metrics_snapshot();
-    Reply::json(&snapshot)
+    match shared.metrics_snapshot() {
+        Some(snapshot) => Reply::json(&snapshot),
+        None => Reply::error(503, WARMING_MESSAGE),
+    }
 }
 
 fn write_response(

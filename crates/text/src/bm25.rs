@@ -9,7 +9,7 @@
 //!   documents for an entity.
 
 use std::collections::HashMap;
-use ultra_core::TokenId;
+use ultra_core::{ByteReader, ByteWriter, TokenId, UltraError};
 
 /// BM25 free parameters.
 #[derive(Clone, Copy, Debug)]
@@ -119,6 +119,98 @@ impl Bm25Index {
         out.truncate(k);
         out
     }
+
+    /// Serializes the index in canonical form: parameters, document
+    /// lengths, the stored average length's exact bit pattern, then the
+    /// posting lists in ascending term order (postings within a list are
+    /// already in ascending document order by construction).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.f32(self.params.k1);
+        w.f32(self.params.b);
+        w.u64(self.doc_len.len() as u64);
+        for &l in &self.doc_len {
+            w.u32(l);
+        }
+        w.f32(self.avg_len);
+        w.u64(self.postings.len() as u64);
+        let mut terms: Vec<TokenId> = self.postings.keys().copied().collect();
+        terms.sort_unstable();
+        for term in terms {
+            w.u32(term.0);
+            let plist = &self.postings[&term];
+            w.u64(plist.len() as u64);
+            for p in plist {
+                w.u32(p.doc);
+                w.u32(p.tf);
+            }
+        }
+        w.finish()
+    }
+
+    /// Strict inverse of [`to_bytes`](Self::to_bytes). Validates term and
+    /// posting order (strictly increasing — duplicates and reorderings are
+    /// rejected), document ids against the length table, non-zero term
+    /// frequencies, and exact payload consumption; failures are typed
+    /// errors, never panics.
+    pub fn from_bytes(bytes: &[u8]) -> ultra_core::Result<Self> {
+        let corrupt = |msg: &str| UltraError::Corrupt(format!("bm25: {msg}"));
+        let mut r = ByteReader::new(bytes, "bm25");
+        let k1 = r.f32()?;
+        let b = r.f32()?;
+        if !k1.is_finite() || !b.is_finite() || k1 < 0.0 || !(0.0..=1.0).contains(&b) {
+            return Err(corrupt("parameters out of range"));
+        }
+        let declared_docs = r.u64()?;
+        let num_docs = r.check_count(declared_docs, 4, "documents")?;
+        let mut doc_len = Vec::with_capacity(num_docs);
+        for _ in 0..num_docs {
+            doc_len.push(r.u32()?);
+        }
+        let avg_len = r.f32()?;
+        let declared_terms = r.u64()?;
+        // A term entry is at least term + postings-count bytes.
+        let num_terms = r.check_count(declared_terms, 12, "terms")?;
+        let mut postings: HashMap<TokenId, Vec<Posting>> = HashMap::with_capacity(num_terms);
+        let mut prev_term: Option<u32> = None;
+        for _ in 0..num_terms {
+            let term = r.u32()?;
+            if prev_term.is_some_and(|p| p >= term) {
+                return Err(corrupt("terms not strictly increasing"));
+            }
+            prev_term = Some(term);
+            let declared_postings = r.u64()?;
+            let n = r.check_count(declared_postings, 8, "postings")?;
+            if n == 0 {
+                return Err(corrupt("empty posting list"));
+            }
+            let mut plist = Vec::with_capacity(n);
+            let mut prev_doc: Option<u32> = None;
+            for _ in 0..n {
+                let doc = r.u32()?;
+                if prev_doc.is_some_and(|p| p >= doc) {
+                    return Err(corrupt("postings not strictly increasing by doc"));
+                }
+                prev_doc = Some(doc);
+                if doc as usize >= num_docs {
+                    return Err(corrupt("posting references unknown document"));
+                }
+                let tf = r.u32()?;
+                if tf == 0 {
+                    return Err(corrupt("zero term frequency"));
+                }
+                plist.push(Posting { doc, tf });
+            }
+            postings.insert(TokenId::new(term), plist);
+        }
+        r.expect_end()?;
+        Ok(Self {
+            params: Bm25Params { k1, b },
+            postings,
+            doc_len,
+            avg_len,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +282,40 @@ mod tests {
     fn top_k_truncates() {
         let idx = index(&[vec![t(1)], vec![t(1)], vec![t(1)]]);
         assert_eq!(idx.search(&[t(1)], 2).len(), 2);
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_scores_bit_exactly() {
+        let idx = index(&[
+            vec![t(1), t(2), t(3)],
+            vec![t(1), t(9), t(9)],
+            vec![t(7), t(8)],
+        ]);
+        let bytes = idx.to_bytes();
+        let back = Bm25Index::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.to_bytes(), bytes, "re-serialization must be canonical");
+        assert_eq!(back.num_docs(), idx.num_docs());
+        let a = idx.search(&[t(1), t(2), t(9)], 10);
+        let b = back.search(&[t(1), t(2), t(9)], 10);
+        assert_eq!(a.len(), b.len());
+        for ((da, sa), (db, sb)) in a.iter().zip(&b) {
+            assert_eq!(da, db);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_bm25_payloads_are_typed_errors() {
+        let bytes = index(&[vec![t(1), t(2)], vec![t(2), t(3)]]).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Bm25Index::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(1);
+        assert!(Bm25Index::from_bytes(&padded).is_err());
+        // Non-finite k1 is rejected.
+        let mut bad = bytes.clone();
+        bad[0..4].copy_from_slice(&f32::NAN.to_bits().to_le_bytes());
+        assert!(Bm25Index::from_bytes(&bad).is_err());
     }
 }

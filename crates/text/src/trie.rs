@@ -7,7 +7,7 @@
 //! the set of tokens allowed next.
 
 use std::collections::HashMap;
-use ultra_core::{EntityId, TokenId};
+use ultra_core::{ByteReader, ByteWriter, EntityId, TokenId, UltraError};
 
 #[derive(Debug, Clone, Default)]
 struct Node {
@@ -138,6 +138,58 @@ impl PrefixTrie {
         }
         out
     }
+
+    /// Serializes the stored names as the [`enumerate`](Self::enumerate)
+    /// stream — `(name tokens, entity)` pairs in depth-first token order.
+    /// That order is a pure function of the stored *content* (internal node
+    /// numbering never leaks), so two tries holding the same names produce
+    /// byte-identical output.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        let entries = self.enumerate(&[]);
+        w.u64(entries.len() as u64);
+        for (name, entity) in entries {
+            w.u32(name.len() as u32);
+            for t in name {
+                w.u32(t.0);
+            }
+            w.u32(entity.0);
+        }
+        w.finish()
+    }
+
+    /// Strict inverse of [`to_bytes`](Self::to_bytes): names must be
+    /// non-empty and strictly increasing in token order (the canonical
+    /// enumeration order — duplicates and reorderings are rejected), with
+    /// no trailing bytes. Errors are typed, never panics.
+    pub fn from_bytes(bytes: &[u8]) -> ultra_core::Result<Self> {
+        let corrupt = |msg: &str| UltraError::Corrupt(format!("prefix-trie: {msg}"));
+        let mut r = ByteReader::new(bytes, "prefix-trie");
+        let declared = r.u64()?;
+        // Each entry is at least name-len + one token + entity id bytes.
+        let n = r.check_count(declared, 12, "names")?;
+        let mut trie = PrefixTrie::new();
+        let mut prev: Vec<TokenId> = Vec::new();
+        for i in 0..n {
+            let name_len = r.u32()? as usize;
+            if name_len == 0 {
+                return Err(corrupt("empty entity name"));
+            }
+            let _ = r.check_count(name_len as u64, 4, "name tokens")?;
+            let mut name = Vec::with_capacity(name_len);
+            for _ in 0..name_len {
+                name.push(TokenId::new(r.u32()?));
+            }
+            if i > 0 && prev >= name {
+                return Err(corrupt("names not in strict enumeration order"));
+            }
+            let entity = EntityId::new(r.u32()?);
+            trie.insert(&name, entity);
+            prev = name;
+        }
+        r.expect_end()?;
+        Ok(trie)
+    }
 }
 
 #[cfg(test)]
@@ -209,5 +261,53 @@ mod tests {
     fn empty_name_is_rejected() {
         let mut trie = PrefixTrie::new();
         trie.insert(&[], e(0));
+    }
+
+    #[test]
+    fn byte_round_trip_is_canonical_and_content_identical() {
+        let trie = sample();
+        let bytes = trie.to_bytes();
+        let back = PrefixTrie::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.to_bytes(), bytes, "re-serialization must be canonical");
+        assert_eq!(back.len(), trie.len());
+        assert_eq!(back.enumerate(&[]), trie.enumerate(&[]));
+        assert_eq!(
+            back.allowed_continuations(&[t(1)]),
+            trie.allowed_continuations(&[t(1)])
+        );
+        // Canonical bytes are insertion-order independent: rebuild the same
+        // content in a different order.
+        let mut other = PrefixTrie::new();
+        other.insert(&[t(1)], e(3));
+        other.insert(&[t(4)], e(2));
+        other.insert(&[t(1), t(3)], e(1));
+        other.insert(&[t(1), t(2)], e(0));
+        assert_eq!(other.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_trie_payloads_are_typed_errors() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(PrefixTrie::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(7);
+        assert!(PrefixTrie::from_bytes(&padded).is_err());
+        // An empty-name entry is rejected even with a consistent count.
+        let mut w = ultra_core::ByteWriter::new();
+        w.u64(1);
+        w.u32(0);
+        w.u32(5);
+        assert!(PrefixTrie::from_bytes(&w.finish()).is_err());
+        // Out-of-order names (canonical order violated) are rejected.
+        let mut w = ultra_core::ByteWriter::new();
+        w.u64(2);
+        for tok in [4u32, 1] {
+            w.u32(1);
+            w.u32(tok);
+            w.u32(0);
+        }
+        assert!(PrefixTrie::from_bytes(&w.finish()).is_err());
     }
 }

@@ -262,25 +262,15 @@ fn cmd_eval(flags: &HashMap<String, String>) {
     );
 }
 
-fn cmd_serve(flags: &HashMap<String, String>) {
+/// Builds an [`EngineConfig`] from `serve`/`build-index` flags (shared so a
+/// snapshot built offline trains exactly what `serve` would train online).
+fn engine_config(flags: &HashMap<String, String>) -> EngineConfig {
     let profile = flags
         .get("profile")
         .map(String::as_str)
         .unwrap_or("small")
         .to_string();
     let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let port: u16 = flags
-        .get("port")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7878);
-    let workers: usize = flags
-        .get("workers")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
-    let queue: usize = flags
-        .get("queue")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(128);
     let cache_cap: usize = flags
         .get("cache-cap")
         .and_then(|s| s.parse().ok())
@@ -302,12 +292,11 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         .split(',')
         .any(|m| m.trim() == "genexpan")
         .then(GenExpanConfig::default);
-
     let threads: usize = flags
         .get("threads")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let config = EngineConfig {
+    EngineConfig {
         profile,
         seed,
         genexpan,
@@ -318,10 +307,141 @@ fn cmd_serve(flags: &HashMap<String, String>) {
             ..RetExpanConfig::default()
         },
         ..EngineConfig::default()
+    }
+}
+
+fn cmd_build_index(flags: &HashMap<String, String>) {
+    let Some(out) = flags.get("out").filter(|s| !s.is_empty()) else {
+        eprintln!("build-index needs --out PATH for the snapshot file");
+        std::process::exit(2);
+    };
+    let config = engine_config(flags);
+    let methods = if config.genexpan.is_some() {
+        "retexpan,genexpan"
+    } else {
+        "retexpan"
     };
     eprintln!(
-        "building engine (profile={}, seed={seed}, methods={methods})…",
-        config.profile
+        "building engine (profile={}, seed={}, methods={methods})…",
+        config.profile, config.seed
+    );
+    let started = std::time::Instant::now();
+    let engine = match ExpansionEngine::build(config) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("engine build failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let train_ms = started.elapsed().as_millis();
+    let snapshot = match engine.to_snapshot() {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            eprintln!("snapshot encoding failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bytes = snapshot.to_bytes();
+    let fingerprint = ultrawiki::snap::file_fingerprint(&bytes);
+    if let Err(e) = ultrawiki::snap::write_bytes(std::path::Path::new(out), &bytes) {
+        eprintln!("snapshot write failed: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "wrote {out}: {} bytes, fingerprint {fingerprint:016x} (trained in {train_ms}ms)",
+        bytes.len()
+    );
+}
+
+fn cmd_serve_snapshot(flags: &HashMap<String, String>, path: &str) {
+    for conflicting in ["profile", "seed", "ann", "nlist", "nprobe", "methods"] {
+        if flags.contains_key(conflicting) {
+            eprintln!(
+                "--snapshot carries its own {conflicting}; drop --{conflicting} \
+                 (snapshots pin profile, seed, methods, and the ANN spec)"
+            );
+            std::process::exit(2);
+        }
+    }
+    let port: u16 = flags
+        .get("port")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7878);
+    let workers: usize = flags
+        .get("workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let queue: usize = flags
+        .get("queue")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let runtime = SnapshotRuntime {
+        cache_capacity: flags
+            .get("cache-cap")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(4096),
+        threads: flags
+            .get("threads")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+        ..SnapshotRuntime::default()
+    };
+    let server_cfg = ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        workers,
+        queue_capacity: queue,
+        ..ServerConfig::default()
+    };
+    // Bind first: the port answers 503 while the snapshot is checksummed
+    // and validated, and flips to serving only once the engine is sound.
+    let (handle, installer) = match Server::start_warming(server_cfg) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("server start failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("loading snapshot {path}…");
+    let engine = match ExpansionEngine::load_snapshot(std::path::Path::new(path), runtime) {
+        Ok(engine) => Arc::new(engine),
+        Err(e) => {
+            eprintln!("snapshot load failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    installer.install(engine);
+    println!("serving on http://{}", handle.addr());
+    println!("  POST /expand   {{\"method\":\"retexpan\",\"query_index\":0,\"top_k\":10}}");
+    println!("  GET  /healthz");
+    println!("  GET  /metrics");
+    handle.join();
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) {
+    if let Some(path) = flags.get("snapshot").filter(|s| !s.is_empty()) {
+        return cmd_serve_snapshot(flags, path);
+    }
+    let port: u16 = flags
+        .get("port")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7878);
+    let workers: usize = flags
+        .get("workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let queue: usize = flags
+        .get("queue")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let config = engine_config(flags);
+    let methods = if config.genexpan.is_some() {
+        "retexpan,genexpan"
+    } else {
+        "retexpan"
+    };
+    eprintln!(
+        "building engine (profile={}, seed={}, methods={methods})…",
+        config.profile, config.seed
     );
     let engine = match ExpansionEngine::build(config) {
         Ok(engine) => Arc::new(engine),
@@ -366,12 +486,22 @@ USAGE:
   ultrawiki serve   [--profile ...] [--seed N] [--port N] [--workers N]
                     [--queue N] [--cache-cap N] [--methods retexpan[,genexpan]]
                     [--ann exhaustive|ivf] [--nlist N] [--nprobe N]
+  ultrawiki serve   --snapshot PATH [--port N] [--workers N] [--queue N]
+                    [--cache-cap N]
+  ultrawiki build-index --out PATH [--profile ...] [--seed N]
+                    [--methods retexpan[,genexpan]] [--ann exhaustive|ivf]
+                    [--nlist N] [--nprobe N]
 
 Every command also accepts --threads N (data-parallel worker count for
 scoring/training/eval; overrides ULTRA_THREADS; output is byte-identical
 at any value). --ann ivf puts a deterministic IVF index in front of
 RetExpan preliminary scoring; --nprobe 0 probes every list (byte-identical
 to --ann exhaustive), --nlist 0 picks sqrt(N) lists.
+
+build-index runs the expensive offline phase once and writes a versioned,
+checksummed snapshot; `serve --snapshot` loads it in milliseconds and
+serves byte-identical answers. A snapshot pins profile, seed, methods,
+and the ANN spec, so those flags conflict with --snapshot.
 ";
 
 /// Flags each command accepts (unknown flags are reported, not ignored).
@@ -396,6 +526,10 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "ann",
             "nlist",
             "nprobe",
+            "snapshot",
+        ],
+        "build-index" => &[
+            "profile", "seed", "out", "methods", "threads", "ann", "nlist", "nprobe",
         ],
         _ => &["profile", "seed", "threads"],
     }
@@ -435,6 +569,7 @@ fn main() {
         "eval" => cmd_eval(&flags),
         "export" => cmd_export(&flags),
         "serve" => cmd_serve(&flags),
+        "build-index" => cmd_build_index(&flags),
         _ => {
             eprint!("{USAGE}");
             std::process::exit(2);

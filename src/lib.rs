@@ -57,6 +57,7 @@ pub use ultra_nn as nn;
 pub use ultra_par as par;
 pub use ultra_retexpan as retexpan;
 pub use ultra_serve as serve;
+pub use ultra_snap as snap;
 pub use ultra_text as text;
 
 /// The most common imports in one place.
@@ -72,7 +73,10 @@ pub mod prelude {
     pub use ultra_genexpan::{CotConfig, GenExpan, GenExpanConfig, GenRaSource};
     pub use ultra_par::{set_threads, Pool};
     pub use ultra_retexpan::{mine_lists, RetExpan, RetExpanConfig};
-    pub use ultra_serve::{EngineConfig, ExpansionEngine, Server, ServerConfig};
+    pub use ultra_serve::{
+        engine::SnapshotRuntime, EngineConfig, ExpansionEngine, Server, ServerConfig,
+    };
+    pub use ultra_snap::{SnapError, Snapshot, SnapshotMeta};
 }
 
 #[cfg(test)]

@@ -72,6 +72,89 @@ fn ivf_build_is_reproducible_on_trained_embeddings() {
     assert_eq!(a.fingerprint(), b.fingerprint());
 }
 
+#[test]
+fn unresolved_specs_are_typed_errors_never_panics() {
+    // CLI `0` placeholders ("pick for me") are valid *inputs* but invalid
+    // *resolved* configurations: validation must reject them with a typed
+    // error naming the offending knob — a snapshot, for instance, may only
+    // persist the resolved form.
+    for (cfg, knob) in [
+        (
+            IvfConfig {
+                nlist: 0,
+                ..IvfConfig::default()
+            },
+            "nlist",
+        ),
+        (
+            IvfConfig {
+                nlist: 8,
+                nprobe: 0,
+                ..IvfConfig::default()
+            },
+            "nprobe",
+        ),
+        (
+            IvfConfig {
+                nlist: 4,
+                nprobe: 9,
+                ..IvfConfig::default()
+            },
+            "nprobe",
+        ),
+    ] {
+        let err = AnnSpec::Ivf(cfg)
+            .validate_resolved()
+            .expect_err("placeholder config must not validate");
+        let msg = format!("{err}");
+        assert!(msg.contains(knob), "error names `{knob}`: {msg}");
+    }
+    // The exhaustive spec has nothing to resolve.
+    AnnSpec::Exhaustive
+        .validate_resolved()
+        .expect("exhaustive is always resolved");
+}
+
+#[test]
+fn resolve_produces_a_valid_spec_and_preserves_probe_semantics() {
+    let reps = synthetic_reps(100, 8);
+    let pool = Pool::new(1);
+    // Placeholders resolve to concrete values that pass validation…
+    let placeholder = IvfConfig {
+        nlist: 0,
+        nprobe: 0,
+        ..IvfConfig::default()
+    };
+    let resolved = AnnSpec::Ivf(placeholder.clone()).resolve(reps.len());
+    resolved
+        .validate_resolved()
+        .expect("resolved spec validates");
+    let AnnSpec::Ivf(resolved_cfg) = &resolved else {
+        panic!("ivf resolves to ivf");
+    };
+    assert_eq!(resolved_cfg.nlist, 10, "sqrt(100) lists");
+    assert_eq!(resolved_cfg.nprobe, 10, "nprobe=0 means probe every list");
+
+    // …and the resolved spec ranks identically to the placeholder form
+    // (nprobe == nlist is the same "probe all" the 0 placeholder meant).
+    let seeds = vec![EntityId::from_index(3), EntityId::from_index(57)];
+    let via_placeholder = RankedList::from_scores(
+        IvfSource::new(
+            Arc::new(IvfIndex::build(&reps, &placeholder, &pool)),
+            placeholder.nprobe,
+        )
+        .scored_candidates(&reps, &seeds, &pool),
+    );
+    let via_resolved = RankedList::from_scores(
+        IvfSource::new(
+            Arc::new(IvfIndex::build(&reps, resolved_cfg, &pool)),
+            resolved_cfg.nprobe,
+        )
+        .scored_candidates(&reps, &seeds, &pool),
+    );
+    assert_eq!(via_placeholder.entries(), via_resolved.entries());
+}
+
 proptest! {
     /// Probing every list is exactly the exhaustive scan: same candidate
     /// set, same scores, same ranked order — recall@k is 1.0 for every k.

@@ -10,7 +10,7 @@ use std::sync::{Arc, OnceLock};
 use ultra_serve::http::{read_response, write_json_request, Response};
 use ultra_serve::{
     EngineConfig, ExpandRequest, ExpandResponse, ExpansionEngine, Method, Server, ServerConfig,
-    ServerHandle,
+    ServerHandle, SnapshotRuntime,
 };
 use ultrawiki::prelude::EncoderConfig;
 
@@ -221,6 +221,116 @@ fn a_panicking_handler_answers_500_and_the_pool_keeps_serving() {
         snap.get("panics_total").and_then(serde_json::Value::as_u64) >= Some(1),
         "panics_total records the caught panic"
     );
+    handle.shutdown();
+}
+
+#[test]
+fn served_from_snapshot_is_byte_identical_to_train_at_startup() {
+    let trained = engine();
+    let bytes = trained.to_snapshot().expect("snapshot").to_bytes();
+    let loaded = Arc::new(
+        ExpansionEngine::from_snapshot_bytes(&bytes, SnapshotRuntime::default())
+            .expect("snapshot loads"),
+    );
+
+    // Two live servers: one answering from the trained engine, one from the
+    // snapshot-loaded engine. Every observable byte must agree.
+    let server_a = start_server();
+    let server_b = Server::start(
+        loaded,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            debug_panic_route: false,
+        },
+    )
+    .expect("snapshot server starts");
+
+    let health_a = roundtrip(&server_a, "GET", "/healthz", b"");
+    let health_b = roundtrip(&server_b, "GET", "/healthz", b"");
+    assert_eq!(health_a.status, 200);
+    assert_eq!(health_b.status, 200);
+    assert_eq!(health_a.body, health_b.body, "healthz bodies differ");
+
+    for query_index in 0..5 {
+        for top_k in [0, 10] {
+            let a = roundtrip(
+                &server_a,
+                "POST",
+                "/expand",
+                &expand_body(query_index, top_k),
+            );
+            let b = roundtrip(
+                &server_b,
+                "POST",
+                "/expand",
+                &expand_body(query_index, top_k),
+            );
+            assert_eq!(a.status, 200, "{}", String::from_utf8_lossy(&a.body));
+            assert_eq!(b.status, 200, "{}", String::from_utf8_lossy(&b.body));
+            assert_eq!(
+                a.body, b.body,
+                "query {query_index} top_k {top_k}: snapshot-served body differs"
+            );
+        }
+    }
+
+    // The snapshot server's /metrics attributes its provenance.
+    let resp = roundtrip(&server_b, "GET", "/metrics", b"");
+    assert_eq!(resp.status, 200);
+    let snap: serde_json::Value = serde_json::from_slice(&resp.body).expect("json");
+    let index = snap.get("index").expect("index info");
+    assert!(
+        index
+            .get("snapshot_fingerprint")
+            .and_then(serde_json::Value::as_str)
+            .is_some(),
+        "snapshot server reports its fingerprint"
+    );
+    assert!(
+        index
+            .get("snapshot_load_micros")
+            .and_then(serde_json::Value::as_u64)
+            .is_some(),
+        "snapshot server reports its load time"
+    );
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+#[test]
+fn server_answers_503_until_the_engine_is_installed() {
+    let (handle, installer) = Server::start_warming(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        debug_panic_route: false,
+    })
+    .expect("warming server starts");
+
+    // The port is up, but nothing serves until validation finishes.
+    for (method, path, body) in [
+        ("GET", "/healthz", &b""[..]),
+        ("GET", "/metrics", &b""[..]),
+        ("POST", "/expand", &expand_body(0, 0)[..]),
+    ] {
+        let resp = roundtrip(&handle, method, path, body);
+        assert_eq!(resp.status, 503, "{method} {path} while warming");
+        let err: serde_json::Value = serde_json::from_slice(&resp.body).expect("json error body");
+        assert!(err.get("error").is_some(), "{method} {path} carries error");
+    }
+    assert!(handle.metrics().is_none(), "no metrics while warming");
+
+    assert!(installer.install(engine()), "first install succeeds");
+    assert!(!installer.install(engine()), "second install is rejected");
+
+    assert_eq!(roundtrip(&handle, "GET", "/healthz", b"").status, 200);
+    assert_eq!(
+        roundtrip(&handle, "POST", "/expand", &expand_body(0, 0)).status,
+        200
+    );
+    assert!(handle.metrics().is_some(), "metrics live after install");
     handle.shutdown();
 }
 

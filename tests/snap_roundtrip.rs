@@ -1,0 +1,121 @@
+//! Snapshot roundtrip contract: `build → serialize → load` must reproduce
+//! the train-at-startup engine byte for byte, and building the same engine
+//! twice must produce byte-identical snapshot files.
+//!
+//! The profiles × thread-count matrix here is the serving determinism
+//! contract extended to persistence: the snapshot is a function of
+//! `(profile, seed, configs)` only — never of the thread count that trained
+//! it, the thread count that loads it, or the wall clock.
+
+use ultra_serve::{EngineConfig, ExpansionEngine, Method, SnapshotRuntime};
+use ultrawiki::prelude::*;
+
+/// A cheap encoder so the matrix stays fast; cheapness is irrelevant to the
+/// contract (every byte surface is exercised regardless of model size).
+fn cheap_encoder() -> EncoderConfig {
+    EncoderConfig {
+        epochs: 1,
+        dim: 16,
+        neg_samples: 8,
+        max_sentences_per_entity: 4,
+        ..EncoderConfig::default()
+    }
+}
+
+fn engine_config(profile: &str, threads: usize, genexpan: bool) -> EngineConfig {
+    EngineConfig {
+        profile: profile.into(),
+        encoder: cheap_encoder(),
+        genexpan: genexpan.then(GenExpanConfig::default),
+        threads,
+        cache_capacity: 64,
+        cache_shards: 2,
+        ..EngineConfig::default()
+    }
+}
+
+/// Asserts the loaded engine answers every query byte-identically to the
+/// trained one (JSON bytes, i.e. exactly what HTTP clients would diff).
+fn assert_identical_answers(trained: &ExpansionEngine, loaded: &ExpansionEngine) {
+    let mut methods = vec![Method::RetExpan];
+    if trained.methods().contains(&"genexpan") {
+        methods.push(Method::GenExpan);
+    }
+    for (_ultra, query) in trained.world().queries() {
+        for &method in &methods {
+            let a = trained
+                .expand_uncached(method, query, 0)
+                .expect("trained expands");
+            let b = loaded
+                .expand_uncached(method, query, 0)
+                .expect("loaded expands");
+            assert_eq!(
+                serde_json::to_string(&a).expect("json"),
+                serde_json::to_string(&b).expect("json"),
+                "snapshot-served answer differs from train-at-startup"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_profile_roundtrips_across_thread_counts() {
+    // Snapshot bytes must not depend on the training thread count…
+    let bytes_1 = ExpansionEngine::build(engine_config("tiny", 1, false))
+        .expect("t1 builds")
+        .to_snapshot()
+        .expect("t1 snapshot")
+        .to_bytes();
+    let trained = ExpansionEngine::build(engine_config("tiny", 4, false)).expect("t4 builds");
+    let bytes_4 = trained.to_snapshot().expect("t4 snapshot").to_bytes();
+    assert_eq!(bytes_1, bytes_4, "snapshot bytes vary with thread count");
+
+    // …nor must served answers depend on the loading thread count.
+    for threads in [1, 4] {
+        let loaded = ExpansionEngine::from_snapshot_bytes(
+            &bytes_1,
+            SnapshotRuntime {
+                threads,
+                ..SnapshotRuntime::default()
+            },
+        )
+        .expect("snapshot loads");
+        assert_identical_answers(&trained, &loaded);
+    }
+}
+
+#[test]
+fn tiny_profile_roundtrips_with_genexpan_enabled() {
+    let trained = ExpansionEngine::build(engine_config("tiny", 0, true)).expect("builds");
+    let bytes = trained.to_snapshot().expect("snapshot").to_bytes();
+    let rebuilt = ExpansionEngine::build(engine_config("tiny", 0, true))
+        .expect("rebuilds")
+        .to_snapshot()
+        .expect("re-snapshot")
+        .to_bytes();
+    assert_eq!(bytes, rebuilt, "two builds must produce identical files");
+
+    let loaded = ExpansionEngine::from_snapshot_bytes(&bytes, SnapshotRuntime::default())
+        .expect("snapshot loads");
+    assert_eq!(loaded.methods(), trained.methods());
+    assert_identical_answers(&trained, &loaded);
+}
+
+#[test]
+fn small_profile_roundtrips_and_is_reproducible() {
+    let trained = ExpansionEngine::build(engine_config("small", 1, false)).expect("builds");
+    let bytes = trained.to_snapshot().expect("snapshot").to_bytes();
+
+    // Reproducible: a second build (different thread count) → same file.
+    let rebuilt = ExpansionEngine::build(engine_config("small", 4, false))
+        .expect("rebuilds")
+        .to_snapshot()
+        .expect("re-snapshot")
+        .to_bytes();
+    assert_eq!(bytes, rebuilt, "two builds must produce identical files");
+
+    let loaded = ExpansionEngine::from_snapshot_bytes(&bytes, SnapshotRuntime::default())
+        .expect("snapshot loads");
+    assert!(loaded.index_info().snapshot_fingerprint.is_some());
+    assert_identical_answers(&trained, &loaded);
+}
