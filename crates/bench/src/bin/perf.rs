@@ -4,12 +4,21 @@
 //!
 //! Emits `BENCH_expand.json` (to `target/experiments/` and the repo root)
 //! so future PRs have a perf trajectory to compare against. The report is
-//! `schema_version: 3`:
+//! `schema_version: 4`:
 //!
 //! * `scoring` / `training` / `eval` — the schema-v1 thread-scaling stages.
 //!   On the `huge` profile (100k+ entities) they are skipped (`null`): the
 //!   profile exists to size the *index* comparison, and re-timing the
 //!   training loop there would dominate the run without adding signal.
+//! * `training` (schema v4) — the fused contrastive step: alongside the
+//!   t1/t4 timings it records the committed v3 single-thread baseline and
+//!   the fused path's speedup over it, plus one marker per gate saying
+//!   whether that gate was `"enforced"` or why it was skipped. The ≥ 2x
+//!   single-thread gate runs on the `small` profile (where the v3 baseline
+//!   was measured); the t4/t1 ≥ 1.5 scaling gate runs wherever the host
+//!   actually has ≥ 4 cores and is marked `"skipped (…)"` otherwise — a
+//!   1-core container cannot witness thread scaling, and pretending it
+//!   passed would poison the trajectory.
 //! * `index` — per-index-type numbers: IVF build time, then a `nprobe`
 //!   sweep reporting recall@10/recall@50 against the exhaustive preliminary
 //!   ranking and per-query latency percentiles (p50/p99), plus the p50
@@ -63,11 +72,27 @@ struct ScoringStage {
     ranked_lists_byte_identical: bool,
 }
 
+/// Single-thread contrastive-training wall clock of the committed
+/// schema-v3 report (`small` profile), the denominator of the fused
+/// path's ≥ 2x single-thread acceptance gate.
+const V3_TRAINING_THREADS1_MS: f64 = 7851.805657;
+
 #[derive(Serialize)]
 struct TrainingStage {
     threads1_ms: f64,
     threads4_ms: f64,
     speedup_t4_vs_t1: f64,
+    /// The committed v3 single-thread time this run is gated against.
+    v3_baseline_threads1_ms: f64,
+    /// `v3_baseline_threads1_ms / threads1_ms` — the fused path's
+    /// single-thread speedup over the pre-fusion training loop.
+    speedup_vs_v3_threads1: f64,
+    /// `"enforced"` when the ≥ 2x single-thread gate ran (profile
+    /// `small`, where the baseline was measured), else `"skipped (…)"`.
+    single_thread_gate: String,
+    /// `"enforced"` when the t4/t1 ≥ 1.5 gate ran (host has ≥ 4 cores),
+    /// else `"skipped (…)"` — thread scaling is unmeasurable on fewer.
+    thread_scaling_gate: String,
     loss_curve_bit_identical: bool,
     num_batches: usize,
 }
@@ -256,9 +281,21 @@ fn recall_at(k: usize, exact: &[Vec<EntityId>], probed: &[Vec<EntityId>]) -> f64
 }
 
 fn main() {
+    // `--profile <name>` mirrors `ULTRA_PROFILE` for call sites (CI, one-off
+    // runs) where a flag is clearer than an env var; the flag wins.
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--profile") {
+        let p = argv
+            .get(i + 1)
+            .expect("--profile requires a value (tiny|small|paper|huge)");
+        std::env::set_var("ULTRA_PROFILE", p);
+    }
     let world = world_from_env();
     let profile = std::env::var("ULTRA_PROFILE").unwrap_or_else(|_| "small".into());
     let huge = profile == "huge";
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let num_queries: usize = world.ultra_classes.iter().map(|u| u.queries.len()).sum();
 
     // On `huge` the encoder is deliberately cheap: the index stage measures
@@ -346,10 +383,37 @@ fn main() {
                 .iter()
                 .zip(&losses_t4)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
+        let speedup_vs_v3 = V3_TRAINING_THREADS1_MS / training_t1_ms.max(1e-9);
+        let single_thread_gate = if profile == "small" {
+            assert!(
+                speedup_vs_v3 >= 2.0,
+                "fused training must be ≥ 2x faster single-threaded than the \
+                 committed v3 baseline ({V3_TRAINING_THREADS1_MS:.1}ms), got \
+                 {training_t1_ms:.1}ms ({speedup_vs_v3:.2}x)"
+            );
+            "enforced".to_string()
+        } else {
+            format!("skipped (v3 baseline was measured on the small profile, not {profile})")
+        };
+        let t4_vs_t1 = training_t1_ms / training_t4_ms.max(1e-9);
+        let thread_scaling_gate = if host_parallelism >= 4 {
+            assert!(
+                t4_vs_t1 >= 1.5,
+                "fused training must scale ≥ 1.5x from 1 to 4 threads on a \
+                 ≥ 4-core host, got {t4_vs_t1:.2}x"
+            );
+            "enforced".to_string()
+        } else {
+            format!("skipped (host_parallelism={host_parallelism} < 4)")
+        };
         training = Some(TrainingStage {
             threads1_ms: training_t1_ms,
             threads4_ms: training_t4_ms,
-            speedup_t4_vs_t1: training_t1_ms / training_t4_ms.max(1e-9),
+            speedup_t4_vs_t1: t4_vs_t1,
+            v3_baseline_threads1_ms: V3_TRAINING_THREADS1_MS,
+            speedup_vs_v3_threads1: speedup_vs_v3,
+            single_thread_gate,
+            thread_scaling_gate,
             loss_curve_bit_identical: loss_identical,
             num_batches: losses_t1.len(),
         });
@@ -544,12 +608,10 @@ fn main() {
     }
 
     let report = BenchReport {
-        schema_version: 3,
+        schema_version: 4,
         profile,
         seed: world.config.seed,
-        host_parallelism: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+        host_parallelism,
         num_queries,
         num_entities: world.num_entities(),
         scoring,
@@ -564,8 +626,11 @@ fn main() {
              sweep times the preliminary scoring stage (candidate generation + ranking) \
              per query; IVF speedups are algorithmic (scan nprobe/nlist of the entities) \
              and hold on single-core hosts. scoring/training/eval/startup are null on \
-             the huge profile by design. The startup stage times the full offline phase \
-             against a checksum-verified USNP snapshot load of the same engine."
+             the huge profile by design. The training stage times the fused batched \
+             contrastive step (persistent worker team, cost-weighted chunks, recycled \
+             workspaces) against the committed v3 per-example baseline. The startup \
+             stage times the full offline phase against a checksum-verified USNP \
+             snapshot load of the same engine."
         ),
     };
     if let Some(s) = &report.scoring {
@@ -598,8 +663,14 @@ fn main() {
     }
     if let Some(t) = &report.training {
         println!(
-            "training: t1 {:.1}ms  t4 {:.1}ms  ({:.2}x, {} batches)",
-            t.threads1_ms, t.threads4_ms, t.speedup_t4_vs_t1, t.num_batches,
+            "training: t1 {:.1}ms  t4 {:.1}ms  (t4/t1 {:.2}x [{}], vs-v3 {:.2}x [{}], {} batches)",
+            t.threads1_ms,
+            t.threads4_ms,
+            t.speedup_t4_vs_t1,
+            t.thread_scaling_gate,
+            t.speedup_vs_v3_threads1,
+            t.single_thread_gate,
+            t.num_batches,
         );
     }
     if let Some(e) = &report.eval {

@@ -22,13 +22,18 @@
 //!
 //! [`PairConfig`] toggles each pair family — the Table 7 ablation axes.
 
-use crate::encoder::{ContrastiveExample, EntityEncoder};
+use crate::encoder::{
+    batch_boundaries, merge_chunk_accumulators, ContrastiveExample, EntityEncoder, TRAIN_CHUNKS,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::ops::Range;
+use std::sync::{Arc, PoisonError, RwLock};
 use ultra_core::rng::{derive_rng, stream_label, UltraRng};
 use ultra_core::{EntityId, TokenId, UltraClassId};
 use ultra_data::World;
-use ultra_par::Pool;
+use ultra_nn::{TrainWorkspace, TrainWorkspaces};
+use ultra_par::{Pool, WorkerTeam};
 
 /// Oracle-mined lists for one query.
 #[derive(Clone, Debug)]
@@ -74,10 +79,11 @@ pub struct PairConfig {
     /// the oracle-mined lists "inevitably contain errors").
     pub hard_weight: f32,
     /// Examples per optimizer step. Sampling stays sequential (the RNG
-    /// sequence is independent of this value), but each batch's per-example
-    /// gradients are computed in parallel against one parameter snapshot
-    /// and merged in example order, so training is bit-identical at any
-    /// thread count. `1` reproduces the historical per-sample schedule.
+    /// sequence is independent of this value), but each batch is split
+    /// into cost-weighted chunks whose fused gradient kernels run on
+    /// persistent worker threads and merge in fixed chunk order, so
+    /// training is bit-identical at any thread count. `1` reproduces the
+    /// historical per-sample schedule.
     pub batch_size: usize,
 }
 
@@ -96,12 +102,49 @@ impl Default for PairConfig {
     }
 }
 
+/// One chunk of a batch, shipped to a persistent worker: which chunk it
+/// is, the example range it covers, a shared handle on the batch, and the
+/// chunk's recycled workspace (ownership travels with the job and comes
+/// back with the result).
+struct ChunkJob {
+    chunk: usize,
+    range: Range<usize>,
+    batch: Arc<Vec<ContrastiveExample>>,
+    ws: TrainWorkspace,
+}
+
+/// A finished chunk: its loss sum and the workspace holding its gradient
+/// accumulators.
+struct ChunkDone {
+    chunk: usize,
+    ws: TrainWorkspace,
+    loss: f32,
+}
+
+/// The worker kernel: fused gradients for one chunk against the shared
+/// encoder. Workers only ever take the read lock; the (exclusive) write
+/// lock is taken by the main thread strictly between batches, so chunk
+/// kernels always see the same frozen parameters.
+fn run_chunk(shared: &RwLock<&mut EntityEncoder>, job: ChunkJob) -> ChunkDone {
+    let guard = shared.read().unwrap_or_else(PoisonError::into_inner);
+    let mut ws = job.ws;
+    let loss = guard.contrastive_chunk_grads(&job.batch[job.range.start..job.range.end], &mut ws);
+    ChunkDone {
+        chunk: job.chunk,
+        ws,
+        loss,
+    }
+}
+
 /// Runs `cfg.contrastive_epochs` of InfoNCE training over the mined lists.
 ///
 /// Returns the per-batch mean losses, in step order — the training curve.
 /// The curve is bit-identical at any thread count: batch boundaries depend
-/// only on the (sequential) sample sequence, and each batch reduces its
-/// gradients in example order.
+/// only on the (sequential) sample sequence, chunk boundaries only on the
+/// examples' cost profile, and chunk gradients merge in fixed chunk order.
+/// Worker threads are spawned once per training run (not per batch) and
+/// fed chunk jobs over dedicated lanes; each chunk's workspace is
+/// recycled across every batch of the run.
 pub fn train_contrastive(
     enc: &mut EntityEncoder,
     world: &World,
@@ -110,31 +153,105 @@ pub fn train_contrastive(
 ) -> Vec<f32> {
     let mut rng = derive_rng(enc.cfg.seed, stream_label("contrastive"));
     let pool = Pool::global();
-    let mut losses = Vec::new();
-    for _epoch in 0..enc.cfg.contrastive_epochs {
-        let mut order: Vec<usize> = (0..mined.queries.len()).collect();
-        order.shuffle(&mut rng);
-        for qi in order {
-            train_query(
-                enc,
-                world,
-                &mined.queries[qi],
-                pair_cfg,
-                &pool,
-                &mut rng,
-                &mut losses,
-            );
-        }
-    }
-    losses
+    let epochs = enc.cfg.contrastive_epochs;
+    let dim = enc.cfg.dim;
+    let mut wss = TrainWorkspaces::new(TRAIN_CHUNKS);
+    let shared = RwLock::new(enc);
+    pool.with_worker_team(
+        |job: ChunkJob| run_chunk(&shared, job),
+        |team| {
+            let mut losses = Vec::new();
+            for _epoch in 0..epochs {
+                let mut order: Vec<usize> = (0..mined.queries.len()).collect();
+                order.shuffle(&mut rng);
+                for qi in order {
+                    train_query(
+                        &shared,
+                        world,
+                        &mined.queries[qi],
+                        pair_cfg,
+                        team,
+                        &mut wss,
+                        dim,
+                        &mut rng,
+                        &mut losses,
+                    );
+                }
+            }
+            losses
+        },
+    )
 }
 
-fn train_query(
-    enc: &mut EntityEncoder,
+/// Samples one example for `anchor_entity` (anchor, positive, negatives,
+/// weights), or `None` if any required bag cannot be sampled. Takes the
+/// read lock once for the whole example; the RNG call sequence is exactly
+/// the historical one, so sampled curves are unchanged.
+#[allow(clippy::too_many_arguments)]
+fn build_example(
+    enc: &EntityEncoder,
     world: &World,
     q: &QueryLists,
     pair_cfg: &PairConfig,
-    pool: &Pool,
+    own: &[EntityId],
+    other: &[EntityId],
+    anchor_entity: EntityId,
+    rng: &mut UltraRng,
+) -> Option<ContrastiveExample> {
+    let anchor_bag = sample_bag(enc, world, anchor_entity, &q.seed_tokens, rng)?;
+    // Positive: same-list entity (or the anchor entity itself).
+    let pos_entity = if pair_cfg.cross_entity_positives && own.len() > 1 {
+        own[rng.gen_range(0..own.len())]
+    } else {
+        anchor_entity
+    };
+    let pos_bag = sample_bag(enc, world, pos_entity, &q.seed_tokens, rng)?;
+    // Negatives: hard first (they carry `hard_weight`), then normal.
+    let mut neg_bags: Vec<Vec<TokenId>> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    if pair_cfg.hard_negatives && !other.is_empty() {
+        for _ in 0..pair_cfg.hard_per_anchor {
+            let ne = other[rng.gen_range(0..other.len())];
+            if let Some(b) = sample_bag(enc, world, ne, &q.seed_tokens, rng) {
+                neg_bags.push(b);
+                weights.push(pair_cfg.hard_weight);
+            }
+        }
+    }
+    if pair_cfg.normal_negatives && !q.outside.is_empty() {
+        for _ in 0..pair_cfg.normal_per_anchor {
+            let ne = q.outside[rng.gen_range(0..q.outside.len())];
+            if let Some(b) = sample_bag(enc, world, ne, &q.seed_tokens, rng) {
+                neg_bags.push(b);
+                weights.push(1.0);
+            }
+        }
+    }
+    if neg_bags.is_empty() {
+        return None;
+    }
+    let weights = if (pair_cfg.hard_weight - 1.0).abs() < f32::EPSILON {
+        None
+    } else {
+        Some(weights)
+    };
+    Some(ContrastiveExample {
+        anchor_bag,
+        pos_bag,
+        neg_bags,
+        weights,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_query(
+    shared: &RwLock<&mut EntityEncoder>,
+    world: &World,
+    q: &QueryLists,
+    pair_cfg: &PairConfig,
+    team: &WorkerTeam<ChunkJob, ChunkDone>,
+    wss: &mut TrainWorkspaces,
+    dim: usize,
     rng: &mut UltraRng,
     losses: &mut Vec<f32>,
 ) {
@@ -147,58 +264,17 @@ fn train_query(
         }
         for &anchor_entity in own {
             for _ in 0..pair_cfg.anchors_per_entity {
-                let Some(anchor_bag) = sample_bag(enc, world, anchor_entity, &q.seed_tokens, rng)
-                else {
+                let example = {
+                    let guard = shared.read().unwrap_or_else(PoisonError::into_inner);
+                    build_example(&guard, world, q, pair_cfg, own, other, anchor_entity, rng)
+                };
+                let Some(ex) = example else {
                     continue;
                 };
-                // Positive: same-list entity (or the anchor entity itself).
-                let pos_entity = if pair_cfg.cross_entity_positives && own.len() > 1 {
-                    own[rng.gen_range(0..own.len())]
-                } else {
-                    anchor_entity
-                };
-                let Some(pos_bag) = sample_bag(enc, world, pos_entity, &q.seed_tokens, rng) else {
-                    continue;
-                };
-                // Negatives: hard first (they carry `hard_weight`), then
-                // normal.
-                let mut neg_bags: Vec<Vec<TokenId>> = Vec::new();
-                let mut weights: Vec<f32> = Vec::new();
-                if pair_cfg.hard_negatives && !other.is_empty() {
-                    for _ in 0..pair_cfg.hard_per_anchor {
-                        let ne = other[rng.gen_range(0..other.len())];
-                        if let Some(b) = sample_bag(enc, world, ne, &q.seed_tokens, rng) {
-                            neg_bags.push(b);
-                            weights.push(pair_cfg.hard_weight);
-                        }
-                    }
-                }
-                if pair_cfg.normal_negatives && !q.outside.is_empty() {
-                    for _ in 0..pair_cfg.normal_per_anchor {
-                        let ne = q.outside[rng.gen_range(0..q.outside.len())];
-                        if let Some(b) = sample_bag(enc, world, ne, &q.seed_tokens, rng) {
-                            neg_bags.push(b);
-                            weights.push(1.0);
-                        }
-                    }
-                }
-                if neg_bags.is_empty() {
-                    continue;
-                }
-                let weights = if (pair_cfg.hard_weight - 1.0).abs() < f32::EPSILON {
-                    None
-                } else {
-                    Some(weights)
-                };
-                batch.push(ContrastiveExample {
-                    anchor_bag,
-                    pos_bag,
-                    neg_bags,
-                    weights,
-                });
+                batch.push(ex);
                 if batch.len() == batch_size {
-                    losses.push(enc.contrastive_batch_step(&batch, pool));
-                    batch.clear();
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+                    losses.push(step_batch(shared, team, wss, full, dim));
                 }
             }
         }
@@ -206,8 +282,112 @@ fn train_query(
     // Ragged tail: batches never span queries, so the example sequence (and
     // with it the RNG stream) is independent of the batch size.
     if !batch.is_empty() {
-        losses.push(enc.contrastive_batch_step(&batch, pool));
+        losses.push(step_batch(shared, team, wss, batch, dim));
     }
+}
+
+/// One fused optimizer step over a batch, fanned out over the worker
+/// team: remote chunks are submitted to their lanes first, the main
+/// thread computes its own chunks inline while workers run, results land
+/// back in their chunk's workspace slot, and the accumulators merge in
+/// chunk order before a single write-locked parameter update.
+///
+/// Chunk `c` always goes to lane `c % (workers + 1)` with lane 0 the main
+/// thread — a pure function of the chunk index, though correctness never
+/// depends on placement: every chunk computes against the same read-locked
+/// parameters and the merge order is fixed. A dead lane hands its job
+/// back and the chunk runs inline, with identical bits.
+fn step_batch(
+    shared: &RwLock<&mut EntityEncoder>,
+    team: &WorkerTeam<ChunkJob, ChunkDone>,
+    wss: &mut TrainWorkspaces,
+    batch: Vec<ContrastiveExample>,
+    dim: usize,
+) -> f32 {
+    let n = batch.len();
+    let bounds = batch_boundaries(&batch, dim);
+    let nchunks = bounds.len();
+    if wss.chunks.len() < nchunks {
+        wss.chunks.resize_with(nchunks, TrainWorkspace::new);
+    }
+    let lanes = team.workers() + 1;
+    let batch = Arc::new(batch);
+    let mut chunk_losses = vec![0.0f32; nchunks];
+    let mut pending = 0usize;
+    for (c, r) in bounds.iter().enumerate() {
+        if c % lanes == 0 {
+            continue; // main thread's own chunk — runs below
+        }
+        let job = ChunkJob {
+            chunk: c,
+            range: r.start..r.end,
+            batch: Arc::clone(&batch),
+            ws: std::mem::take(&mut wss.chunks[c]),
+        };
+        match team.submit(c % lanes - 1, job) {
+            Ok(()) => pending += 1,
+            Err(job) => {
+                let done = run_chunk(shared, job);
+                chunk_losses[done.chunk] = done.loss;
+                wss.chunks[done.chunk] = done.ws;
+            }
+        }
+    }
+    for (c, r) in bounds.iter().enumerate() {
+        if c % lanes != 0 {
+            continue;
+        }
+        let job = ChunkJob {
+            chunk: c,
+            range: r.start..r.end,
+            batch: Arc::clone(&batch),
+            ws: std::mem::take(&mut wss.chunks[c]),
+        };
+        let done = run_chunk(shared, job);
+        chunk_losses[done.chunk] = done.loss;
+        wss.chunks[done.chunk] = done.ws;
+    }
+    for _ in 0..pending {
+        let Some(done) = team.recv() else {
+            break;
+        };
+        chunk_losses[done.chunk] = done.loss;
+        wss.chunks[done.chunk] = done.ws;
+    }
+    // Left-fold losses and accumulators in chunk order — the same fixed
+    // reduction the sequential fused step performs.
+    let mut loss_sum = 0.0f32;
+    for &l in &chunk_losses {
+        loss_sum += l;
+    }
+    merge_chunk_accumulators(&mut wss.chunks, nchunks);
+    {
+        let mut guard = shared.write().unwrap_or_else(PoisonError::into_inner);
+        let first = &wss.chunks[0];
+        guard.apply_contrastive_update(&first.proj_grad, &first.sink);
+    }
+    loss_sum / n as f32
+}
+
+/// One batched contrastive step through the full worker-team machinery —
+/// exposed so the determinism proptests can pin the pooled path against
+/// [`EntityEncoder::contrastive_batch_step_reference`] at any thread
+/// count without running a whole training loop.
+pub fn contrastive_batch_step_pooled(
+    enc: &mut EntityEncoder,
+    examples: &[ContrastiveExample],
+    pool: &Pool,
+    wss: &mut TrainWorkspaces,
+) -> f32 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    let dim = enc.cfg.dim;
+    let shared = RwLock::new(enc);
+    pool.with_worker_team(
+        |job: ChunkJob| run_chunk(&shared, job),
+        |team| step_batch(&shared, team, wss, examples.to_vec(), dim),
+    )
 }
 
 /// Samples one masked-context bag for `entity`, with seed tokens appended.

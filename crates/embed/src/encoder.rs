@@ -9,10 +9,10 @@ use ultra_core::rng::{derive_rng, stream_label, UltraRng};
 use ultra_core::{EntityId, Sentence, TokenId};
 use ultra_data::World;
 use ultra_nn::{
-    l2_normalize, l2_normalize_backward, label_smoothed_ce, Activation, EmbeddingBag, Matrix, Mlp,
-    MlpGrad, Sgd, SparseGrad,
+    infonce_weighted_into, l2_normalize, l2_normalize_backward, l2_normalize_backward_into,
+    label_smoothed_ce, Activation, EmbeddingBag, Matrix, Mlp, MlpGrad, MlpT, Sgd, SparseGrad,
+    SparseSink, TrainWorkspace, TrainWorkspaces,
 };
-use ultra_par::Pool;
 
 /// One fully sampled contrastive training example: the anchor, positive,
 /// and negative context bags plus optional per-negative weights. Sampling
@@ -30,12 +30,104 @@ pub struct ContrastiveExample {
     pub weights: Option<Vec<f32>>,
 }
 
-/// Per-example gradients of the contrastive loss, detached from the
-/// encoder so a batch can be computed against one parameter snapshot.
-struct ContrastiveGrads {
-    proj: MlpGrad,
-    emb: SparseGrad,
-    loss: f32,
+/// Borrowed view of a contrastive example — the zero-copy twin of
+/// [`ContrastiveExample`] for call sites that already own the bags. The
+/// per-sample ablation path used to clone every bag (anchor, positive,
+/// each negative, the weights) just to enter the batch machinery; this
+/// view routes it through the same fused kernel without a single copy.
+#[derive(Clone, Copy, Debug)]
+pub struct ContrastiveExampleRef<'a> {
+    /// Anchor context bag.
+    pub anchor_bag: &'a [TokenId],
+    /// Positive context bag.
+    pub pos_bag: &'a [TokenId],
+    /// Negative context bags.
+    pub neg_bags: &'a [Vec<TokenId>],
+    /// Per-negative InfoNCE weights (`None` = uniform).
+    pub weights: Option<&'a [f32]>,
+}
+
+/// Uniform access to owned and borrowed examples so the fused chunk
+/// kernel is written once.
+pub(crate) trait ExampleView {
+    fn anchor_bag(&self) -> &[TokenId];
+    fn pos_bag(&self) -> &[TokenId];
+    fn neg_bags(&self) -> &[Vec<TokenId>];
+    fn weights(&self) -> Option<&[f32]>;
+}
+
+impl ExampleView for ContrastiveExample {
+    fn anchor_bag(&self) -> &[TokenId] {
+        &self.anchor_bag
+    }
+    fn pos_bag(&self) -> &[TokenId] {
+        &self.pos_bag
+    }
+    fn neg_bags(&self) -> &[Vec<TokenId>] {
+        &self.neg_bags
+    }
+    fn weights(&self) -> Option<&[f32]> {
+        self.weights.as_deref()
+    }
+}
+
+impl ExampleView for ContrastiveExampleRef<'_> {
+    fn anchor_bag(&self) -> &[TokenId] {
+        self.anchor_bag
+    }
+    fn pos_bag(&self) -> &[TokenId] {
+        self.pos_bag
+    }
+    fn neg_bags(&self) -> &[Vec<TokenId>] {
+        self.neg_bags
+    }
+    fn weights(&self) -> Option<&[f32]> {
+        self.weights
+    }
+}
+
+/// Chunks per training batch. Fixed — never derived from the thread count
+/// — so the chunk boundaries, and with them the f32 reduction tree, are a
+/// pure function of the batch. That is what makes the loss curve
+/// bit-identical whether the chunks run on one thread or eight.
+pub(crate) const TRAIN_CHUNKS: usize = 4;
+
+/// Work estimate for one example, driving the cost-weighted chunking:
+/// every bag pays a projection-head forward and backward (a handful of
+/// `dim × dim` passes, flattened here to units of `dim`), and every token
+/// two embedding-row traversals (forward mean, backward scatter).
+pub(crate) fn example_cost(ex: &ContrastiveExample, dim: usize) -> u64 {
+    let bags = 2 + ex.neg_bags.len();
+    let tokens =
+        ex.anchor_bag.len() + ex.pos_bag.len() + ex.neg_bags.iter().map(Vec::len).sum::<usize>();
+    (bags * 6 * dim + 2 * tokens) as u64
+}
+
+/// Deterministic cost-weighted chunk boundaries for one batch: a pure
+/// function of the examples and the model width, never of the thread
+/// count.
+pub(crate) fn batch_boundaries(
+    examples: &[ContrastiveExample],
+    dim: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let costs: Vec<u64> = examples.iter().map(|e| example_cost(e, dim)).collect();
+    ultra_par::weighted_boundaries(&costs, TRAIN_CHUNKS)
+}
+
+/// Merges chunk accumulators `1..nchunks` into chunk 0, in chunk order —
+/// the fixed reduction the determinism contract requires. Every
+/// accumulated value is a sum that started from `+0.0`, so no `-0.0` can
+/// appear and the left-fold is bit-equal to the reference path's
+/// fresh-accumulator fold.
+pub(crate) fn merge_chunk_accumulators(chunks: &mut [TrainWorkspace], nchunks: usize) {
+    if nchunks <= 1 {
+        return;
+    }
+    let (first, rest) = chunks.split_at_mut(1);
+    for ws in &mut rest[..nchunks - 1] {
+        first[0].proj_grad.add_assign(&ws.proj_grad);
+        first[0].sink.merge_from(&ws.sink);
+    }
 }
 
 /// The trainable entity encoder (Section 5.1.1).
@@ -48,6 +140,12 @@ pub struct EntityEncoder {
     head: Matrix,
     /// Contrastive projection head (maps into the hypersphere space).
     proj: Mlp,
+    /// Transposed snapshot of `proj`'s weights for the sweep-form batched
+    /// forward; refreshed by [`refresh_proj_t`](Self::refresh_proj_t) at
+    /// every parameter update (the only `proj` mutation sites are
+    /// construction and the two optimizer-apply paths, all of which
+    /// refresh).
+    proj_t: MlpT,
     /// Common-mode centering vector, calibrated after entity-prediction
     /// training. Bag-of-token means concentrate around a global direction
     /// (Zipf filler dominates every sentence); subtracting the mean
@@ -64,15 +162,31 @@ impl EntityEncoder {
     pub fn new(world: &World, cfg: EncoderConfig) -> Self {
         let mut rng = derive_rng(cfg.seed, stream_label("encoder-init"));
         let dim = cfg.dim;
+        // RNG draw order (emb, head, proj) is part of the determinism
+        // contract — do not reorder.
+        let emb = EmbeddingBag::new(world.vocab.len(), dim, &mut rng);
+        let head = Matrix::xavier(world.num_entities(), dim, &mut rng);
+        let proj = Mlp::new_projection(dim, dim, dim, Activation::Tanh, &mut rng);
+        let mut proj_t = MlpT::new();
+        proj_t.refresh(&proj);
         Self {
-            emb: EmbeddingBag::new(world.vocab.len(), dim, &mut rng),
-            head: Matrix::xavier(world.num_entities(), dim, &mut rng),
-            proj: Mlp::new_projection(dim, dim, dim, Activation::Tanh, &mut rng),
+            emb,
+            head,
+            proj,
+            proj_t,
             center: vec![0.0; dim],
             num_entities: world.num_entities(),
             mask: world.vocab.mask(),
             cfg,
         }
+    }
+
+    /// Re-transposes the projection head's weight snapshot. Must run after
+    /// every `proj` mutation; the snapshot staleness is what the
+    /// `forward_batch_pret` debug asserts and the fused-vs-reference
+    /// proptest would catch.
+    fn refresh_proj_t(&mut self) {
+        self.proj_t.refresh(&self.proj);
     }
 
     /// Hidden dimensionality.
@@ -157,6 +271,19 @@ impl EntityEncoder {
     ) {
         let dz = self.encode_bag_backward_dz(h, dh);
         self.emb.backward_into(tokens, &dz, g);
+    }
+
+    /// Allocation-free twin of [`encode_bag`](Self::encode_bag): writes
+    /// `tanh(mean E[t]) - c` into `out`. Bit-identical to the allocating
+    /// path, including the empty-bag case (`0.0.tanh() - c`).
+    // ultra-lint: hot
+    pub(crate) fn encode_bag_into(&self, tokens: &[TokenId], out: &mut [f32]) {
+        if !self.emb.forward_into(tokens, out) {
+            out.fill(0.0);
+        }
+        for (x, c) in out.iter_mut().zip(&self.center) {
+            *x = x.tanh() - c;
+        }
     }
 
     /// The tanh pre-activation gradient shared by both backward variants.
@@ -259,8 +386,9 @@ impl EntityEncoder {
 
     /// [`contrastive_step`](Self::contrastive_step) with per-negative
     /// weights (the Section 6.2 "amplify hard negatives" experiment).
-    /// Routed through the batch machinery with a batch of one, which is
-    /// equivalent to the historical per-sample step.
+    /// Routed as a borrowed batch of one through the fused chunk kernel —
+    /// no bag is cloned (the historical implementation copied every bag
+    /// into an owned [`ContrastiveExample`] first).
     pub(crate) fn contrastive_step_weighted(
         &mut self,
         anchor_bag: &[TokenId],
@@ -268,20 +396,30 @@ impl EntityEncoder {
         neg_bags: &[Vec<TokenId>],
         weights: Option<&[f32]>,
     ) -> f32 {
-        let ex = ContrastiveExample {
-            anchor_bag: anchor_bag.to_vec(),
-            pos_bag: pos_bag.to_vec(),
-            neg_bags: neg_bags.to_vec(),
-            weights: weights.map(|w| w.to_vec()),
+        let ex = ContrastiveExampleRef {
+            anchor_bag,
+            pos_bag,
+            neg_bags,
+            weights,
         };
-        self.contrastive_batch_step(std::slice::from_ref(&ex), &Pool::new(1))
+        let mut ws = TrainWorkspace::new();
+        let loss = self.contrastive_chunk_grads(std::slice::from_ref(&ex), &mut ws);
+        self.apply_contrastive_update(&ws.proj_grad, &ws.sink);
+        loss
     }
 
     /// Gradients of the InfoNCE loss for one example, computed against the
-    /// current (frozen) parameters. Forward all branches, then backward
-    /// each through l2norm → proj → tanh → embeddings, into detached
-    /// buffers.
-    fn contrastive_grads(&self, ex: &ContrastiveExample) -> ContrastiveGrads {
+    /// current (frozen) parameters through the historical allocating path:
+    /// forward all branches, then backward each through l2norm → proj →
+    /// tanh → embeddings. Accumulates into the *caller's* buffers so a
+    /// chunk of examples shares one accumulator — the same f32 fold the
+    /// fused kernel performs. Returns the example's loss.
+    fn contrastive_grads_into(
+        &self,
+        ex: &ContrastiveExample,
+        proj_g: &mut MlpGrad,
+        emb_g: &mut SparseGrad,
+    ) -> f32 {
         let forward = |bag: &[TokenId]| {
             let h = self.encode_bag(bag);
             let (hidden, pre) = self.proj.forward(&h);
@@ -296,59 +434,257 @@ impl EntityEncoder {
         let g =
             ultra_nn::infonce_weighted(&a.3, &p.3, &neg_views, ex.weights.as_deref(), self.cfg.tau);
 
-        let mut proj_g = MlpGrad::zeros_like(&self.proj);
-        let mut emb_g = SparseGrad::new();
         let mut backward_fn =
             |bag: &[TokenId], st: &(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, f32), dz: &[f32]| {
                 let dpre = l2_normalize_backward(&st.3, st.4, dz);
-                let dh = self
-                    .proj
-                    .backward_into(&st.0, &st.1, &st.2, &dpre, &mut proj_g);
-                self.encode_bag_backward_into(bag, &st.0, &dh, &mut emb_g);
+                let dh = self.proj.backward_into(&st.0, &st.1, &st.2, &dpre, proj_g);
+                self.encode_bag_backward_into(bag, &st.0, &dh, emb_g);
             };
         backward_fn(&ex.anchor_bag, &a, &g.d_anchor);
         backward_fn(&ex.pos_bag, &p, &g.d_pos);
         for (k, n) in negs.iter().enumerate() {
             backward_fn(&ex.neg_bags[k], n, &g.d_negs[k]);
         }
-        ContrastiveGrads {
-            proj: proj_g,
-            emb: emb_g,
-            loss: g.loss,
-        }
+        g.loss
     }
 
-    /// One optimizer step over a batch of contrastive examples: per-example
-    /// gradients are computed in parallel against the current parameter
-    /// snapshot, merged in example order (fixed reduction — bit-identical
-    /// at any thread count), then applied once. Returns the mean loss.
-    pub(crate) fn contrastive_batch_step(
+    /// Fused gradients for one chunk of examples against frozen
+    /// parameters, accumulated into `ws` (reshaped and reset here).
+    /// Returns the chunk's loss sum, left-folded in example order.
+    ///
+    /// The fusion: every bag of every example becomes one row of `ws.h`,
+    /// the projection head runs as two blocked GEMMs over the whole chunk
+    /// ([`Mlp::forward_batch`]), and the backward pass accumulates
+    /// straight into the chunk-level `proj_grad` / `sink` accumulators —
+    /// no per-example gradient structs, no allocations after warm-up.
+    /// Bit-equality with the per-example reference path
+    /// ([`contrastive_batch_step_reference`](Self::contrastive_batch_step_reference))
+    /// is pinned by the fused-vs-reference proptest in
+    /// `tests/par_determinism.rs`.
+    // ultra-lint: hot
+    pub(crate) fn contrastive_chunk_grads<E: ExampleView>(
+        &self,
+        examples: &[E],
+        ws: &mut TrainWorkspace,
+    ) -> f32 {
+        let mut rows = 0usize;
+        let mut max_logits = 1usize;
+        for ex in examples {
+            rows += 2 + ex.neg_bags().len();
+            max_logits = max_logits.max(1 + ex.neg_bags().len());
+        }
+        ws.ensure(&self.proj, self.emb.vocab_size(), rows, max_logits);
+        ws.reset();
+        // 1) Encode every bag into its row of `h`, example-major
+        //    (anchor, positive, negatives…).
+        let mut r = 0usize;
+        for ex in examples {
+            self.encode_bag_into(ex.anchor_bag(), ws.h.row_mut(r));
+            self.encode_bag_into(ex.pos_bag(), ws.h.row_mut(r + 1));
+            for (k, nb) in ex.neg_bags().iter().enumerate() {
+                self.encode_bag_into(nb, ws.h.row_mut(r + 2 + k));
+            }
+            r += 2 + ex.neg_bags().len();
+        }
+        // 2) Project the whole chunk: two sweep-form GEMMs against the
+        //    transposed weight snapshot (bit-identical to the dot-form
+        //    `forward_batch`, ~2x faster — see `matmat_nt_pret_into`).
+        self.proj.forward_batch_pret(
+            &self.proj_t,
+            &ws.h,
+            &mut ws.hidden,
+            &mut ws.pre,
+            &mut ws.lanes,
+        );
+        // 3) Normalize each row into `z`, remembering the norms.
+        ws.z.as_mut_slice().copy_from_slice(ws.pre.as_slice());
+        for rr in 0..rows {
+            ws.norms[rr] = l2_normalize(ws.z.row_mut(rr));
+        }
+        // 4) InfoNCE per example: an example's rows are contiguous, so the
+        //    flat-negatives kernel reads `z` in place and writes `dz` in
+        //    place.
+        let d = ws.z.cols();
+        let mut loss_sum = 0.0f32;
+        let mut base = 0usize;
+        for ex in examples {
+            let k = ex.neg_bags().len();
+            let z = ws.z.as_slice();
+            let anchor = &z[base * d..(base + 1) * d];
+            let positive = &z[(base + 1) * d..(base + 2) * d];
+            let negatives = &z[(base + 2) * d..(base + 2 + k) * d];
+            let dz = &mut ws.dz.as_mut_slice()[base * d..(base + 2 + k) * d];
+            let (d_anchor, rest) = dz.split_at_mut(d);
+            let (d_pos, d_negs) = rest.split_at_mut(d);
+            loss_sum += infonce_weighted_into(
+                anchor,
+                positive,
+                negatives,
+                ex.weights(),
+                self.cfg.tau,
+                &mut ws.logits[..1 + k],
+                d_anchor,
+                d_pos,
+                d_negs,
+            );
+            base += 2 + k;
+        }
+        // 5) Backward in three sweeps: the normalize backward per row,
+        //    the projection head over blocks of four rows (the backward
+        //    is bandwidth-bound — blocks stream each weight/gradient
+        //    matrix once per block instead of once per row), then the
+        //    encoder tanh + sparse embedding pass per bag in
+        //    example-major order. Every `proj_grad` / `sink` element
+        //    still receives its summands in ascending row order, so the
+        //    sweeps are bit-identical to a per-row backward — which is
+        //    exactly what the reference path computes.
+        for r in 0..rows {
+            l2_normalize_backward_into(ws.z.row(r), ws.norms[r], ws.dz.row(r), ws.dpre.row_mut(r));
+        }
+        let mut rb = 0usize;
+        while rb < rows {
+            let re = (rb + 4).min(rows);
+            self.proj.backward_rows_into_buf(
+                &ws.h,
+                &ws.hidden,
+                &ws.pre,
+                &ws.dpre,
+                rb,
+                re,
+                &mut ws.proj_grad,
+                &mut ws.dz_out,
+                &mut ws.dh,
+                &mut ws.dz_hidden,
+                &mut ws.dx,
+            );
+            rb = re;
+        }
+        let mut rr = 0usize;
+        for ex in examples {
+            self.bag_grad_into_sink(ex.anchor_bag(), rr, ws);
+            self.bag_grad_into_sink(ex.pos_bag(), rr + 1, ws);
+            for (k, nb) in ex.neg_bags().iter().enumerate() {
+                self.bag_grad_into_sink(nb, rr + 2 + k, ws);
+            }
+            rr += 2 + ex.neg_bags().len();
+        }
+        loss_sum
+    }
+
+    /// Encoder-side backward for one bag (row `r` of the workspace):
+    /// tanh backward from the block backward's `dx` row, then the sparse
+    /// embedding gradient into the chunk's sink.
+    // ultra-lint: hot
+    fn bag_grad_into_sink(&self, bag: &[TokenId], r: usize, ws: &mut TrainWorkspace) {
+        // Encoder tanh backward — the same expression (and bits) as
+        // `encode_bag_backward_dz`; `y` is the un-centered tanh output.
+        let h_row = ws.h.row(r);
+        let dx_row = ws.dx.row(r);
+        for (i, demb) in ws.row_demb.iter_mut().enumerate() {
+            let y = h_row[i] + self.center[i];
+            *demb = dx_row[i] * (1.0 - y * y);
+        }
+        self.emb.backward_into_sink(bag, &ws.row_demb, &mut ws.sink);
+    }
+
+    /// Applies one batch's merged gradients: accumulate into the
+    /// projection head, one SGD step, then the sparse embedding update.
+    /// Shared by every batch path (fused, per-sample, worker-team) so the
+    /// optimizer arithmetic cannot drift between them.
+    pub(crate) fn apply_contrastive_update(&mut self, proj_g: &MlpGrad, sink: &SparseSink) {
+        self.proj.accumulate(proj_g);
+        let lr = self.cfg.contrastive_lr;
+        Sgd::new(lr)
+            .with_weight_decay(self.cfg.weight_decay)
+            .step(&mut self.proj);
+        self.refresh_proj_t();
+        self.emb
+            .apply_sparse_sgd_from_sink(sink, lr, self.cfg.weight_decay, self.cfg.clip);
+    }
+
+    /// One fused optimizer step over a batch: cost-weighted chunk
+    /// boundaries, the fused chunk kernel per chunk, chunk accumulators
+    /// merged in chunk order (a fixed reduction tree), one parameter
+    /// update. Returns the mean loss. Sequential over chunks — the
+    /// worker-team path in `contrastive.rs` runs the same chunks on
+    /// threads and is bit-identical by construction.
+    pub fn contrastive_batch_step_fused(
         &mut self,
         examples: &[ContrastiveExample],
-        pool: &Pool,
+        wss: &mut TrainWorkspaces,
     ) -> f32 {
         if examples.is_empty() {
             return 0.0;
         }
-        let enc = &*self;
-        let grads: Vec<ContrastiveGrads> =
-            pool.map_ordered_each(examples, |ex| enc.contrastive_grads(ex));
+        let bounds = batch_boundaries(examples, self.cfg.dim);
+        if wss.chunks.len() < bounds.len() {
+            wss.chunks.resize_with(bounds.len(), TrainWorkspace::new);
+        }
+        let mut loss_sum = 0.0f32;
+        for (c, r) in bounds.iter().enumerate() {
+            loss_sum += self.contrastive_chunk_grads(&examples[r.start..r.end], &mut wss.chunks[c]);
+        }
+        merge_chunk_accumulators(&mut wss.chunks, bounds.len());
+        let first = &wss.chunks[0];
+        self.apply_contrastive_update(&first.proj_grad, &first.sink);
+        loss_sum / examples.len() as f32
+    }
+
+    /// Per-example reference for the fused batch step: identical chunk
+    /// boundaries and reduction order, but gradients computed one example
+    /// at a time through the allocating path
+    /// ([`contrastive_grads_into`](Self::contrastive_grads_into)). Exists
+    /// to pin the fused kernel — the determinism proptests assert both
+    /// paths produce bit-identical losses and parameters.
+    pub fn contrastive_batch_step_reference(&mut self, examples: &[ContrastiveExample]) -> f32 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let bounds = batch_boundaries(examples, self.cfg.dim);
         let mut proj_g = MlpGrad::zeros_like(&self.proj);
         let mut emb_g = SparseGrad::new();
         let mut loss_sum = 0.0f32;
-        for g in grads {
-            proj_g.add_assign(&g.proj);
-            emb_g.merge(g.emb);
-            loss_sum += g.loss;
+        for r in &bounds {
+            let mut chunk_proj = MlpGrad::zeros_like(&self.proj);
+            let mut chunk_emb = SparseGrad::new();
+            let mut chunk_loss = 0.0f32;
+            for ex in &examples[r.start..r.end] {
+                chunk_loss += self.contrastive_grads_into(ex, &mut chunk_proj, &mut chunk_emb);
+            }
+            proj_g.add_assign(&chunk_proj);
+            emb_g.merge(chunk_emb);
+            loss_sum += chunk_loss;
         }
         self.proj.accumulate(&proj_g);
         let lr = self.cfg.contrastive_lr;
         Sgd::new(lr)
             .with_weight_decay(self.cfg.weight_decay)
             .step(&mut self.proj);
+        self.refresh_proj_t();
         self.emb
             .apply_sparse_sgd_from(emb_g, lr, self.cfg.weight_decay, self.cfg.clip);
         loss_sum / examples.len() as f32
+    }
+
+    /// FNV-1a fingerprint over every trainable parameter's exact bits.
+    /// Two encoders behave identically iff their fingerprints match — the
+    /// determinism tests compare these instead of dumping whole tensors.
+    pub fn params_fingerprint(&self) -> u64 {
+        fn eat(mut h: u64, s: &[f32]) -> u64 {
+            for v in s {
+                h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for t in 0..self.emb.vocab_size() {
+            h = eat(h, self.emb.row(TokenId::new(t as u32)));
+        }
+        h = eat(h, self.head.as_slice());
+        h = eat(h, self.proj.hidden.weights().as_slice());
+        h = eat(h, self.proj.out.weights().as_slice());
+        h = eat(h, &self.center);
+        h
     }
 
     /// Gathers `(sentence, entity)` training examples, capped per entity.

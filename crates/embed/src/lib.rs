@@ -27,6 +27,6 @@ pub mod reps;
 
 pub use augment::Augmentation;
 pub use config::EncoderConfig;
-pub use contrastive::{MinedLists, PairConfig, QueryLists};
-pub use encoder::EntityEncoder;
+pub use contrastive::{contrastive_batch_step_pooled, MinedLists, PairConfig, QueryLists};
+pub use encoder::{ContrastiveExample, ContrastiveExampleRef, EntityEncoder};
 pub use reps::EntityEmbeddings;

@@ -68,6 +68,108 @@ impl SparseGrad {
     }
 }
 
+/// Reusable sparse-gradient accumulator with O(touched) clearing — the
+/// workspace counterpart of [`SparseGrad`].
+///
+/// `SparseGrad`'s `BTreeMap` allocates a node per touched row per batch;
+/// at ~140 touched rows × thousands of batches that allocation traffic
+/// dominates the embedding backward. `SparseSink` instead keeps a
+/// vocab-sized slot map (`token → packed row + 1`, 0 = empty), a
+/// first-touch-order list of touched tokens, and one flat row buffer — all
+/// retained across batches, so the steady state allocates nothing.
+///
+/// Per-row arithmetic is the same `+=` sequence as `SparseGrad`'s, and row
+/// updates are independent, so a sink and a map fed the same
+/// `add_scaled`/merge sequence produce identical row bits even though the
+/// sink applies rows in first-touch order rather than token order.
+#[derive(Clone, Debug, Default)]
+pub struct SparseSink {
+    dim: usize,
+    slots: Vec<u32>,
+    touched: Vec<u32>,
+    rows: Vec<f32>,
+}
+
+impl SparseSink {
+    /// An empty, unshaped sink; call [`ensure`](Self::ensure) before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shapes the sink for a `vocab_size × dim` table, preserving buffers
+    /// (and their capacity) when the shape already matches.
+    pub fn ensure(&mut self, vocab_size: usize, dim: usize) {
+        if self.slots.len() != vocab_size || self.dim != dim {
+            self.dim = dim;
+            self.slots = vec![0; vocab_size];
+            self.touched.clear();
+            self.rows.clear();
+        }
+    }
+
+    /// Clears accumulated rows in O(touched), keeping all capacity.
+    pub fn clear(&mut self) {
+        for &t in &self.touched {
+            self.slots[t as usize] = 0;
+        }
+        self.touched.clear();
+        self.rows.clear();
+    }
+
+    /// Packed row index for `token`, appending a zeroed row on first touch.
+    #[inline]
+    fn row_index(&mut self, token: u32) -> usize {
+        let slot = self.slots[token as usize];
+        if slot != 0 {
+            return (slot - 1) as usize;
+        }
+        let idx = self.touched.len();
+        self.slots[token as usize] = idx as u32 + 1;
+        self.touched.push(token);
+        self.rows.resize(self.rows.len() + self.dim, 0.0);
+        idx
+    }
+
+    /// Adds `dy * scale` into the row for `token` — same accumulation
+    /// arithmetic as [`SparseGrad::add_scaled`].
+    #[inline]
+    pub fn add_scaled(&mut self, token: TokenId, dy: &[f32], scale: f32) {
+        let idx = self.row_index(token.0);
+        let row = &mut self.rows[idx * self.dim..(idx + 1) * self.dim];
+        for (gi, &d) in row.iter_mut().zip(dy) {
+            *gi += d * scale;
+        }
+    }
+
+    /// Merges `other`'s rows into `self` in `other`'s first-touch order —
+    /// the sink analogue of [`SparseGrad::merge`]. For rows new to `self`
+    /// the first merge lands on a zeroed row (`0.0 + x`); that matches the
+    /// map's vacant-entry *move* bit-for-bit because accumulated row sums
+    /// are never `-0.0` (each row sum starts from `+0.0`, and IEEE-754
+    /// round-to-nearest addition only yields `-0.0` from two `-0.0`
+    /// operands).
+    pub fn merge_from(&mut self, other: &SparseSink) {
+        for (i, &t) in other.touched.iter().enumerate() {
+            let src = &other.rows[i * other.dim..(i + 1) * other.dim];
+            let idx = self.row_index(t);
+            let dst = &mut self.rows[idx * self.dim..(idx + 1) * self.dim];
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Number of rows with pending gradients.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether the sink holds no pending rows.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+}
+
 /// Mean-pooled embedding lookup with sparse gradient accumulation.
 #[derive(Clone, Debug)]
 pub struct EmbeddingBag {
@@ -116,6 +218,37 @@ impl EmbeddingBag {
         let inv = 1.0 / tokens.len() as f32;
         acc.iter_mut().for_each(|a| *a *= inv);
         Some(acc)
+    }
+
+    /// [`forward`](Self::forward) into a caller-owned buffer
+    /// (`out.len() == dim`). Returns `false` (leaving `out` untouched) for
+    /// an empty bag. Same accumulate-then-scale arithmetic, so same bits.
+    pub fn forward_into(&self, tokens: &[TokenId], out: &mut [f32]) -> bool {
+        if tokens.is_empty() {
+            return false;
+        }
+        out.iter_mut().for_each(|a| *a = 0.0);
+        for &t in tokens {
+            for (a, &x) in out.iter_mut().zip(self.row(t)) {
+                *a += x;
+            }
+        }
+        let inv = 1.0 / tokens.len() as f32;
+        out.iter_mut().for_each(|a| *a *= inv);
+        true
+    }
+
+    /// [`backward_into`](Self::backward_into) against a reusable
+    /// [`SparseSink`]: identical per-token `+=` sequence, no per-batch
+    /// allocation.
+    pub fn backward_into_sink(&self, tokens: &[TokenId], dy: &[f32], g: &mut SparseSink) {
+        if tokens.is_empty() {
+            return;
+        }
+        let inv = 1.0 / tokens.len() as f32;
+        for &t in tokens {
+            g.add_scaled(t, dy, inv);
+        }
     }
 
     /// Accumulates the gradient of the mean pool: each participating row
@@ -182,6 +315,24 @@ impl EmbeddingBag {
                 weight_decay,
                 clip,
             );
+        }
+    }
+
+    /// [`apply_sparse_sgd_from`](Self::apply_sparse_sgd_from) over a
+    /// [`SparseSink`], borrowing it (callers [`SparseSink::clear`] it for
+    /// reuse). Rows are visited in first-touch order instead of token
+    /// order; row updates are independent, so the table bits match the
+    /// map-based path for equal row gradients.
+    pub fn apply_sparse_sgd_from_sink(
+        &mut self,
+        g: &SparseSink,
+        lr: f32,
+        weight_decay: f32,
+        clip: f32,
+    ) {
+        for (i, &t) in g.touched.iter().enumerate() {
+            let grad = &g.rows[i * g.dim..(i + 1) * g.dim];
+            Self::sparse_row_update(self.table.row_mut(t as usize), grad, lr, weight_decay, clip);
         }
     }
 
@@ -291,6 +442,51 @@ mod tests {
             let ra: Vec<u32> = a.row(t(r)).iter().map(|v| v.to_bits()).collect();
             let rb: Vec<u32> = b.row(t(r)).iter().map(|v| v.to_bits()).collect();
             assert_eq!(ra, rb, "row {r} diverged");
+        }
+    }
+
+    #[test]
+    fn sink_path_matches_map_path_bitwise_across_reuse() {
+        let mut rng = derive_rng(3, 0);
+        let proto = EmbeddingBag::new(16, 3, &mut rng);
+        let batches: Vec<Vec<(Vec<TokenId>, Vec<f32>)>> = vec![
+            vec![
+                (vec![t(1), t(3)], vec![0.5, -1.0, 2.0]),
+                (vec![t(3), t(6), t(6)], vec![1.5, 0.25, -0.75]),
+            ],
+            vec![
+                (vec![t(6)], vec![-0.5, 0.125, 0.33]),
+                (vec![t(1), t(15)], vec![0.1, 0.2, 0.3]),
+            ],
+        ];
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        // One sink reused across batches (clear between steps) vs fresh
+        // BTreeMap buffers: table bits must agree after every step.
+        let mut sink = SparseSink::new();
+        sink.ensure(16, 3);
+        let mut other = SparseSink::new();
+        other.ensure(16, 3);
+        for batch in &batches {
+            let mut map = SparseGrad::new();
+            sink.clear();
+            other.clear();
+            for (tokens, dy) in batch {
+                a.backward_into(tokens, dy, &mut map);
+            }
+            // Split the same work across two sinks and merge, exercising
+            // the first-touch merge path.
+            b.backward_into_sink(&batch[0].0, &batch[0].1, &mut sink);
+            b.backward_into_sink(&batch[1].0, &batch[1].1, &mut other);
+            sink.merge_from(&other);
+            assert_eq!(sink.len(), map.len());
+            a.apply_sparse_sgd_from(map, 0.1, 1e-4, 5.0);
+            b.apply_sparse_sgd_from_sink(&sink, 0.1, 1e-4, 5.0);
+            for r in 0..16 {
+                let ra: Vec<u32> = a.row(t(r)).iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u32> = b.row(t(r)).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ra, rb, "row {r} diverged");
+            }
         }
     }
 

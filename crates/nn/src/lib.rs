@@ -21,10 +21,15 @@ pub mod loss;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
+pub mod workspace;
 
-pub use embedding::{EmbeddingBag, SparseGrad};
-pub use linear::{Activation, Linear, LinearGrad, Mlp, MlpGrad};
-pub use loss::{infonce, infonce_weighted, label_smoothed_ce, InfoNceGrads};
+pub use embedding::{EmbeddingBag, SparseGrad, SparseSink};
+pub use linear::{Activation, Linear, LinearGrad, Mlp, MlpGrad, MlpT};
+pub use loss::{infonce, infonce_weighted, infonce_weighted_into, label_smoothed_ce, InfoNceGrads};
 pub use matrix::Matrix;
-pub use ops::{cosine, dot, dot_unrolled, l2_normalize, l2_normalize_backward, mean_pool};
+pub use ops::{
+    cosine, dot, dot_unrolled, l2_normalize, l2_normalize_backward, l2_normalize_backward_into,
+    mean_pool,
+};
 pub use optim::{Adam, GradApply, Sgd};
+pub use workspace::{TrainWorkspace, TrainWorkspaces};

@@ -141,6 +141,151 @@ impl Linear {
         )
     }
 
+    /// Batched forward pass: row `r` of `y` becomes `forward(x.row(r))`.
+    /// One blocked GEMM ([`Matrix::matmat_nt_into`]) replaces `B`
+    /// independent `matvec`s; because both paths compute every output
+    /// element with the same `dot_unrolled` kernel, the batch is
+    /// bit-identical to the per-row loop. `y` must be pre-shaped
+    /// `(x.rows × out_dim)`.
+    pub fn forward_batch(&self, x: &Matrix, y: &mut Matrix) {
+        x.matmat_nt_into(&self.w, y);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            if self.use_bias {
+                for (yi, bi) in row.iter_mut().zip(&self.b) {
+                    *yi = self.act.forward(*yi + bi);
+                }
+            } else {
+                for yi in row.iter_mut() {
+                    *yi = self.act.forward(*yi);
+                }
+            }
+        }
+    }
+
+    /// [`forward_batch`](Self::forward_batch) against a pre-transposed
+    /// weight matrix (`wt = wᵀ`, kept fresh by the caller): the GEMM runs
+    /// in throughput-bound sweep form ([`Matrix::matmat_nt_pret_into`])
+    /// instead of dot form, with `lanes` as the sweep's partial-sum
+    /// scratch. Bit-identical to `forward_batch` — the sweep reproduces
+    /// `dot_unrolled`'s exact summand grouping — and the bias/activation
+    /// epilogue is the same loop.
+    // ultra-lint: hot
+    pub fn forward_batch_pret(&self, x: &Matrix, wt: &Matrix, y: &mut Matrix, lanes: &mut Matrix) {
+        debug_assert_eq!(wt.rows(), self.w.cols(), "forward_batch_pret: stale wt");
+        debug_assert_eq!(wt.cols(), self.w.rows(), "forward_batch_pret: stale wt");
+        x.matmat_nt_pret_into(wt, y, lanes);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            if self.use_bias {
+                for (yi, bi) in row.iter_mut().zip(&self.b) {
+                    *yi = self.act.forward(*yi + bi);
+                }
+            } else {
+                for yi in row.iter_mut() {
+                    *yi = self.act.forward(*yi);
+                }
+            }
+        }
+    }
+
+    /// [`backward_into`](Self::backward_into) against caller-owned scratch:
+    /// the pre-activation gradient lands in `dz` (`len == out_dim`) and the
+    /// input gradient in `dx` (`len == in_dim`) instead of fresh `Vec`s.
+    /// Same math, same bits, zero allocations — the training-workspace
+    /// form.
+    // ultra-lint: hot
+    pub fn backward_into_buf(
+        &self,
+        x: &[f32],
+        y: &[f32],
+        dy: &[f32],
+        g: &mut LinearGrad,
+        dz: &mut [f32],
+        dx: &mut [f32],
+    ) {
+        for ((dzi, &d), &yv) in dz.iter_mut().zip(dy).zip(y) {
+            *dzi = d * self.act.backward_from_output(yv);
+        }
+        g.gw.add_outer(1.0, dz, x);
+        if self.use_bias {
+            for (gb, &d) in g.gb.iter_mut().zip(dz.iter()) {
+                *gb += d;
+            }
+        }
+        self.w.matvec_t_into(dz, dx);
+    }
+
+    /// Backward over a block of rows `r0..r1` of batched forward buffers
+    /// (`x` inputs, `y` outputs, `dy` output gradients, all row-aligned):
+    /// per row exactly the [`backward_into_buf`](Self::backward_into_buf)
+    /// math, but with each weight/gradient matrix streamed once per
+    /// *block* instead of once per row. The per-row backward is
+    /// bandwidth-bound — `gw` and `w` together far exceed L1 — so a
+    /// four-row block cuts that traffic ~4×.
+    ///
+    /// Bit-compatibility is structural, not approximate: every
+    /// `gw[i][j]` (and `gb[i]`) receives exactly the summands of the
+    /// per-row kernel in ascending-`r` order, every `dx[r][j]` its
+    /// summands in ascending-`i` order, and the zero-skips mirror
+    /// [`Matrix::add_outer`] / [`Matrix::matvec_t_into`] — so a block is
+    /// bit-identical to `r1 - r0` sequential `backward_into_buf` calls.
+    // ultra-lint: hot
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_rows_into_buf(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        dy: &Matrix,
+        r0: usize,
+        r1: usize,
+        g: &mut LinearGrad,
+        dz: &mut Matrix,
+        dx: &mut Matrix,
+    ) {
+        // Pre-activation gradients, elementwise per row.
+        for r in r0..r1 {
+            for ((dzi, &d), &yv) in dz.row_mut(r).iter_mut().zip(dy.row(r)).zip(y.row(r)) {
+                *dzi = d * self.act.backward_from_output(yv);
+            }
+        }
+        // `gw += dzᵀ·x` / `gb += Σ dz`: stream each `gw` row once for the
+        // whole block; per element the `r` fold order matches `add_outer`
+        // called row by row.
+        for i in 0..self.w.rows() {
+            let gwrow = g.gw.row_mut(i);
+            for r in r0..r1 {
+                let c = dz.row(r)[i];
+                if self.use_bias {
+                    g.gb[i] += c;
+                }
+                if c == 0.0 {
+                    continue; // the `add_outer` zero-skip
+                }
+                for (w, &xv) in gwrow.iter_mut().zip(x.row(r)) {
+                    *w += c * xv;
+                }
+            }
+        }
+        // `dx[r] = wᵀ·dz[r]`: stream each weight row once for the block;
+        // per element the `i` fold order matches `matvec_t_into`.
+        for r in r0..r1 {
+            dx.row_mut(r).iter_mut().for_each(|v| *v = 0.0);
+        }
+        for i in 0..self.w.rows() {
+            let wrow = self.w.row(i);
+            for r in r0..r1 {
+                let c = dz.row(r)[i];
+                if c == 0.0 {
+                    continue; // the `matvec_t_into` zero-skip
+                }
+                for (v, &wv) in dx.row_mut(r).iter_mut().zip(wrow) {
+                    *v += c * wv;
+                }
+            }
+        }
+    }
+
     /// Adds an externally accumulated gradient buffer into the layer's
     /// internal one, readying an optimizer step.
     pub fn accumulate(&mut self, g: &LinearGrad) {
@@ -199,6 +344,32 @@ impl LinearGrad {
             gw: Matrix::zeros(layer.out_dim(), layer.in_dim()),
             gb: vec![0.0; layer.out_dim()],
         }
+    }
+
+    /// A zero-capacity buffer to be shaped later by
+    /// [`ensure_like`](Self::ensure_like) — lets workspaces be `Default`
+    /// without knowing layer shapes up front.
+    pub fn empty() -> Self {
+        Self {
+            gw: Matrix::zeros(0, 0),
+            gb: Vec::new(),
+        }
+    }
+
+    /// Reshapes to match `layer` if needed (reallocating only on a shape
+    /// change); contents are unspecified afterwards — call
+    /// [`reset`](Self::reset) before accumulating.
+    pub fn ensure_like(&mut self, layer: &Linear) {
+        if self.gw.rows() != layer.out_dim() || self.gw.cols() != layer.in_dim() {
+            self.gw = Matrix::zeros(layer.out_dim(), layer.in_dim());
+            self.gb = vec![0.0; layer.out_dim()];
+        }
+    }
+
+    /// Zeroes the buffer in place for reuse across steps.
+    pub fn reset(&mut self) {
+        self.gw.fill_zero();
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
     }
 
     /// Elementwise merge (`self += other`). Merge order is the caller's
@@ -280,6 +451,81 @@ impl Mlp {
         self.hidden.backward(x, h, &dh)
     }
 
+    /// Batched forward pass over a row matrix of examples: two blocked
+    /// GEMMs instead of `2B` matvecs. `h` must be pre-shaped
+    /// `(x.rows × hidden_dim)` and `y` `(x.rows × out_dim)`; row `r` of
+    /// `(h, y)` is bit-identical to `forward(x.row(r))`.
+    pub fn forward_batch(&self, x: &Matrix, h: &mut Matrix, y: &mut Matrix) {
+        self.hidden.forward_batch(x, h);
+        self.out.forward_batch(h, y);
+    }
+
+    /// [`forward_batch`](Self::forward_batch) through a transposed weight
+    /// snapshot (see [`MlpT`]): both GEMMs run in sweep form. Bit-identical
+    /// to `forward_batch` as long as `t` is fresh — refresh the snapshot
+    /// after every parameter update.
+    // ultra-lint: hot
+    pub fn forward_batch_pret(
+        &self,
+        t: &MlpT,
+        x: &Matrix,
+        h: &mut Matrix,
+        y: &mut Matrix,
+        lanes: &mut Matrix,
+    ) {
+        self.hidden.forward_batch_pret(x, &t.hidden_t, h, lanes);
+        self.out.forward_batch_pret(h, &t.out_t, y, lanes);
+    }
+
+    /// [`backward_into`](Self::backward_into) against caller-owned scratch
+    /// (`dz_out`/`dh` sized like the output layer's `out`/`in`,
+    /// `dz_hidden`/`dx` like the hidden layer's): same math and bits, zero
+    /// allocations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_into_buf(
+        &self,
+        x: &[f32],
+        h: &[f32],
+        y: &[f32],
+        dy: &[f32],
+        g: &mut MlpGrad,
+        dz_out: &mut [f32],
+        dh: &mut [f32],
+        dz_hidden: &mut [f32],
+        dx: &mut [f32],
+    ) {
+        self.out.backward_into_buf(h, y, dy, &mut g.out, dz_out, dh);
+        self.hidden
+            .backward_into_buf(x, h, dh, &mut g.hidden, dz_hidden, dx);
+    }
+
+    /// Block-of-rows variant of [`backward_into_buf`](Self::backward_into_buf)
+    /// over batched forward buffers (`x` inputs, `h` hidden activations,
+    /// `y` outputs, `dy` output gradients, all row-aligned): both layers
+    /// run their [`Linear::backward_rows_into_buf`] sweep over rows
+    /// `r0..r1`, so weight and gradient matrices stream once per block.
+    /// Bit-identical to per-row calls — see the layer kernel's contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_rows_into_buf(
+        &self,
+        x: &Matrix,
+        h: &Matrix,
+        y: &Matrix,
+        dy: &Matrix,
+        r0: usize,
+        r1: usize,
+        g: &mut MlpGrad,
+        dz_out: &mut Matrix,
+        dh: &mut Matrix,
+        dz_hidden: &mut Matrix,
+        dx: &mut Matrix,
+    ) {
+        self.out
+            .backward_rows_into_buf(h, y, dy, r0, r1, &mut g.out, dz_out, dh);
+        self.hidden
+            .backward_rows_into_buf(x, h, dh, r0, r1, &mut g.hidden, dz_hidden, dx);
+    }
+
     /// Non-mutating backward pass into an external [`MlpGrad`]; same math
     /// (and bits) as [`backward`](Self::backward).
     pub fn backward_into(
@@ -301,6 +547,43 @@ impl Mlp {
     }
 }
 
+/// Transposed snapshot of an [`Mlp`]'s weight matrices, the right-hand
+/// operands of the sweep-form batched forward
+/// ([`Mlp::forward_batch_pret`]). The snapshot is a pure function of the
+/// parameters and must be [`refresh`](Self::refresh)ed after every
+/// optimizer step; transposing twice per step (~`2·d²` copies) is noise
+/// next to the GEMM work it unlocks.
+#[derive(Clone, Debug)]
+pub struct MlpT {
+    /// `hidden.wᵀ` (`in_dim × hidden_dim`).
+    pub hidden_t: Matrix,
+    /// `out.wᵀ` (`hidden_dim × out_dim`).
+    pub out_t: Matrix,
+}
+
+impl Default for MlpT {
+    fn default() -> Self {
+        Self {
+            hidden_t: Matrix::zeros(0, 0),
+            out_t: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl MlpT {
+    /// An empty snapshot; [`refresh`](Self::refresh) shapes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-transposes both weight matrices from `mlp` (allocating only on
+    /// first use or shape change).
+    pub fn refresh(&mut self, mlp: &Mlp) {
+        mlp.hidden.w.transpose_into(&mut self.hidden_t);
+        mlp.out.w.transpose_into(&mut self.out_t);
+    }
+}
+
 /// Detached gradient buffer for an [`Mlp`].
 #[derive(Clone, Debug)]
 pub struct MlpGrad {
@@ -317,10 +600,38 @@ impl MlpGrad {
         }
     }
 
+    /// A zero-capacity buffer to be shaped later by
+    /// [`ensure_like`](Self::ensure_like).
+    pub fn empty() -> Self {
+        Self {
+            hidden: LinearGrad::empty(),
+            out: LinearGrad::empty(),
+        }
+    }
+
+    /// Reshapes to match `mlp` if needed; contents are unspecified — call
+    /// [`reset`](Self::reset) before accumulating.
+    pub fn ensure_like(&mut self, mlp: &Mlp) {
+        self.hidden.ensure_like(&mlp.hidden);
+        self.out.ensure_like(&mlp.out);
+    }
+
+    /// Zeroes the buffer in place for reuse across steps.
+    pub fn reset(&mut self) {
+        self.hidden.reset();
+        self.out.reset();
+    }
+
     /// Elementwise merge (`self += other`), in the caller's order.
     pub fn add_assign(&mut self, other: &MlpGrad) {
         self.hidden.add_assign(&other.hidden);
         self.out.add_assign(&other.out);
+    }
+}
+
+impl Default for MlpGrad {
+    fn default() -> Self {
+        Self::empty()
     }
 }
 
@@ -361,6 +672,114 @@ mod tests {
             let fm: f32 = layer.forward(&xm).iter().sum();
             let fd = (fp - fm) / (2.0 * eps);
             assert!((fd - dx[i]).abs() < 1e-2, "dx[{i}]: fd {fd} vs {}", dx[i]);
+        }
+    }
+
+    /// The block-of-rows backward must be bit-identical to per-row
+    /// `backward_into_buf` calls — for every block size, for a biased
+    /// tanh layer and a bias-free identity layer, across `gw`, `gb`,
+    /// `dz`, and `dx`.
+    #[test]
+    fn backward_rows_into_buf_is_bit_identical_to_per_row_calls() {
+        let mut rng = derive_rng(11, 0);
+        for (use_bias, act) in [(true, Activation::Tanh), (false, Activation::None)] {
+            let layer = if use_bias {
+                Linear::new(5, 4, act, &mut rng)
+            } else {
+                Linear::new_no_bias(5, 4, act, &mut rng)
+            };
+            let rows = 7usize;
+            let mut x = Matrix::zeros(rows, 5);
+            for r in 0..rows {
+                for c in 0..5 {
+                    x.row_mut(r)[c] = ((r * 5 + c) as f32 * 0.37).sin();
+                }
+            }
+            let mut y = Matrix::zeros(rows, 4);
+            let mut dy = Matrix::zeros(rows, 4);
+            for r in 0..rows {
+                let out = layer.forward(x.row(r));
+                y.row_mut(r).copy_from_slice(&out);
+                for c in 0..4 {
+                    // Include an exact zero to exercise the zero-skips.
+                    dy.row_mut(r)[c] = if (r + c) % 5 == 0 {
+                        0.0
+                    } else {
+                        ((r * 4 + c) as f32 * 0.71).cos()
+                    };
+                }
+            }
+
+            // Reference: per-row kernel, rows in ascending order.
+            let mut g_ref = LinearGrad::zeros_like(&layer);
+            let mut dz_ref = Matrix::zeros(rows, 4);
+            let mut dx_ref = Matrix::zeros(rows, 5);
+            for r in 0..rows {
+                let mut dz = vec![0.0f32; 4];
+                let mut dx = vec![0.0f32; 5];
+                layer.backward_into_buf(
+                    x.row(r),
+                    y.row(r),
+                    dy.row(r),
+                    &mut g_ref,
+                    &mut dz,
+                    &mut dx,
+                );
+                dz_ref.row_mut(r).copy_from_slice(&dz);
+                dx_ref.row_mut(r).copy_from_slice(&dx);
+            }
+
+            for block in 1..=rows {
+                let mut g = LinearGrad::zeros_like(&layer);
+                let mut dz = Matrix::zeros(rows, 4);
+                let mut dx = Matrix::zeros(rows, 5);
+                let mut r0 = 0;
+                while r0 < rows {
+                    let r1 = (r0 + block).min(rows);
+                    layer.backward_rows_into_buf(&x, &y, &dy, r0, r1, &mut g, &mut dz, &mut dx);
+                    r0 = r1;
+                }
+                let bits =
+                    |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&g.gw), bits(&g_ref.gw), "gw, block={block}");
+                assert_eq!(
+                    g.gb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    g_ref.gb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "gb, block={block}"
+                );
+                assert_eq!(bits(&dz), bits(&dz_ref), "dz, block={block}");
+                assert_eq!(bits(&dx), bits(&dx_ref), "dx, block={block}");
+            }
+        }
+    }
+
+    /// The sweep-form batched forward through a transposed snapshot must
+    /// be bit-identical to the dot-form `forward_batch` — biased tanh
+    /// layers included (the projection head is bias-free, so only this
+    /// test exercises the bias epilogue of the pret path).
+    #[test]
+    fn forward_batch_pret_is_bit_identical_to_forward_batch() {
+        let mut rng = derive_rng(13, 0);
+        let mlp = Mlp::new(5, 6, 4, Activation::Tanh, &mut rng);
+        let mut t = MlpT::new();
+        t.refresh(&mlp);
+        let rows = 7usize;
+        let mut x = Matrix::zeros(rows, 5);
+        for r in 0..rows {
+            for c in 0..5 {
+                x.row_mut(r)[c] = ((r * 5 + c) as f32 * 0.61).cos();
+            }
+        }
+        let (mut h1, mut y1) = (Matrix::zeros(rows, 6), Matrix::zeros(rows, 4));
+        mlp.forward_batch(&x, &mut h1, &mut y1);
+        let (mut h2, mut y2) = (Matrix::zeros(rows, 6), Matrix::zeros(rows, 4));
+        let mut lanes = Matrix::zeros(5, 6);
+        mlp.forward_batch_pret(&t, &x, &mut h2, &mut y2, &mut lanes);
+        for (a, b) in h1.as_slice().iter().zip(h2.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 
@@ -411,6 +830,73 @@ mod tests {
         b.accumulate(&g);
 
         assert_eq!(dxa, dxb);
+        let collect = |m: &mut Mlp| {
+            let mut out: Vec<u32> = Vec::new();
+            m.visit(&mut |_, grads| out.extend(grads.iter().map(|g| g.to_bits())));
+            out
+        };
+        assert_eq!(collect(&mut a), collect(&mut b));
+    }
+
+    #[test]
+    fn batched_forward_matches_per_row_forward_bitwise() {
+        let mut rng = derive_rng(21, 0);
+        // Both variants: with bias+tanh and the bias-free projection.
+        for mlp in [
+            Mlp::new(6, 9, 5, Activation::Tanh, &mut rng),
+            Mlp::new_projection(6, 9, 5, Activation::Relu, &mut rng),
+        ] {
+            let mut x = Matrix::zeros(23, 6);
+            for r in 0..23 {
+                for c in 0..6 {
+                    x.row_mut(r)[c] = ((r * 7 + c) as f32 * 0.31).sin();
+                }
+            }
+            let mut h = Matrix::zeros(23, 9);
+            let mut y = Matrix::zeros(23, 5);
+            mlp.forward_batch(&x, &mut h, &mut y);
+            for r in 0..23 {
+                let (hr, yr) = mlp.forward(x.row(r));
+                let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(h.row(r)), bits(&hr), "hidden row {r}");
+                assert_eq!(bits(y.row(r)), bits(&yr), "output row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_backward_matches_backward_into_bitwise() {
+        let mut rng = derive_rng(22, 0);
+        let mlp = Mlp::new_projection(4, 6, 3, Activation::Tanh, &mut rng);
+        let x = vec![0.4f32, -0.9, 0.15, 0.7];
+        let (h, y) = mlp.forward(&x);
+        let dy = vec![0.7f32, -0.3, 0.2];
+        let mut ga = MlpGrad::zeros_like(&mlp);
+        let dxa = mlp.backward_into(&x, &h, &y, &dy, &mut ga);
+        let mut gb = MlpGrad::zeros_like(&mlp);
+        // Scratch deliberately starts dirty: every element must be
+        // overwritten, not accumulated into.
+        let mut dz_out = vec![9.0f32; 3];
+        let mut dh = vec![9.0f32; 6];
+        let mut dz_hidden = vec![9.0f32; 6];
+        let mut dxb = vec![9.0f32; 4];
+        mlp.backward_into_buf(
+            &x,
+            &h,
+            &y,
+            &dy,
+            &mut gb,
+            &mut dz_out,
+            &mut dh,
+            &mut dz_hidden,
+            &mut dxb,
+        );
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&dxa), bits(&dxb));
+        let mut a = mlp.clone();
+        let mut b = mlp.clone();
+        a.accumulate(&ga);
+        b.accumulate(&gb);
         let collect = |m: &mut Mlp| {
             let mut out: Vec<u32> = Vec::new();
             m.visit(&mut |_, grads| out.extend(grads.iter().map(|g| g.to_bits())));

@@ -124,9 +124,122 @@ pub fn infonce_weighted(
     }
 }
 
+/// [`infonce_weighted`] against caller-owned buffers — the allocation-free
+/// form used by the fused training workspace. Negatives arrive as one flat
+/// row-major slice (`k·d` elements); gradients land in `d_anchor`, `d_pos`
+/// and the flat `d_negs_flat` (all caller-sized); `logits` is scratch of
+/// length `1 + k` (also holding the softmax probabilities on return).
+///
+/// Bit-identical to [`infonce_weighted`] on the same inputs: identical
+/// logit, softmax, loss and gradient arithmetic in identical order, only
+/// the buffer ownership differs (`tests::into_variant_matches_allocating`
+/// pins this).
+// ultra-lint: hot
+#[allow(clippy::too_many_arguments)]
+pub fn infonce_weighted_into(
+    anchor: &[f32],
+    positive: &[f32],
+    negatives_flat: &[f32],
+    weights: Option<&[f32]>,
+    tau: f32,
+    logits: &mut [f32],
+    d_anchor: &mut [f32],
+    d_pos: &mut [f32],
+    d_negs_flat: &mut [f32],
+) -> f32 {
+    assert!(tau > 0.0, "temperature must be positive");
+    let d = anchor.len();
+    let k = negatives_flat.len().checked_div(d).unwrap_or(0);
+    assert_eq!(negatives_flat.len(), k * d, "ragged flat negatives");
+    assert_eq!(logits.len(), 1 + k, "logit scratch length mismatch");
+    assert_eq!(
+        d_negs_flat.len(),
+        k * d,
+        "negative gradient length mismatch"
+    );
+    if let Some(w) = weights {
+        assert_eq!(w.len(), k, "one weight per negative");
+        assert!(w.iter().all(|&x| x > 0.0), "weights must be positive");
+    }
+    logits[0] = dot(anchor, positive) / tau;
+    for kk in 0..k {
+        let n = &negatives_flat[kk * d..(kk + 1) * d];
+        let lw = weights.map_or(0.0, |w| w[kk].ln());
+        logits[kk + 1] = dot(anchor, n) / tau + lw;
+    }
+    // In-place softmax: same max-fold / exp / sequential-sum / divide
+    // sequence as the private `softmax`, so identical bits.
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for x in logits.iter_mut() {
+        *x = (*x - max).exp();
+    }
+    let sum: f32 = logits.iter().sum();
+    for x in logits.iter_mut() {
+        *x /= sum;
+    }
+    let probs = &*logits;
+    let loss = -probs[0].max(1e-12).ln();
+
+    let coef0 = (probs[0] - 1.0) / tau;
+    // d_anchor accumulates from zero with `+=`, mirroring the allocating
+    // version exactly (0.0 + x is not always the same bits as x: it maps
+    // -0.0 to +0.0).
+    d_anchor.iter_mut().for_each(|a| *a = 0.0);
+    for i in 0..d {
+        d_anchor[i] += coef0 * positive[i];
+        d_pos[i] = coef0 * anchor[i];
+    }
+    for kk in 0..k {
+        let coef = probs[kk + 1] / tau;
+        let n = &negatives_flat[kk * d..(kk + 1) * d];
+        let dn = &mut d_negs_flat[kk * d..(kk + 1) * d];
+        for i in 0..d {
+            d_anchor[i] += coef * n[i];
+            dn[i] = coef * anchor[i];
+        }
+    }
+    loss
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn into_variant_matches_allocating_bitwise() {
+        let d = 7usize;
+        let anchor: Vec<f32> = (0..d).map(|i| ((i as f32) * 0.7).sin()).collect();
+        let pos: Vec<f32> = (0..d).map(|i| ((i as f32) * 1.3).cos()).collect();
+        let negs: Vec<Vec<f32>> = (0..3)
+            .map(|k| (0..d).map(|i| ((i + k) as f32 * 0.41).sin()).collect())
+            .collect();
+        let neg_refs: Vec<&[f32]> = negs.iter().map(|n| n.as_slice()).collect();
+        let flat: Vec<f32> = negs.iter().flatten().copied().collect();
+        for weights in [None, Some(vec![1.5f32, 0.5, 3.0])] {
+            let a = infonce_weighted(&anchor, &pos, &neg_refs, weights.as_deref(), 0.21);
+            let mut logits = vec![0.0f32; 4];
+            let mut da = vec![7.0f32; d];
+            let mut dp = vec![7.0f32; d];
+            let mut dn = vec![7.0f32; 3 * d];
+            let loss = infonce_weighted_into(
+                &anchor,
+                &pos,
+                &flat,
+                weights.as_deref(),
+                0.21,
+                &mut logits,
+                &mut da,
+                &mut dp,
+                &mut dn,
+            );
+            assert_eq!(loss.to_bits(), a.loss.to_bits());
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&da), bits(&a.d_anchor));
+            assert_eq!(bits(&dp), bits(&a.d_pos));
+            let flat_ref: Vec<f32> = a.d_negs.iter().flatten().copied().collect();
+            assert_eq!(bits(&dn), bits(&flat_ref));
+        }
+    }
 
     #[test]
     fn smoothed_ce_gradient_sums_to_zero() {

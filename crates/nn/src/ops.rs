@@ -76,6 +76,21 @@ pub fn l2_normalize_backward(y: &[f32], norm: f32, dy: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+/// [`l2_normalize_backward`] into a caller-owned buffer — same math and
+/// bits, no allocation. `dx.len()` must equal `y.len()`.
+// ultra-lint: hot
+pub fn l2_normalize_backward_into(y: &[f32], norm: f32, dy: &[f32], dx: &mut [f32]) {
+    debug_assert_eq!(dx.len(), y.len());
+    if norm == 0.0 {
+        dx.copy_from_slice(dy);
+        return;
+    }
+    let proj = dot(y, dy);
+    for ((o, &yi), &di) in dx.iter_mut().zip(y).zip(dy) {
+        *o = (di - yi * proj) / norm;
+    }
+}
+
 /// Mean of a set of equal-length vectors; `None` if the set is empty.
 pub fn mean_pool<'a, I>(vectors: I, dim: usize) -> Option<Vec<f32>>
 where

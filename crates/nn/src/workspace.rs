@@ -1,0 +1,163 @@
+//! Reusable training workspaces: every buffer the fused contrastive step
+//! needs, allocated once and recycled across batches.
+//!
+//! The pre-fusion training path allocated per *example*: a fresh
+//! `MlpGrad::zeros_like` (two weight-shaped matrices), a `SparseGrad`
+//! BTreeMap, and a dozen intermediate `Vec`s per forward/backward. At
+//! thousands of batches per epoch that allocation and zeroing traffic
+//! dominated the actual gradient arithmetic (BENCH_expand.json v3: 7.85 s
+//! of training vs 40 ms of scoring). A [`TrainWorkspace`] owns all of it;
+//! [`TrainWorkspace::ensure`] reshapes lazily (allocating only on growth,
+//! since `Vec` capacity is sticky) and [`TrainWorkspace::reset`] zeroes
+//! just the accumulators — forward buffers are fully overwritten each
+//! batch and need no clearing.
+//!
+//! One workspace serves one chunk of a batch; [`TrainWorkspaces`] holds
+//! the per-chunk set so chunk kernels can run on different threads without
+//! sharing mutable state. Merging chunk accumulators in chunk order is the
+//! caller's job (see `ultra-embed`).
+
+use crate::embedding::SparseSink;
+use crate::linear::{Mlp, MlpGrad};
+use crate::matrix::Matrix;
+
+/// All scratch for one fused contrastive chunk: batched forward buffers
+/// (one row per bag), per-row backward scratch, and the chunk's gradient
+/// accumulators.
+#[derive(Clone, Debug)]
+pub struct TrainWorkspace {
+    /// Encoded bags, one row per bag in example order (anchor, positive,
+    /// negatives…). Input to the projection head's batched forward.
+    pub h: Matrix,
+    /// Hidden activations of the projection head, row-aligned with `h`.
+    pub hidden: Matrix,
+    /// Pre-normalization projection outputs, row-aligned with `h`.
+    pub pre: Matrix,
+    /// l2-normalized projections (`pre` copied then normalized per row).
+    pub z: Matrix,
+    /// Pre-normalization norms, one per row (for the normalize backward).
+    pub norms: Vec<f32>,
+    /// Loss gradients w.r.t. `z`, row-aligned with `h`.
+    pub dz: Matrix,
+    /// InfoNCE logit/probability scratch (`1 + max negatives` long).
+    pub logits: Vec<f32>,
+    /// Gradients w.r.t. `pre` (the normalize backward's output),
+    /// row-aligned with `h` — input to the block backward.
+    pub dpre: Matrix,
+    /// Output-layer pre-activation gradients, row-aligned with `h`.
+    pub dz_out: Matrix,
+    /// Gradients w.r.t. the hidden activation, row-aligned with `h`.
+    pub dh: Matrix,
+    /// Hidden-layer pre-activation gradients, row-aligned with `h`.
+    pub dz_hidden: Matrix,
+    /// Gradients w.r.t. the encoded bags, row-aligned with `h`.
+    pub dx: Matrix,
+    /// Per-row scratch: gradient w.r.t. the mean-pooled embedding (input
+    /// dim), after the encoder nonlinearity's backward.
+    pub row_demb: Vec<f32>,
+    /// Partial-sum lanes (4 + tail) for the sweep-form batched forward
+    /// ([`crate::linear::Mlp::forward_batch_pret`]).
+    pub lanes: Matrix,
+    /// Chunk-level projection-head gradient accumulator.
+    pub proj_grad: MlpGrad,
+    /// Chunk-level sparse embedding gradient accumulator.
+    pub sink: SparseSink,
+}
+
+impl Default for TrainWorkspace {
+    fn default() -> Self {
+        Self {
+            h: Matrix::zeros(0, 0),
+            hidden: Matrix::zeros(0, 0),
+            pre: Matrix::zeros(0, 0),
+            z: Matrix::zeros(0, 0),
+            norms: Vec::new(),
+            dz: Matrix::zeros(0, 0),
+            logits: Vec::new(),
+            dpre: Matrix::zeros(0, 0),
+            dz_out: Matrix::zeros(0, 0),
+            dh: Matrix::zeros(0, 0),
+            dz_hidden: Matrix::zeros(0, 0),
+            dx: Matrix::zeros(0, 0),
+            row_demb: Vec::new(),
+            lanes: Matrix::zeros(0, 0),
+            proj_grad: MlpGrad::empty(),
+            sink: SparseSink::new(),
+        }
+    }
+}
+
+/// Reshapes `m` to `(rows × cols)`, reusing the allocation when only the
+/// row count changes. Exposed rows hold stale values — workspace buffers
+/// are fully overwritten before being read.
+fn ensure_mat(m: &mut Matrix, rows: usize, cols: usize) {
+    if m.cols() != cols {
+        *m = Matrix::zeros(rows, cols);
+    } else {
+        m.resize_rows(rows);
+    }
+}
+
+impl TrainWorkspace {
+    /// An unshaped workspace; [`ensure`](Self::ensure) shapes it on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shapes every buffer for a chunk of `rows` bags against projection
+    /// head `proj` and a `vocab_size`-row embedding table, with at most
+    /// `max_logits` InfoNCE logits per example. Allocates only when a
+    /// dimension grows or changes; steady-state training reshapes for
+    /// free.
+    pub fn ensure(&mut self, proj: &Mlp, vocab_size: usize, rows: usize, max_logits: usize) {
+        let in_dim = proj.hidden.in_dim();
+        let hid_dim = proj.hidden.out_dim();
+        let out_dim = proj.out.out_dim();
+        ensure_mat(&mut self.h, rows, in_dim);
+        ensure_mat(&mut self.hidden, rows, hid_dim);
+        ensure_mat(&mut self.pre, rows, out_dim);
+        ensure_mat(&mut self.z, rows, out_dim);
+        ensure_mat(&mut self.dz, rows, out_dim);
+        self.norms.resize(rows, 0.0);
+        if self.logits.len() < max_logits {
+            self.logits.resize(max_logits, 0.0);
+        }
+        ensure_mat(&mut self.dpre, rows, out_dim);
+        ensure_mat(&mut self.dz_out, rows, out_dim);
+        ensure_mat(&mut self.dh, rows, hid_dim);
+        ensure_mat(&mut self.dz_hidden, rows, hid_dim);
+        ensure_mat(&mut self.dx, rows, in_dim);
+        self.row_demb.resize(in_dim, 0.0);
+        ensure_mat(&mut self.lanes, 5, hid_dim.max(out_dim));
+        self.proj_grad.ensure_like(proj);
+        self.sink.ensure(vocab_size, in_dim);
+    }
+
+    /// Zeroes the gradient accumulators for a new chunk. Forward and
+    /// per-row buffers are left as-is: the kernel overwrites every element
+    /// it reads, which the stale-buffer proptest in
+    /// `tests/par_determinism.rs` pins down.
+    pub fn reset(&mut self) {
+        self.proj_grad.reset();
+        self.sink.clear();
+    }
+}
+
+/// The per-chunk workspace set for one training loop: chunk `c` of every
+/// batch uses `chunks[c]`, so concurrent chunk kernels never share mutable
+/// buffers and reuse is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct TrainWorkspaces {
+    /// One workspace per batch chunk.
+    pub chunks: Vec<TrainWorkspace>,
+}
+
+impl TrainWorkspaces {
+    /// `n` unshaped workspaces (one per chunk a batch can split into).
+    pub fn new(n: usize) -> Self {
+        Self {
+            chunks: (0..n).map(|_| TrainWorkspace::new()).collect(),
+        }
+    }
+}

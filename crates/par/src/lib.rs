@@ -192,9 +192,9 @@ impl Pool {
     /// [`ranges_map_ordered`](Self::ranges_map_ordered) with an explicit
     /// chunk length (same contract as
     /// [`chunks_map_ordered_with`](Self::chunks_map_ordered_with): `cl`
-    /// must be a function of `len` alone). This is the crate's single
-    /// dispatch loop — every other mapping primitive is a shim over it.
-    // ultra-lint: hot
+    /// must be a function of `len` alone). Uniform boundaries are
+    /// materialized once and handed to [`bounds_map_ordered`]
+    /// (Self::bounds_map_ordered), the crate's single dispatch loop.
     pub fn ranges_map_ordered_with<R, F>(&self, len: usize, cl: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -205,13 +205,33 @@ impl Pool {
         }
         let cl = cl.max(1);
         let nchunks = len.div_ceil(cl);
+        let bounds: Vec<Range<usize>> = (0..nchunks)
+            .map(|c| (c * cl)..((c + 1) * cl).min(len))
+            .collect();
+        self.bounds_map_ordered(&bounds, f)
+    }
+
+    /// Maps explicit chunk `bounds` through `f` and concatenates outputs in
+    /// chunk order. `bounds` MUST be a pure function of the input (length
+    /// and/or item costs — see [`weighted_boundaries`]), never of the
+    /// thread count. This is the crate's single dispatch loop — every
+    /// other mapping primitive is a shim over it.
+    // ultra-lint: hot
+    pub fn bounds_map_ordered<R, F>(&self, bounds: &[Range<usize>], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> Vec<R> + Sync,
+    {
+        let nchunks = bounds.len();
+        if nchunks == 0 {
+            return Vec::new();
+        }
         let workers = self.threads.min(nchunks);
         if workers <= 1 {
             // Same chunked traversal as the parallel path, in chunk order.
-            let mut out = Vec::with_capacity(len);
-            for c in 0..nchunks {
-                let start = c * cl;
-                out.extend(f(start..(start + cl).min(len)));
+            let mut out = Vec::new();
+            for r in bounds {
+                out.extend(f(r.start..r.end));
             }
             return out;
         }
@@ -225,13 +245,13 @@ impl Pool {
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
+                let bounds = &*bounds;
                 s.spawn(move || loop {
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     if c >= nchunks {
                         break;
                     }
-                    let start = c * cl;
-                    let out = f(start..(start + cl).min(len));
+                    let out = f(bounds[c].start..bounds[c].end);
                     if tx.send((c, out)).is_err() {
                         break;
                     }
@@ -248,6 +268,85 @@ impl Pool {
             }
         });
         slots.into_iter().flatten().flatten().collect()
+    }
+
+    /// Maps each item through `f` in input order, with chunk boundaries
+    /// derived from per-item `cost` estimates via [`weighted_boundaries`]
+    /// instead of uniform lengths. Use when item work is skewed (a training
+    /// example's cost scales with bag length × negative count) so a uniform
+    /// split would leave one chunk carrying most of the work.
+    ///
+    /// Boundaries depend only on `items` (through `cost`), never on the
+    /// worker count, so output is bit-identical at any thread count.
+    pub fn map_ordered_weighted<T, R, C, F>(&self, items: &[T], cost: C, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        C: Fn(&T) -> u64,
+        F: Fn(&T) -> R + Sync,
+    {
+        let costs: Vec<u64> = items.iter().map(&cost).collect();
+        let bounds = weighted_boundaries(&costs, MAX_CHUNKS);
+        self.bounds_map_ordered(&bounds, |r| r.map(|i| f(&items[i])).collect())
+    }
+
+    /// Runs `body` with a team of `threads - 1` persistent workers, each
+    /// executing `kernel` on jobs submitted to its private lane. Unlike the
+    /// per-call primitives above, the workers live for the whole `body`
+    /// invocation, so a training loop dispatching thousands of small
+    /// batches pays the ~100µs spawn cost once instead of per batch.
+    ///
+    /// Determinism is the caller's contract: the team moves jobs and
+    /// results verbatim and imposes no ordering of its own, so callers must
+    /// (a) derive the job split from the input alone and (b) reassemble
+    /// results by job identity, exactly as with [`weighted_boundaries`].
+    /// With one thread the team has zero workers and the caller runs every
+    /// job inline — the same code path the contract is validated against.
+    ///
+    /// A panicking `kernel` is relayed: the payload is captured, sent back,
+    /// and re-raised on the thread that calls [`WorkerTeam::recv`]. A lane
+    /// whose worker died rejects further submissions (`submit` hands the
+    /// job back) so callers can fall back to running the job inline.
+    pub fn with_worker_team<J, R, F, B, T>(&self, kernel: F, body: B) -> T
+    where
+        J: Send,
+        R: Send,
+        F: Fn(J) -> R + Sync,
+        B: FnOnce(&WorkerTeam<J, R>) -> T,
+    {
+        let workers = self.threads.saturating_sub(1);
+        let (rtx, rrx) = mpsc::channel();
+        if workers == 0 {
+            drop(rtx);
+            return body(&WorkerTeam {
+                txs: Vec::new(),
+                rx: rrx,
+            });
+        }
+        std::thread::scope(|s| {
+            let kernel = &kernel;
+            let mut txs = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (jtx, jrx) = mpsc::channel::<J>();
+                txs.push(jtx);
+                let rtx = rtx.clone();
+                s.spawn(move || {
+                    while let Ok(job) = jrx.recv() {
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| kernel(job)));
+                        let died = out.is_err();
+                        if rtx.send(out).is_err() || died {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(rtx);
+            let team = WorkerTeam { txs, rx: rrx };
+            body(&team)
+            // `team` drops here: job senders close, workers drain and exit,
+            // and the scope joins them (re-raising any unrelayed panic).
+        })
     }
 
     /// Maps each item through `f`, preserving input order.
@@ -294,6 +393,84 @@ impl Pool {
         });
         combine_tree(accs, &combine).unwrap_or_else(init)
     }
+}
+
+/// A panic payload captured on a worker thread, relayed to the consumer.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Handle to the persistent workers of [`Pool::with_worker_team`]. Each
+/// worker owns a private job lane; all workers share one result channel.
+pub struct WorkerTeam<J, R> {
+    txs: Vec<mpsc::Sender<J>>,
+    rx: mpsc::Receiver<Result<R, PanicPayload>>,
+}
+
+impl<J, R> WorkerTeam<J, R> {
+    /// Number of live lanes (`pool.threads() - 1`; zero at one thread, in
+    /// which case the caller runs every job inline).
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Sends `job` to worker `lane`. Returns the job back if the lane does
+    /// not exist or its worker has died (panicked), so the caller can run
+    /// it inline — which yields identical bits, since workers add nothing
+    /// to the computation.
+    pub fn submit(&self, lane: usize, job: J) -> Result<(), J> {
+        match self.txs.get(lane) {
+            Some(tx) => tx.send(job).map_err(|mpsc::SendError(j)| j),
+            None => Err(job),
+        }
+    }
+
+    /// Receives one completed result, in completion order (callers
+    /// reassemble by job identity). Re-raises a worker panic here, on the
+    /// consuming thread, instead of deadlocking the result loop. Returns
+    /// `None` only once every worker has exited.
+    pub fn recv(&self) -> Option<R> {
+        match self.rx.recv() {
+            Ok(Ok(r)) => Some(r),
+            Ok(Err(payload)) => std::panic::resume_unwind(payload),
+            Err(_) => None,
+        }
+    }
+}
+
+/// Splits `costs.len()` items into at most `max_chunks` contiguous ranges
+/// whose summed costs are approximately balanced: a greedy scan closes a
+/// chunk once it has absorbed `ceil(total / max_chunks)` cost. Zero costs
+/// are treated as 1 so every item contributes and empty chunks cannot
+/// occur.
+///
+/// The boundaries are a pure function of `costs` (never of the thread
+/// count), making this the cost-weighted analogue of [`chunk_len`]: work
+/// split along these ranges and reassembled in range order is bit-identical
+/// at any worker count. At most `max_chunks` ranges are returned: every
+/// closed chunk carries at least the target cost, so more than
+/// `max_chunks - 1` of them cannot close before the total is exhausted.
+pub fn weighted_boundaries(costs: &[u64], max_chunks: usize) -> Vec<Range<usize>> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_chunks = max_chunks.max(1) as u64;
+    let total: u64 = costs.iter().map(|&c| c.max(1)).sum();
+    let target = total.div_ceil(max_chunks);
+    let mut bounds = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c.max(1);
+        if acc >= target {
+            bounds.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        bounds.push(start..n);
+    }
+    bounds
 }
 
 /// Combines accumulators pairwise, level by level, in a fixed order.
@@ -521,6 +698,104 @@ mod tests {
     fn pool_clamps_worker_count() {
         assert_eq!(Pool::new(0).threads(), 1);
         assert_eq!(Pool::new(100_000).threads(), 256);
+    }
+
+    #[test]
+    fn weighted_boundaries_cover_input_in_order() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![5],
+            vec![1, 1, 1, 1],
+            vec![100, 1, 1, 1, 1, 1, 1, 100],
+            vec![0, 0, 0, 0, 0, 0, 0],
+            (0..1000).map(|i| (i % 17) as u64).collect(),
+        ];
+        for costs in &cases {
+            for max in [1usize, 2, 4, 64] {
+                let bounds = weighted_boundaries(costs, max);
+                assert!(bounds.len() <= max, "{costs:?} split into {bounds:?}");
+                let mut next = 0;
+                for r in &bounds {
+                    assert_eq!(r.start, next, "gap/overlap in {bounds:?}");
+                    assert!(r.end > r.start, "empty chunk in {bounds:?}");
+                    next = r.end;
+                }
+                assert_eq!(next, costs.len(), "items dropped in {bounds:?}");
+                // Pure function of the input: same costs, same boundaries.
+                assert_eq!(bounds, weighted_boundaries(costs, max));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_map_matches_uniform_map_bitwise() {
+        let items: Vec<f32> = (0..3000).map(|i| (i as f32).sin() * 10.0).collect();
+        let expect: Vec<u32> = Pool::new(1)
+            .map_ordered(&items, |x| (x * 1.0001 + 3.7).to_bits())
+            .to_vec();
+        for t in [1usize, 2, 8] {
+            let got = Pool::new(t).map_ordered_weighted(
+                &items,
+                |x| (x.abs() * 100.0) as u64,
+                |x| (x * 1.0001 + 3.7).to_bits(),
+            );
+            assert_eq!(got, expect, "diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn worker_team_round_trips_jobs_on_every_lane() {
+        for t in [2usize, 4, 8] {
+            let pool = Pool::new(t);
+            let n_jobs = 37usize;
+            let mut got = pool.with_worker_team(
+                |j: usize| (j, j * j),
+                |team| {
+                    assert_eq!(team.workers(), t - 1);
+                    let mut pending = 0;
+                    for j in 0..n_jobs {
+                        assert!(team.submit(j % team.workers(), j).is_ok());
+                        pending += 1;
+                    }
+                    let mut out = Vec::new();
+                    for _ in 0..pending {
+                        match team.recv() {
+                            Some(r) => out.push(r),
+                            None => break,
+                        }
+                    }
+                    out
+                },
+            );
+            got.sort_unstable();
+            let expect: Vec<(usize, usize)> = (0..n_jobs).map(|j| (j, j * j)).collect();
+            assert_eq!(got, expect, "lost or corrupted jobs at {t} threads");
+        }
+    }
+
+    #[test]
+    fn worker_team_has_no_workers_at_one_thread() {
+        Pool::new(1).with_worker_team(
+            |j: usize| j,
+            |team| {
+                assert_eq!(team.workers(), 0);
+                // No lanes: submit hands the job back for inline execution.
+                assert_eq!(team.submit(0, 42), Err(42));
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel exploded")]
+    fn worker_team_relays_worker_panics_to_recv() {
+        Pool::new(2).with_worker_team(
+            |_j: usize| -> usize { panic!("kernel exploded") },
+            |team| {
+                assert!(team.submit(0, 1).is_ok());
+                let _ = team.recv();
+            },
+        );
     }
 
     #[test]

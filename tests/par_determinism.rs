@@ -92,6 +92,125 @@ fn contrastive_loss_curves_are_bit_identical_at_every_thread_count() {
     }
 }
 
+mod fused_training_props {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+    use ultrawiki::core::TokenId;
+    use ultrawiki::embed::{contrastive_batch_step_pooled, ContrastiveExample};
+    use ultrawiki::nn::TrainWorkspaces;
+
+    /// One shared frozen base; every case mutates clones only.
+    fn base_encoder() -> &'static (World, EntityEncoder) {
+        static BASE: OnceLock<(World, EntityEncoder)> = OnceLock::new();
+        BASE.get_or_init(|| {
+            let w = world();
+            let enc = EntityEncoder::new(&w, quick_encoder());
+            (w, enc)
+        })
+    }
+
+    type RawExample = (Vec<u32>, Vec<u32>, Vec<Vec<u32>>, u8);
+
+    fn raw_batches() -> impl Strategy<Value = Vec<RawExample>> {
+        let bag = || prop::collection::vec(0u32..10_000, 1..8);
+        prop::collection::vec(
+            (bag(), bag(), prop::collection::vec(bag(), 1..5), 0u8..3),
+            1..13,
+        )
+    }
+
+    fn build_examples(raw: &[RawExample], vocab: usize) -> Vec<ContrastiveExample> {
+        let tok = |t: u32| TokenId::new(t % vocab as u32);
+        raw.iter()
+            .map(|(a, p, ns, wmode)| {
+                let neg_bags: Vec<Vec<TokenId>> = ns
+                    .iter()
+                    .map(|b| b.iter().map(|&t| tok(t)).collect())
+                    .collect();
+                let weights = if *wmode == 0 {
+                    None
+                } else {
+                    Some(
+                        (0..neg_bags.len())
+                            .map(|k| 1.0 + f32::from(*wmode) * 0.25 * (k as f32 + 1.0))
+                            .collect(),
+                    )
+                };
+                ContrastiveExample {
+                    anchor_bag: a.iter().map(|&t| tok(t)).collect(),
+                    pos_bag: p.iter().map(|&t| tok(t)).collect(),
+                    neg_bags,
+                    weights,
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// The fused batched gradient step — sequential and through the
+        /// persistent worker team at several thread counts — must be
+        /// bitwise identical to the per-example reference step, across
+        /// batch sizes, negative counts, weighted/unweighted examples,
+        /// and *repeated workspace reuse* (the middle half-batch step
+        /// shrinks every buffer, so stale rows would leak into the third
+        /// step if reuse were unsound).
+        #[test]
+        fn fused_batched_step_is_bit_identical_to_reference(raw in raw_batches()) {
+            let (w, base) = base_encoder();
+            let examples = build_examples(&raw, w.vocab.len());
+            let half = &examples[..examples.len().div_ceil(2)];
+
+            let mut enc_ref = base.clone();
+            let ref_losses = [
+                enc_ref.contrastive_batch_step_reference(&examples),
+                enc_ref.contrastive_batch_step_reference(half),
+                enc_ref.contrastive_batch_step_reference(&examples),
+            ];
+            let ref_fp = enc_ref.params_fingerprint();
+
+            let mut enc_seq = base.clone();
+            let mut wss = TrainWorkspaces::new(4);
+            let seq_losses = [
+                enc_seq.contrastive_batch_step_fused(&examples, &mut wss),
+                enc_seq.contrastive_batch_step_fused(half, &mut wss),
+                enc_seq.contrastive_batch_step_fused(&examples, &mut wss),
+            ];
+            for (a, b) in ref_losses.iter().zip(&seq_losses) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "fused loss diverged: {} vs {}", a, b);
+            }
+            prop_assert_eq!(enc_seq.params_fingerprint(), ref_fp, "fused params diverged");
+
+            for threads in [1usize, 2, 8] {
+                let pool = Pool::new(threads);
+                let mut enc_pool = base.clone();
+                let mut wss = TrainWorkspaces::new(4);
+                let pool_losses = [
+                    contrastive_batch_step_pooled(&mut enc_pool, &examples, &pool, &mut wss),
+                    contrastive_batch_step_pooled(&mut enc_pool, half, &pool, &mut wss),
+                    contrastive_batch_step_pooled(&mut enc_pool, &examples, &pool, &mut wss),
+                ];
+                for (a, b) in ref_losses.iter().zip(&pool_losses) {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "pooled loss diverged at {} threads: {} vs {}",
+                        threads,
+                        a,
+                        b
+                    );
+                }
+                prop_assert_eq!(
+                    enc_pool.params_fingerprint(),
+                    ref_fp,
+                    "params diverged at {} threads",
+                    threads
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_eval_matches_sequential_eval_bitwise() {
     let world = world();
