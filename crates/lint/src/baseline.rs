@@ -366,6 +366,7 @@ mod tests {
             suggestion: "",
             chain: Vec::new(),
             origin: None,
+            region: None,
         }
     }
 

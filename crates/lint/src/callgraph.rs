@@ -1,9 +1,19 @@
 //! Workspace call graph and the interprocedural rules L7–L9.
 //!
-//! Name resolution is heuristic and layered: a call from file `F` in crate
-//! `C` to `name` resolves to (1) every non-test `fn name` in `F` itself,
-//! else (2) every one in `C`, else (3) every one in a workspace crate that
-//! `F` imports (`use ultra_<k>::…` / `use ultrawiki::…`). Anything else is
+//! Name resolution is heuristic and layered. Method calls whose receiver
+//! can be *typed* — `self` (the enclosing `impl` target), a typed param or
+//! `let` binding, or a same-file struct field — resolve through the
+//! workspace-wide `(type, method)` impl index: a hit is an edge, a typed
+//! miss on a workspace type stays unresolved, and a typed miss on a foreign
+//! type (`Vec`, `HashMap`, `TcpStream`, …) is *external* — known
+//! out-of-workspace, neither an edge nor noise in the unresolved count.
+//! Smart-pointer receivers (`Arc`, `Box`, …) auto-deref, so they fall back
+//! to the name layering below rather than being misclassified as foreign.
+//!
+//! Everything else resolves by name: a call from file `F` in crate `C` to
+//! `name` resolves to (1) every non-test `fn name` in `F` itself, else (2)
+//! every one in `C`, else (3) every one in a workspace crate that `F`
+//! imports (`use ultra_<k>::…` / `use ultrawiki::…`). Anything else is
 //! *unresolved*: counted in [`CrossAnalysis::unresolved_calls`] and never
 //! traversed, so the graph over-approximates within the workspace and is
 //! explicit about what it cannot see (std / vendored deps). Multiple
@@ -26,9 +36,25 @@
 //! - **L9** flags allocation calls inside loop bodies of functions carrying
 //!   a `// ultra-lint: hot` marker.
 
-use crate::parser::{FileModel, LockKind, PanicKind};
+use crate::parser::{CallSite, FileModel, LockKind, PanicKind};
 use crate::rules::{ChainFrame, Diagnostic, Rule};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Smart pointers and cells that auto-deref to their payload: a receiver
+/// typed to one of these says nothing about where the method lives, so
+/// resolution falls back to the name layering instead of calling it
+/// foreign.
+const TRANSPARENT_TYPES: [&str; 6] = ["Arc", "Rc", "Box", "RefCell", "Ref", "RefMut"];
+
+/// How one call site relates to the workspace graph.
+pub(crate) enum Resolution {
+    /// Resolved to one or more workspace definitions (graph edges).
+    Workspace(Vec<FnId>),
+    /// Typed receiver on a foreign type — known external, not counted.
+    External,
+    /// No workspace definition found — counted, never traversed.
+    Unresolved,
+}
 
 /// Result of the cross-file analysis.
 pub struct CrossAnalysis {
@@ -49,12 +75,20 @@ pub(crate) struct Graph<'a> {
     pub(crate) models: &'a [FileModel],
     /// (crate key, fn name) → definitions, in (file, fn) order.
     by_crate: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
+    /// (impl target type, method name) → definitions, workspace-wide.
+    by_impl: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
+    /// Every type name the workspace defines (structs, enums, impl
+    /// targets) — the boundary between "unresolved" and "external".
+    type_defs: BTreeSet<&'a str>,
 }
 
 impl<'a> Graph<'a> {
     pub(crate) fn build(models: &'a [FileModel]) -> Graph<'a> {
         let mut by_crate: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut by_impl: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut type_defs: BTreeSet<&str> = BTreeSet::new();
         for (fi, m) in models.iter().enumerate() {
+            type_defs.extend(m.type_defs.iter().map(String::as_str));
             for (fj, f) in m.fns.iter().enumerate() {
                 if f.in_test || m.krate.is_empty() {
                     continue;
@@ -63,9 +97,64 @@ impl<'a> Graph<'a> {
                     .entry((m.krate.as_str(), f.name.as_str()))
                     .or_default()
                     .push((fi, fj));
+                if let Some(ty) = f.self_type.as_deref() {
+                    by_impl
+                        .entry((ty, f.name.as_str()))
+                        .or_default()
+                        .push((fi, fj));
+                }
             }
         }
-        Graph { models, by_crate }
+        Graph {
+            models,
+            by_crate,
+            by_impl,
+            type_defs,
+        }
+    }
+
+    /// The syntactic type of a receiver identifier inside one function, if
+    /// recoverable: `self` → impl target, then typed params/lets, then
+    /// same-file struct fields.
+    pub(crate) fn receiver_type(&self, file: usize, fnidx: usize, recv: &str) -> Option<&str> {
+        let m = &self.models[file];
+        let f = &m.fns[fnidx];
+        if recv == "self" {
+            return f.self_type.as_deref();
+        }
+        if let Some((_, t)) = f.local_types.iter().find(|(n, _)| n == recv) {
+            return Some(t);
+        }
+        m.field_types
+            .iter()
+            .find(|(n, _)| n == recv)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// Full resolution of one call site: typed-receiver impl lookup first,
+    /// name layering as the fallback (see the module docs).
+    pub(crate) fn resolve_site(&self, file: usize, fnidx: usize, call: &CallSite) -> Resolution {
+        if let Some(recv) = call.recv.as_deref() {
+            if let Some(ty) = self.receiver_type(file, fnidx, recv) {
+                if !TRANSPARENT_TYPES.contains(&ty) {
+                    if let Some(hits) = self.by_impl.get(&(ty, call.callee.as_str())) {
+                        return Resolution::Workspace(hits.clone());
+                    }
+                    if self.type_defs.contains(ty) {
+                        // A workspace type without that method in any impl:
+                        // derive-generated or trait-provided — unknown.
+                        return Resolution::Unresolved;
+                    }
+                    return Resolution::External;
+                }
+            }
+        }
+        let hits = self.resolve(file, &call.callee);
+        if hits.is_empty() {
+            Resolution::Unresolved
+        } else {
+            Resolution::Workspace(hits)
+        }
     }
 
     /// Resolves a call made in `file` to workspace definitions (see the
@@ -101,7 +190,7 @@ impl<'a> Graph<'a> {
     }
 
     /// Same-crate-only resolution (L8's scope: lock fields are per crate).
-    fn resolve_in_crate(&self, file: usize, callee: &str) -> Vec<FnId> {
+    pub(crate) fn resolve_in_crate(&self, file: usize, callee: &str) -> Vec<FnId> {
         let m = &self.models[file];
         let same_file: Vec<FnId> = m
             .fns
@@ -120,24 +209,26 @@ impl<'a> Graph<'a> {
     }
 }
 
-/// Runs L7, L8, and L9 over the per-file models of every library file.
+/// Runs L7, L8, L9, L13, and L14 over the per-file models of every library
+/// file.
 pub fn check_cross(models: &[FileModel]) -> CrossAnalysis {
     let graph = Graph::build(models);
     let mut diagnostics = Vec::new();
     check_panic_reachability(&graph, &mut diagnostics);
     check_lock_order(&graph, &mut diagnostics);
     check_hot_loops(models, &mut diagnostics);
+    crate::guards::check_guards(&graph, &mut diagnostics);
 
     let mut unresolved = 0usize;
     for (fi, m) in models.iter().enumerate() {
-        for f in &m.fns {
+        for (fj, f) in m.fns.iter().enumerate() {
             if f.in_test {
                 continue;
             }
             unresolved += f
                 .calls
                 .iter()
-                .filter(|c| graph.resolve(fi, &c.callee).is_empty())
+                .filter(|c| matches!(graph.resolve_site(fi, fj, c), Resolution::Unresolved))
                 .count();
         }
     }
@@ -211,13 +302,17 @@ fn check_panic_reachability(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
                                  here kills a worker; waive only with a bounds/invariant proof",
                     chain: chain_to(graph, &parent, entry, id),
                     origin: None,
+                    region: None,
                 });
             }
             for call in &f.calls {
                 if call.guarded {
                     continue;
                 }
-                for target in graph.resolve(id.0, &call.callee) {
+                let Resolution::Workspace(targets) = graph.resolve_site(id.0, id.1, call) else {
+                    continue;
+                };
+                for target in targets {
                     if seen.insert(target) {
                         parent.insert(target, id);
                         queue.push_back(target);
@@ -415,6 +510,7 @@ fn check_lock_order(graph: &Graph<'_>, out: &mut Vec<Diagnostic>) {
                              into code that takes the other",
                 chain: Vec::new(),
                 origin: None,
+                region: None,
             });
         }
     }
@@ -442,6 +538,7 @@ fn check_hot_loops(models: &[FileModel], out: &mut Vec<Diagnostic>) {
                                  operation outside the loop",
                     chain: Vec::new(),
                     origin: None,
+                    region: None,
                 });
             }
         }

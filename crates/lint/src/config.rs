@@ -1,4 +1,5 @@
-//! The `lint.toml` allowlist and sanitizer registry.
+//! The `lint.toml` allowlist, sanitizer registry, and symmetry-pair
+//! registry.
 //!
 //! Format (a TOML subset parsed without external crates — the build
 //! environment has no crates.io access):
@@ -13,12 +14,20 @@
 //! [[sanitizer]]
 //! function = "canonical_order"
 //! reason = "sorts by (score, id) before returning"
+//!
+//! [[symmetry_pair]]
+//! writer = "dump_postings"
+//! reader = "load_postings"
+//! reason = "the postings section of the USNP format"
 //! ```
 //!
 //! `[[allow]]` waives one finding; `[[sanitizer]]` teaches the L10 taint
 //! pass that a workspace function kills order-taint (its result no longer
 //! depends on iteration order), so every flow through it is clean — a
 //! stronger, reviewable claim than waiving each downstream sink.
+//! `[[symmetry_pair]]` declares a writer/reader pair for the L15
+//! serialization-symmetry check when the names don't follow the
+//! `to_bytes`/`from_bytes` or `write_X`/`read_X` conventions.
 //!
 //! Every entry must carry a non-empty `reason`: a waiver without a
 //! justification is a violation of the policy, not an exception to it.
@@ -57,6 +66,18 @@ pub struct SanitizerEntry {
     pub reason: String,
 }
 
+/// One `[[symmetry_pair]]` entry: a writer/reader pair L15 diffs even
+/// though the names don't follow the pairing conventions.
+#[derive(Clone, Debug)]
+pub struct SymmetryPairEntry {
+    /// Writer function name (bare identifier).
+    pub writer: String,
+    /// Reader function name (bare identifier).
+    pub reader: String,
+    /// What format the pair serializes (required, non-empty).
+    pub reason: String,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
@@ -64,6 +85,8 @@ pub struct Allowlist {
     pub entries: Vec<AllowEntry>,
     /// All `[[sanitizer]]` entries, in file order.
     pub sanitizers: Vec<SanitizerEntry>,
+    /// All `[[symmetry_pair]]` entries, in file order.
+    pub symmetry_pairs: Vec<SymmetryPairEntry>,
 }
 
 /// A `lint.toml` parse failure, with its 1-based line.
@@ -94,10 +117,15 @@ type PartialAllow = (
 /// A `[[sanitizer]]` entry mid-parse: (function, reason, header line).
 type PartialSanitizer = (Option<String>, Option<String>, u32);
 
+/// A `[[symmetry_pair]]` entry mid-parse: (writer, reader, reason,
+/// header line).
+type PartialPair = (Option<String>, Option<String>, Option<String>, u32);
+
 /// Which table the parser is inside.
 enum Current {
     Allow(PartialAllow),
     Sanitizer(PartialSanitizer),
+    SymmetryPair(PartialPair),
 }
 
 impl Allowlist {
@@ -121,11 +149,17 @@ impl Allowlist {
                 current = Some(Current::Sanitizer((None, None, lineno)));
                 continue;
             }
+            if line == "[[symmetry_pair]]" {
+                finish(current.take(), &mut out)?;
+                current = Some(Current::SymmetryPair((None, None, None, lineno)));
+                continue;
+            }
             if line.starts_with('[') {
                 return Err(ConfigError {
                     line: lineno,
                     message: format!(
-                        "unknown table `{line}` (only [[allow]] and [[sanitizer]] are supported)"
+                        "unknown table `{line}` (only [[allow]], [[sanitizer]], and \
+                         [[symmetry_pair]] are supported)"
                     ),
                 });
             }
@@ -141,7 +175,9 @@ impl Allowlist {
                 None => {
                     return Err(ConfigError {
                         line: lineno,
-                        message: "key outside any [[allow]] or [[sanitizer]] entry".into(),
+                        message: "key outside any [[allow]], [[sanitizer]], or [[symmetry_pair]] \
+                                  entry"
+                            .into(),
                     });
                 }
                 Some(Current::Allow(cur)) => match key {
@@ -170,25 +206,23 @@ impl Allowlist {
                     }
                 },
                 Some(Current::Sanitizer(cur)) => match key {
-                    "function" => {
-                        let name = parse_string(value, lineno)?;
-                        if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                            || name.is_empty()
-                        {
-                            return Err(ConfigError {
-                                line: lineno,
-                                message: format!(
-                                    "`function` must be a bare function name, got `{name}`"
-                                ),
-                            });
-                        }
-                        cur.0 = Some(name);
-                    }
+                    "function" => cur.0 = Some(parse_ident(value, lineno, "function")?),
                     "reason" => cur.1 = Some(parse_string(value, lineno)?),
                     other => {
                         return Err(ConfigError {
                             line: lineno,
                             message: format!("unknown key `{other}` in [[sanitizer]]"),
+                        });
+                    }
+                },
+                Some(Current::SymmetryPair(cur)) => match key {
+                    "writer" => cur.0 = Some(parse_ident(value, lineno, "writer")?),
+                    "reader" => cur.1 = Some(parse_ident(value, lineno, "reader")?),
+                    "reason" => cur.2 = Some(parse_string(value, lineno)?),
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown key `{other}` in [[symmetry_pair]]"),
                         });
                     }
                 },
@@ -250,7 +284,51 @@ fn finish(cur: Option<Current>, out: &mut Allowlist) -> Result<(), ConfigError> 
             out.sanitizers.push(SanitizerEntry { function, reason });
             Ok(())
         }
+        Some(Current::SymmetryPair((writer, reader, reason, at))) => {
+            let err = |message: String| ConfigError { line: at, message };
+            let writer = writer.ok_or_else(|| err("entry is missing `writer`".into()))?;
+            let reader = reader.ok_or_else(|| err("entry is missing `reader`".into()))?;
+            let reason = reason.ok_or_else(|| err("entry is missing `reason`".into()))?;
+            if reason.trim().is_empty() {
+                return Err(err("`reason` must not be empty".into()));
+            }
+            if writer == reader {
+                return Err(err(format!(
+                    "`writer` and `reader` are both `{writer}` — a function cannot pair \
+                     with itself"
+                )));
+            }
+            if out
+                .symmetry_pairs
+                .iter()
+                .any(|p| p.writer == writer && p.reader == reader)
+            {
+                return Err(err(format!(
+                    "duplicate [[symmetry_pair]] entry for `{writer}`/`{reader}`"
+                )));
+            }
+            out.symmetry_pairs.push(SymmetryPairEntry {
+                writer,
+                reader,
+                reason,
+            });
+            Ok(())
+        }
     }
+}
+
+/// Parses a double-quoted string that must be a bare `fn` identifier (no
+/// paths, no generics — both the sanitizer and symmetry registries match
+/// by call-site name).
+fn parse_ident(value: &str, line: u32, key: &str) -> Result<String, ConfigError> {
+    let name = parse_string(value, line)?;
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(ConfigError {
+            line,
+            message: format!("`{key}` must be a bare function name, got `{name}`"),
+        });
+    }
+    Ok(name)
 }
 
 /// Strips a `#` comment, respecting `#` inside double-quoted strings.
@@ -312,6 +390,7 @@ reason = "feeds a commutative integer sum"
             suggestion: "",
             chain: Vec::new(),
             origin: None,
+            region: None,
         };
         assert!(list.entries[0].matches(&d));
         assert!(!list.entries[1].matches(&d));
@@ -325,6 +404,7 @@ reason = "feeds a commutative integer sum"
             suggestion: "",
             chain: Vec::new(),
             origin: None,
+            region: None,
         };
         assert!(list.entries[1].matches(&d2));
     }
@@ -402,5 +482,48 @@ reason = "fine"
         // Unknown key inside [[sanitizer]].
         let bad = "[[sanitizer]]\nfunction = \"f\"\npath = \"x.rs\"\nreason = \"r\"\n";
         assert!(Allowlist::parse(bad).is_err());
+    }
+
+    #[test]
+    fn symmetry_pair_entries_parse_and_validate() {
+        let toml = r#"
+[[symmetry_pair]]
+writer = "dump_postings"
+reader = "load_postings"
+reason = "the postings section of the USNP format"
+"#;
+        let list = Allowlist::parse(toml).expect("parses");
+        assert_eq!(list.symmetry_pairs.len(), 1);
+        assert_eq!(list.symmetry_pairs[0].writer, "dump_postings");
+        assert_eq!(list.symmetry_pairs[0].reader, "load_postings");
+
+        // Missing reader.
+        let bad = "[[symmetry_pair]]\nwriter = \"w\"\nreason = \"r\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+        // Missing reason.
+        let bad = "[[symmetry_pair]]\nwriter = \"w\"\nreader = \"r\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+        // Not a bare identifier.
+        let bad = "[[symmetry_pair]]\nwriter = \"A::dump\"\nreader = \"r\"\nreason = \"x\"\n";
+        let err = Allowlist::parse(bad).unwrap_err();
+        assert!(
+            err.message.contains("bare function name"),
+            "{}",
+            err.message
+        );
+        // Writer pairing with itself.
+        let bad = "[[symmetry_pair]]\nwriter = \"f\"\nreader = \"f\"\nreason = \"x\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+        // Duplicate pair.
+        let one = "[[symmetry_pair]]\nwriter = \"w\"\nreader = \"r\"\nreason = \"x\"\n";
+        let err = Allowlist::parse(&format!("{one}\n{one}")).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{}", err.message);
+        // Unknown key.
+        let bad =
+            "[[symmetry_pair]]\nwriter = \"w\"\nreader = \"r\"\nfoo = \"x\"\nreason = \"y\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+        // Unknown-table error names all three tables.
+        let err = Allowlist::parse("[[nope]]\n").unwrap_err();
+        assert!(err.message.contains("[[symmetry_pair]]"), "{}", err.message);
     }
 }

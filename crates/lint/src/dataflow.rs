@@ -118,6 +118,9 @@ pub struct Stmt {
     /// `let` with a `BTreeMap`/`BTreeSet` type ascription — sanitizes
     /// order-taint like a `collect::<BTreeMap<…>>()` turbofish.
     pub btree_let: bool,
+    /// Whether the statement sits inside any `for`/`while`/`loop` body —
+    /// L15 uses this to distinguish repeated from one-shot width ops.
+    pub in_loop: bool,
 }
 
 /// A flattened expression: the identifiers it reads and the calls it makes.
@@ -244,7 +247,9 @@ pub fn extract_flow(
         return flow;
     }
 
-    let mut loop_stack: Vec<Option<u32>> = Vec::new();
+    // One frame per open control block: the hash-`for` line (L12) and
+    // whether the frame is a loop at all (L15's `in_loop`).
+    let mut loop_stack: Vec<(Option<u32>, bool)> = Vec::new();
     let mut seg: Vec<usize> = Vec::new();
     let mut depth = 0i32; // paren/bracket depth within the current segment
     let mut i = body.start + 1;
@@ -265,8 +270,9 @@ pub fn extract_flow(
             TokKind::Punct('{') if depth == 0 => {
                 let head = seg.first().and_then(|&k| toks[k].ident());
                 if seg.is_empty() || head.is_some_and(|h| CONTROL_KEYWORDS.contains(&h)) {
+                    let is_loop = head.is_some_and(|h| matches!(h, "for" | "while" | "loop"));
                     let hash_for = flush_control_head(toks, &mut seg, &loop_stack, &mut flow);
-                    loop_stack.push(hash_for);
+                    loop_stack.push((hash_for, is_loop));
                 } else {
                     // Expression brace (struct literal, `let x = if … {…}`,
                     // match-in-let): absorb the balanced group — union
@@ -357,8 +363,13 @@ fn parse_params(toks: &[Tok], sig: &Range<usize>) -> Vec<Param> {
 }
 
 /// Innermost enclosing hash-ordered `for` line, if any.
-fn cur_hash_loop(loop_stack: &[Option<u32>]) -> Option<u32> {
-    loop_stack.iter().rev().find_map(|x| *x)
+fn cur_hash_loop(loop_stack: &[(Option<u32>, bool)]) -> Option<u32> {
+    loop_stack.iter().rev().find_map(|x| x.0)
+}
+
+/// Whether any enclosing control frame is a loop.
+fn cur_in_loop(loop_stack: &[(Option<u32>, bool)]) -> bool {
+    loop_stack.iter().any(|x| x.1)
 }
 
 /// Pattern identifiers (excluding `mut`/`ref`/`_` and path-like segments).
@@ -424,7 +435,7 @@ fn top_level_colon(toks: &[Tok], seg: &[usize], before: usize) -> Option<usize> 
 fn flush_stmt(
     toks: &[Tok],
     seg: &mut Vec<usize>,
-    loop_stack: &[Option<u32>],
+    loop_stack: &[(Option<u32>, bool)],
     flow: &mut FnFlow,
     is_tail: bool,
 ) {
@@ -433,6 +444,7 @@ fn flush_stmt(
     }
     let line = toks[seg[0]].line;
     let hash_loop = cur_hash_loop(loop_stack);
+    let in_loop = cur_in_loop(loop_stack);
     let head = toks[seg[0]].ident().unwrap_or("");
     let stmt = if head == "let" {
         let eq = top_level_assign(toks, seg).map(|(s, _)| s);
@@ -464,6 +476,7 @@ fn flush_stmt(
             expr,
             compound_float_op: false,
             hash_loop,
+            in_loop,
             btree_let,
         }
     } else if head == "return" {
@@ -474,6 +487,7 @@ fn flush_stmt(
             expr: parse_expr(toks, &seg[1..]),
             compound_float_op: false,
             hash_loop,
+            in_loop,
             btree_let: false,
         }
     } else if let Some((pos, op)) = top_level_assign(toks, seg) {
@@ -506,6 +520,7 @@ fn flush_stmt(
             expr,
             compound_float_op,
             hash_loop,
+            in_loop,
             btree_let: false,
         }
     } else {
@@ -520,6 +535,7 @@ fn flush_stmt(
             expr: parse_expr(toks, seg),
             compound_float_op: false,
             hash_loop,
+            in_loop,
             btree_let: false,
         }
     };
@@ -533,7 +549,7 @@ fn flush_stmt(
 fn flush_control_head(
     toks: &[Tok],
     seg: &mut Vec<usize>,
-    loop_stack: &[Option<u32>],
+    loop_stack: &[(Option<u32>, bool)],
     flow: &mut FnFlow,
 ) -> Option<u32> {
     if seg.is_empty() {
@@ -541,6 +557,7 @@ fn flush_control_head(
     }
     let line = toks[seg[0]].line;
     let hash_loop = cur_hash_loop(loop_stack);
+    let in_loop = cur_in_loop(loop_stack);
     let head = toks[seg[0]].ident().unwrap_or("");
     let mut hash_for = None;
     match head {
@@ -569,6 +586,7 @@ fn flush_control_head(
                 expr,
                 compound_float_op: false,
                 hash_loop,
+                in_loop,
                 btree_let: false,
             });
         }
@@ -584,6 +602,7 @@ fn flush_control_head(
                     expr: parse_expr(toks, &seg[eq + 1..]),
                     compound_float_op: false,
                     hash_loop,
+                    in_loop,
                     btree_let: false,
                 },
                 _ => Stmt {
@@ -593,6 +612,7 @@ fn flush_control_head(
                     expr: parse_expr(toks, &seg[1..]),
                     compound_float_op: false,
                     hash_loop,
+                    in_loop,
                     btree_let: false,
                 },
             };
@@ -605,6 +625,7 @@ fn flush_control_head(
             expr: parse_expr(toks, &seg[1..]),
             compound_float_op: false,
             hash_loop,
+            in_loop,
             btree_let: false,
         }),
         // `loop` / `unsafe` heads carry no expression.
@@ -1259,6 +1280,7 @@ impl<'a> FnEval<'a> {
                 path: origin.path.clone(),
                 line: origin.line,
             }),
+            region: None,
         });
     }
 }
@@ -1394,6 +1416,7 @@ fn check_seeded_rng(models: &[FileModel], out: &mut Vec<Diagnostic>) {
                                          stream_label(\"...\"))`",
                             chain: Vec::new(),
                             origin: None,
+                            region: None,
                         });
                     }
                 });
@@ -1467,6 +1490,7 @@ fn check_ordered_float(models: &[FileModel], out: &mut Vec<Diagnostic>) {
                                  `ranges_map_ordered`)",
                     chain: Vec::new(),
                     origin: None,
+                    region: None,
                 });
             }
         }

@@ -48,24 +48,51 @@
 //! * **L12 `ordered-float-reduction`** — no float accumulation inside a
 //!   loop over a hash-ordered collection.
 //!
+//! Two guard-region rules model lock-guard live ranges and walk the call
+//! graph from statements inside them (see [`guards`]):
+//!
+//! * **L13 `no-blocking-under-lock`** — no blocking operation (socket
+//!   I/O, channel `recv`, `join`, `sleep`, file reads) and no *other* lock
+//!   acquisition reachable while a guard is live; findings carry the
+//!   guard's live range and the guard→blocking-site chain.
+//! * **L14 `no-guard-across-hot-loop`** — no guard held across an entire
+//!   `// ultra-lint: hot` loop.
+//!
+//! One format rule diffs paired serializers (see [`symmetry`]):
+//!
+//! * **L15 `serde-symmetry`** — a writer/reader pair
+//!   (`to_bytes`/`from_bytes`, `write_X`/`read_X`, or a `lint.toml`
+//!   `[[symmetry_pair]]`) whose primitive-width byte sequences diverge —
+//!   width drift, reordered fields, written-but-never-read — is flagged
+//!   with both sites.
+//!
 //! Findings carry `file:line` locations, severities, and fix suggestions.
 //! Audited exceptions live in the workspace-root `lint.toml` (each with a
 //! mandatory justification) or as inline `// ultra-lint: allow(rule)`
 //! comments. The analyzer runs as `cargo run -p ultra-lint` and as a
 //! `#[test]` (`crates/lint/tests/workspace_clean.rs`), so tier-1 fails on
 //! any new violation.
+//!
+//! The per-file lex/parse phase fans out over `ultra-par` (honouring
+//! `ULTRA_THREADS`) and merges results in file-id order, so diagnostics are
+//! byte-identical at any thread count; everything downstream of the merge
+//! is sequential.
 
 pub mod baseline;
 pub mod callgraph;
 pub mod config;
 pub mod dataflow;
+pub mod guards;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod symmetry;
 
 use config::Allowlist;
 use rules::{Diagnostic, FileContext, Severity};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+use symmetry::PairSpec;
 
 /// Crates whose ranked output must be reproducible (L2's scope). `serve`
 /// belongs here because it hands out cached `RankedList`s: iteration-order
@@ -88,6 +115,19 @@ pub const RANKED_CRATES: [&str; 9] = [
 /// Directory names never scanned.
 const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
 
+/// Wall-clock cost of each analyzer phase, in milliseconds. Reported only
+/// in the JSON output's `timing` section — never in the text report, which
+/// must stay byte-identical across thread counts and machines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Per-file lex + parse + intraprocedural rules (the parallel phase).
+    pub lex_parse_ms: u64,
+    /// Cross-file analysis: call graph, taint, guards, symmetry.
+    pub analyze_ms: u64,
+    /// Whole run, including file I/O and waiver matching.
+    pub total_ms: u64,
+}
+
 /// Full analyzer outcome for one workspace run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -102,6 +142,8 @@ pub struct Report {
     /// Call sites the graph could not resolve to a workspace function
     /// (std, vendored deps) — the visible boundary of what L7/L8 can see.
     pub unresolved_calls: usize,
+    /// Per-phase wall time (JSON output only).
+    pub timings: PhaseTimings,
 }
 
 impl Report {
@@ -142,6 +184,7 @@ impl std::error::Error for LintError {}
 /// Reads `<root>/lint.toml` if present (a missing file means an empty
 /// allowlist). Scans every `.rs` file outside [`SKIP_DIRS`].
 pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
+    let run_start = Instant::now();
     let allowlist = match std::fs::read_to_string(root.join("lint.toml")) {
         Ok(text) => Allowlist::parse(&text).map_err(LintError::Config)?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
@@ -176,8 +219,17 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
         .iter()
         .map(|s| s.function.clone())
         .collect();
-    let outcome = check_sources_with(&borrowed, &sanitizer_names);
+    let pair_specs: Vec<PairSpec> = allowlist
+        .symmetry_pairs
+        .iter()
+        .map(|p| PairSpec {
+            writer: p.writer.clone(),
+            reader: p.reader.clone(),
+        })
+        .collect();
+    let outcome = check_sources_full(&borrowed, &sanitizer_names, &pair_specs);
     report.unresolved_calls = outcome.unresolved_calls;
+    report.timings = outcome.timings;
     // Malformed inline directives fail the run the same way stale allowlist
     // entries do: a waiver that never matches is policy rot either way.
     report.stale_allows.extend(outcome.inline_allow_errors);
@@ -190,6 +242,18 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
                 "sanitizer `{}` matches no scanned source ({})",
                 s.function, s.reason
             ));
+        }
+    }
+    // A [[symmetry_pair]] whose writer or reader appears in no scanned
+    // source is stale the same way.
+    for p in &allowlist.symmetry_pairs {
+        for (role, name) in [("writer", &p.writer), ("reader", &p.reader)] {
+            if !sources.iter().any(|(_, src)| src.contains(name.as_str())) {
+                report.stale_allows.push(format!(
+                    "symmetry_pair {role} `{name}` matches no scanned source ({})",
+                    p.reason
+                ));
+            }
         }
     }
     let mut allow_used = vec![false; allowlist.entries.len()];
@@ -224,13 +288,14 @@ pub fn run_workspace(root: &Path) -> Result<Report, LintError> {
             .cmp(&a.severity)
             .then_with(|| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)))
     });
+    report.timings.total_ms = run_start.elapsed().as_millis() as u64;
     Ok(report)
 }
 
 /// Outcome of linting a batch of in-memory sources: diagnostics surviving
 /// inline waivers, plus the graph's unresolved-call count.
 pub struct BatchOutcome {
-    /// All findings (L1–L12), in per-file then cross-file order (callers
+    /// All findings (L1–L15), in per-file then cross-file order (callers
     /// that need a canonical order sort, as [`run_workspace`] does).
     pub diagnostics: Vec<Diagnostic>,
     /// See [`Report::unresolved_calls`].
@@ -238,55 +303,102 @@ pub struct BatchOutcome {
     /// Inline `ultra-lint: allow(...)` directives naming unknown rules —
     /// treated like stale allowlist entries by [`run_workspace`].
     pub inline_allow_errors: Vec<String>,
+    /// Per-phase wall time (`total_ms` is filled by [`run_workspace`]).
+    pub timings: PhaseTimings,
+}
+
+/// Everything the parallel per-file phase produces for one file. Workers
+/// return these through `map_ordered`, so the merge is in file-id order
+/// regardless of which worker finished first.
+struct FileAnalysis {
+    diags: Vec<Diagnostic>,
+    model: Option<parser::FileModel>,
+    allows: Vec<lexer::InlineAllow>,
+    inline_allow_errors: Vec<String>,
 }
 
 /// Lints a batch of sources as one workspace: every file gets the
 /// intraprocedural rules (L1–L6), and all library-classified files together
-/// feed the call graph for L7–L9 (a panic three crates away from a serve
+/// feed the call graph for L7–L9 and L13–L14, the taint pass for L10–L12,
+/// and the symmetry pass for L15 (a panic three crates away from a serve
 /// handler is only visible with the whole batch in view). Inline
 /// `ultra-lint: allow(...)` directives are applied here — each diagnostic
 /// against the directives of the file it landed in; `lint.toml` waivers are
 /// applied by [`run_workspace`].
 pub fn check_sources(files: &[(&str, &str)]) -> BatchOutcome {
-    check_sources_with(files, &[])
+    check_sources_full(files, &[], &[])
 }
 
 /// [`check_sources`] with extra L10 order-sanitizer function names (from
 /// `lint.toml`'s `[[sanitizer]]` entries).
 pub fn check_sources_with(files: &[(&str, &str)], sanitizers: &[String]) -> BatchOutcome {
+    check_sources_full(files, sanitizers, &[])
+}
+
+/// [`check_sources`] with L10 sanitizers and L15 `[[symmetry_pair]]`
+/// declarations. The per-file phase runs on the `ultra-par` pool; results
+/// merge in input order, so output is identical at any `ULTRA_THREADS`.
+pub fn check_sources_full(
+    files: &[(&str, &str)],
+    sanitizers: &[String],
+    pairs: &[PairSpec],
+) -> BatchOutcome {
+    let mut timings = PhaseTimings::default();
+    let phase_start = Instant::now();
+    // Weight by source length: lex/parse cost tracks bytes, and a handful
+    // of files (the parser itself, the serve handlers) dominate the tree.
+    let pool = ultra_par::Pool::global();
+    let per_file = pool.map_ordered_weighted(
+        files,
+        |(_, s)| s.len() as u64,
+        |(rel_path, source)| {
+            let lexed = lexer::lex(source);
+            let mask = lexer::test_code_mask(&lexed.tokens);
+            let ctx = FileContext {
+                path: rel_path,
+                tokens: &lexed.tokens,
+                in_test: &mask,
+                is_lib: classify_lib(rel_path),
+                is_ranked_crate: classify_ranked(rel_path),
+            };
+            let diags = rules::check_file(&ctx);
+            let model = ctx.is_lib.then(|| parser::build(rel_path, &lexed, &mask));
+            let mut inline_allow_errors = Vec::new();
+            for a in &lexed.allows {
+                for r in &a.rules {
+                    if rules::Rule::from_name(r).is_none() {
+                        inline_allow_errors.push(format!(
+                            "inline allow({r}) @ {rel_path}:{} names no known rule",
+                            a.line
+                        ));
+                    }
+                }
+            }
+            FileAnalysis {
+                diags,
+                model,
+                allows: lexed.allows,
+                inline_allow_errors,
+            }
+        },
+    );
+    timings.lex_parse_ms = phase_start.elapsed().as_millis() as u64;
+
+    let phase_start = Instant::now();
     let mut diags = Vec::new();
     let mut models = Vec::new();
     let mut allows: Vec<(&str, Vec<lexer::InlineAllow>)> = Vec::with_capacity(files.len());
     let mut inline_allow_errors = Vec::new();
-    for (rel_path, source) in files {
-        let lexed = lexer::lex(source);
-        let mask = lexer::test_code_mask(&lexed.tokens);
-        let ctx = FileContext {
-            path: rel_path,
-            tokens: &lexed.tokens,
-            in_test: &mask,
-            is_lib: classify_lib(rel_path),
-            is_ranked_crate: classify_ranked(rel_path),
-        };
-        diags.extend(rules::check_file(&ctx));
-        if ctx.is_lib {
-            models.push(parser::build(rel_path, &lexed, &mask));
-        }
-        for a in &lexed.allows {
-            for r in &a.rules {
-                if rules::Rule::from_name(r).is_none() {
-                    inline_allow_errors.push(format!(
-                        "inline allow({r}) @ {rel_path}:{} names no known rule",
-                        a.line
-                    ));
-                }
-            }
-        }
-        allows.push((rel_path, lexed.allows));
+    for ((rel_path, _), fa) in files.iter().zip(per_file) {
+        diags.extend(fa.diags);
+        models.extend(fa.model);
+        inline_allow_errors.extend(fa.inline_allow_errors);
+        allows.push((rel_path, fa.allows));
     }
     let cross = callgraph::check_cross(&models);
     diags.extend(cross.diagnostics);
     diags.extend(dataflow::check_taint(&models, sanitizers));
+    symmetry::check_symmetry(&models, pairs, &mut diags);
     // An inline directive waives its rules on the comment's own line and the
     // line that follows it (so a directive can sit above the flagged line).
     diags.retain(|d| {
@@ -298,10 +410,12 @@ pub fn check_sources_with(files: &[(&str, &str)], sanitizers: &[String]) -> Batc
                 })
         })
     });
+    timings.analyze_ms = phase_start.elapsed().as_millis() as u64;
     BatchOutcome {
         diagnostics: diags,
         unresolved_calls: cross.unresolved_calls,
         inline_allow_errors,
+        timings,
     }
 }
 
@@ -398,6 +512,7 @@ mod tests {
             suggestion: "",
             chain: Vec::new(),
             origin: None,
+            region: None,
         };
         let mut r = Report::default();
         r.violations.push(warn);

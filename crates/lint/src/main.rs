@@ -64,10 +64,12 @@ fn main() {
                      \x20                 [--baseline <file>] [--write-baseline <file>] [--list-rules]\n\n\
                      Scans every .rs file under the workspace root (default:\n\
                      the directory containing this crate's workspace) and\n\
-                     enforces rules L1-L12 (L7-L9 run over a workspace call\n\
-                     graph, L10-L12 over an interprocedural taint dataflow);\n\
-                     `--list-rules` prints the rule table, README.md has the\n\
-                     details and lint.toml the audited allowlist.\n\n\
+                     enforces rules L1-L15 (L7-L9 run over a workspace call\n\
+                     graph, L10-L12 over an interprocedural taint dataflow,\n\
+                     L13-L14 over lock-guard live ranges, L15 over paired\n\
+                     serializer byte sequences); `--list-rules` prints the\n\
+                     rule table, README.md has the details and lint.toml the\n\
+                     audited allowlist.\n\n\
                      `--format json` emits a stable machine-readable report\n\
                      on stdout. `--write-baseline <file>` snapshots current\n\
                      findings; `--baseline <file>` fails only on findings\n\
@@ -215,14 +217,17 @@ fn render_text(report: &Report, diff: Option<&BaselineDiff>) {
     );
 }
 
-/// Renders the report as JSON. Schema v2 (stable; additions only):
+/// Renders the report as JSON. Schema v3 (stable; additions only):
 ///
 /// ```json
-/// {"version":2,
+/// {"version":3,
 ///  "files_scanned":N, "allowed":N, "unresolved_calls":N,
+///  "timing":{"lex_parse_ms":N,"analyze_ms":N,"total_ms":N},
 ///  "violations":[{"rule":"...","severity":"...","path":"...","line":N,
 ///                 "message":"...","suggestion":"...",
 ///                 "origin":{"desc":"...","path":"...","line":N} | null,
+///                 "region":{"label":"...","path":"...",
+///                           "start_line":N,"end_line":N} | null,
 ///                 "new":true|false,          // only with --baseline
 ///                 "chain":[{"function":"...","path":"...","line":N}]}],
 ///  "stale_allows":["..."],
@@ -230,18 +235,25 @@ fn render_text(report: &Report, diff: Option<&BaselineDiff>) {
 /// ```
 ///
 /// v2 over v1: `origin` on every violation (the taint source for L10, null
-/// otherwise), and the `new`/`baseline` fields in differential mode.
+/// otherwise), and the `new`/`baseline` fields in differential mode. v3
+/// over v2: `region` (the guard live range for L13/L14, the reader fn span
+/// for L15) and the `timing` section — timing appears *only* here, never in
+/// the text report, which stays byte-identical across thread counts.
 /// Hand-rolled (no crates.io in the build image); strings are escaped per
 /// RFC 8259.
 fn render_json(report: &Report, diff: Option<&BaselineDiff>) -> String {
     let new_set: Option<std::collections::BTreeSet<usize>> =
         diff.map(|d| d.new.iter().copied().collect());
-    let mut out = String::from("{\"version\":2");
+    let mut out = String::from("{\"version\":3");
     out.push_str(&format!(",\"files_scanned\":{}", report.files_scanned));
     out.push_str(&format!(",\"allowed\":{}", report.allowed.len()));
     out.push_str(&format!(
         ",\"unresolved_calls\":{}",
         report.unresolved_calls
+    ));
+    out.push_str(&format!(
+        ",\"timing\":{{\"lex_parse_ms\":{},\"analyze_ms\":{},\"total_ms\":{}}}",
+        report.timings.lex_parse_ms, report.timings.analyze_ms, report.timings.total_ms
     ));
     out.push_str(",\"violations\":[");
     for (i, d) in report.violations.iter().enumerate() {
@@ -265,6 +277,16 @@ fn render_json(report: &Report, diff: Option<&BaselineDiff>) -> String {
                 o.line
             )),
             None => out.push_str(",\"origin\":null"),
+        }
+        match &d.region {
+            Some(r) => out.push_str(&format!(
+                ",\"region\":{{\"label\":{},\"path\":{},\"start_line\":{},\"end_line\":{}}}",
+                json_str(&r.label),
+                json_str(&r.path),
+                r.start_line,
+                r.end_line
+            )),
+            None => out.push_str(",\"region\":null"),
         }
         if let Some(new) = &new_set {
             out.push_str(&format!(",\"new\":{}", new.contains(&i)));
@@ -331,7 +353,7 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ultra_lint::rules::{ChainFrame, Diagnostic, Rule, TaintOrigin};
+    use ultra_lint::rules::{ChainFrame, Diagnostic, RegionSpan, Rule, TaintOrigin};
 
     fn sample_report() -> Report {
         Report {
@@ -349,6 +371,7 @@ mod tests {
                         line: 279,
                     }],
                     origin: None,
+                    region: None,
                 },
                 Diagnostic {
                     rule: Rule::NoTaintedRanking,
@@ -363,12 +386,23 @@ mod tests {
                         path: "crates/core/src/scores.rs".into(),
                         line: 12,
                     }),
+                    region: Some(RegionSpan {
+                        label: "guard `shards` live".into(),
+                        path: "crates/core/src/ranking.rs".into(),
+                        start_line: 49,
+                        end_line: 58,
+                    }),
                 },
             ],
             allowed: Vec::new(),
             stale_allows: vec!["no-panic-in-lib @ x.rs (gone)".into()],
             files_scanned: 3,
             unresolved_calls: 7,
+            timings: ultra_lint::PhaseTimings {
+                lex_parse_ms: 12,
+                analyze_ms: 34,
+                total_ms: 56,
+            },
         }
     }
 
@@ -384,9 +418,20 @@ mod tests {
         let text = render_json(&report, None);
         let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         let num = |v: &serde_json::Value, k: &str| v.get(k).and_then(serde_json::Value::as_u64);
-        assert_eq!(num(&value, "version"), Some(2));
+        assert_eq!(num(&value, "version"), Some(3));
         assert_eq!(num(&value, "files_scanned"), Some(3));
         assert_eq!(num(&value, "unresolved_calls"), Some(7));
+        let timing = value.get("timing").expect("timing section");
+        assert_eq!(
+            timing
+                .get("lex_parse_ms")
+                .and_then(serde_json::Value::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            timing.get("total_ms").and_then(serde_json::Value::as_u64),
+            Some(56)
+        );
         let violations = value
             .get("violations")
             .and_then(|v| v.as_array())
@@ -413,6 +458,20 @@ mod tests {
         assert_eq!(
             origin.get("line").and_then(serde_json::Value::as_u64),
             Some(12)
+        );
+        assert!(violations[0].get("region").expect("region key").is_null());
+        let region = violations[1].get("region").expect("region object");
+        assert_eq!(
+            region.get("label").and_then(serde_json::Value::as_str),
+            Some("guard `shards` live")
+        );
+        assert_eq!(
+            region.get("start_line").and_then(serde_json::Value::as_u64),
+            Some(49)
+        );
+        assert_eq!(
+            region.get("end_line").and_then(serde_json::Value::as_u64),
+            Some(58)
         );
         assert_eq!(
             value

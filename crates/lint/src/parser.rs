@@ -64,6 +64,10 @@ pub struct CallSite {
     /// Inside a `catch_unwind(..)` argument — panics below this call are
     /// contained, so reachability analysis stops here.
     pub guarded: bool,
+    /// Immediate method receiver when it is a plain identifier
+    /// (`map.get(..)` → `map`, `self.touch(..)` → `self`). `None` for free
+    /// calls and chained receivers — those resolve by name only.
+    pub recv: Option<String>,
 }
 
 /// `Mutex` vs `RwLock` (for matching `.lock()` vs `.read()`/`.write()`).
@@ -101,6 +105,44 @@ pub struct LockSite {
     pub tok: usize,
 }
 
+/// The live range of one lock guard inside a function body (L13/L14's unit
+/// of analysis). The span covers the tokens over which the guard is held,
+/// *excluding* the acquisition expression itself and its `unwrap*` adapter
+/// chain; for a let-bound guard that is the rest of the enclosing block
+/// (truncated at an explicit `drop(binding)`), for an `if let`/`while let`
+/// guard the conditional's body, and for a temporary (match scrutinee,
+/// mid-chain lock) the rest of the statement.
+#[derive(Clone, Debug)]
+pub struct GuardRegion {
+    /// Receiver identifier of the acquisition (field, param, local, or
+    /// helper-method name — same attribution as [`LockSite`]).
+    pub target: String,
+    /// Whether `target` is a helper method rather than a field/binding.
+    pub via_method: bool,
+    /// The acquiring method: `lock`, `read`, or `write`.
+    pub method: String,
+    /// The guard's binding name, when let-bound.
+    pub binding: Option<String>,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Token range over which the guard is live.
+    pub span: Range<usize>,
+    /// 1-based line of the last token of the live range.
+    pub end_line: u32,
+}
+
+/// One loop inside a function body, with its keyword line and body span
+/// (L14 checks whether a guard's live range swallows the whole span).
+#[derive(Clone, Debug)]
+pub struct LoopSpan {
+    /// 1-based line of the `for`/`while`/`loop` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace.
+    pub end_line: u32,
+    /// Token range of the body, braces included.
+    pub span: Range<usize>,
+}
+
 /// One allocation site inside a loop (L9's unit of reporting).
 #[derive(Clone, Debug)]
 pub struct AllocSite {
@@ -114,11 +156,14 @@ pub struct AllocSite {
 /// One function definition with everything the graph rules need.
 #[derive(Clone, Debug)]
 pub struct FnDef {
-    /// Function name (free function or method — receiver type is not
-    /// tracked; resolution is by name).
+    /// Function name (resolution is by name, by typed receiver when the
+    /// receiver is recoverable).
     pub name: String,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// 1-based line of the body's closing brace (the `fn` line for
+    /// body-less declarations).
+    pub end_line: u32,
     /// Token index range of the body, braces included. Empty for body-less
     /// declarations (trait methods).
     pub body: Range<usize>,
@@ -143,6 +188,16 @@ pub struct FnDef {
     /// Field names this function's body reads (`.field` accesses) — used to
     /// attribute lock-returning helper methods to the field they expose.
     pub field_refs: Vec<String>,
+    /// Lock-guard live ranges, in token order.
+    pub guards: Vec<GuardRegion>,
+    /// Loops whose body lies in this function, in token order.
+    pub loops: Vec<LoopSpan>,
+    /// The `impl` block's target type, when the fn is a method.
+    pub self_type: Option<String>,
+    /// Local/parameter types recoverable syntactically, first binding wins:
+    /// `x: Type` params, `let x: Type` ascriptions, and `let x =
+    /// [path::]Type::ctor(..)` constructor calls.
+    pub local_types: Vec<(String, String)>,
 }
 
 /// The per-file model.
@@ -160,6 +215,13 @@ pub struct FileModel {
     pub imports: Vec<String>,
     /// `Mutex`/`RwLock` struct fields declared in this file.
     pub lock_fields: Vec<LockField>,
+    /// Every named struct field with the first identifier of its type
+    /// (`shards: Vec<Mutex<Shard>>` → `("shards", "Vec")`) — receiver
+    /// typing for call resolution.
+    pub field_types: Vec<(String, String)>,
+    /// Type names this file defines (`struct`/`enum` declarations and
+    /// `impl` targets), sorted and deduplicated.
+    pub type_defs: Vec<String>,
 }
 
 /// The workspace crate key of a file path, if it belongs to one.
@@ -188,7 +250,8 @@ pub fn build(path: &str, lexed: &Lexed, mask: &[bool]) -> FileModel {
     let guarded = guarded_mask(toks);
     let mut fns = find_fns(toks, mask, &lexed.hots);
     let owner = owner_map(toks.len(), &fns);
-    let loops = loop_spans(toks, &owner);
+    let loops_kw = loop_spans(toks, &owner);
+    let loops: Vec<Range<usize>> = loops_kw.iter().map(|(_, s)| s.clone()).collect();
 
     for (i, tok) in toks.iter().enumerate() {
         let Some(f) = owner[i] else { continue };
@@ -221,9 +284,28 @@ pub fn build(path: &str, lexed: &Lexed, mask: &[bool]) -> FileModel {
         }
     }
 
+    // Attach loops, impl types, local types, and guard live ranges per fn.
+    let mut fn_loops: Vec<Vec<LoopSpan>> = vec![Vec::new(); fns.len()];
+    for (kw, span) in &loops_kw {
+        if let (Some(fi), false) = (owner[*kw], span.is_empty()) {
+            fn_loops[fi].push(LoopSpan {
+                line: toks[*kw].line,
+                end_line: toks[span.end - 1].line,
+                span: span.clone(),
+            });
+        }
+    }
+    let impls = impl_spans(toks);
     let file_hash = crate::dataflow::file_hash_idents(toks);
-    for f in &mut fns {
+    for (fi, f) in fns.iter_mut().enumerate() {
         f.flow = crate::dataflow::extract_flow(toks, &f.sig, &f.body, &file_hash);
+        f.loops = std::mem::take(&mut fn_loops[fi]);
+        f.self_type = impls
+            .iter()
+            .find(|(_, r)| r.contains(&f.body.start))
+            .map(|(t, _)| t.clone());
+        f.local_types = local_types(toks, &f.sig, &f.body);
+        f.guards = guard_regions(toks, f);
     }
 
     FileModel {
@@ -232,6 +314,8 @@ pub fn build(path: &str, lexed: &Lexed, mask: &[bool]) -> FileModel {
         fns,
         imports: find_imports(toks),
         lock_fields: find_lock_fields(toks),
+        field_types: find_field_types(toks),
+        type_defs: find_type_defs(toks, &impls),
     }
 }
 
@@ -320,11 +404,17 @@ fn scan_ident_site(
     let is_def = i >= 1 && toks[i - 1].is_ident("fn");
     let is_macro = toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
     if followed_by_call && !is_def && !is_macro && !NON_CALL_KEYWORDS.contains(&name) {
+        // Record the receiver only when it is a direct identifier
+        // (`x.name(..)`); chained receivers (`a.b().name(..)`) stay `None`.
+        let recv = (is_method && i >= 2)
+            .then(|| toks[i - 2].ident().map(String::from))
+            .flatten();
         f.calls.push(CallSite {
             callee: name.to_string(),
             line,
             tok: i,
             guarded: guarded[i],
+            recv,
         });
     }
 }
@@ -498,9 +588,15 @@ fn find_fns(toks: &[Tok], mask: &[bool], hots: &[u32]) -> Vec<FnDef> {
         } else {
             (i + 2).min(body.start)..body.start
         };
+        let end_line = if body.is_empty() {
+            toks[i].line
+        } else {
+            toks[body.end - 1].line
+        };
         fns.push(FnDef {
             name: name.to_string(),
             line: toks[i].line,
+            end_line,
             body,
             sig,
             in_test: mask.get(i).copied().unwrap_or(false),
@@ -511,6 +607,10 @@ fn find_fns(toks: &[Tok], mask: &[bool], hots: &[u32]) -> Vec<FnDef> {
             locks: Vec::new(),
             allocs_in_loops: Vec::new(),
             field_refs: Vec::new(),
+            guards: Vec::new(),
+            loops: Vec::new(),
+            self_type: None,
+            local_types: Vec::new(),
         });
     }
     // Each hot marker attaches to the first fn at or below its line.
@@ -538,8 +638,9 @@ fn owner_map(len: usize, fns: &[FnDef]) -> Vec<Option<usize>> {
     owner
 }
 
-/// Token spans of loop bodies (`for`/`while`/`loop` … `{ … }`).
-fn loop_spans(toks: &[Tok], owner: &[Option<usize>]) -> Vec<Range<usize>> {
+/// Token spans of loop bodies (`for`/`while`/`loop` … `{ … }`), paired
+/// with the index of the loop keyword.
+fn loop_spans(toks: &[Tok], owner: &[Option<usize>]) -> Vec<(usize, Range<usize>)> {
     let mut spans = Vec::new();
     for i in 0..toks.len() {
         if owner[i].is_none() {
@@ -572,7 +673,7 @@ fn loop_spans(toks: &[Tok], owner: &[Option<usize>]) -> Vec<Range<usize>> {
             j += 1;
         }
         if open < toks.len() {
-            spans.push(open..(j + 1).min(toks.len()));
+            spans.push((i, open..(j + 1).min(toks.len())));
         }
     }
     spans
@@ -669,6 +770,509 @@ fn find_lock_fields(toks: &[Tok]) -> Vec<LockField> {
         }
         flush(&mut field, &mut field_kind, &mut out);
         i = k;
+    }
+    out
+}
+
+/// Every named struct field with the first identifier of its type
+/// (references, `mut`, `dyn`, and lifetimes skipped; `Vec<Mutex<Shard>>` →
+/// `Vec`). Used to type method receivers during call resolution.
+fn find_field_types(toks: &[Tok]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < toks.len()
+            && !toks[j].is_punct('{')
+            && !toks[j].is_punct(';')
+            && !toks[j].is_punct('(')
+        {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct('{') {
+            i = j.max(i + 1);
+            continue;
+        }
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        while k < toks.len() && depth > 0 {
+            match &toks[k].kind {
+                TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                // `name :` (not `::`) at depth 1 opens a field; its type
+                // is the first identifier after the colon.
+                TokKind::Ident(id)
+                    if depth == 1
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        && !toks.get(k + 2).is_some_and(|t| t.is_punct(':')) =>
+                {
+                    if let Some(ty) = first_type_ident(toks, k + 2) {
+                        out.push((id.clone(), ty));
+                    }
+                    // Skip to the end of the field (top-level comma) so
+                    // type-path segments are not mistaken for fields.
+                    let mut d2 = 0i32;
+                    k += 2;
+                    while k < toks.len() {
+                        match &toks[k].kind {
+                            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                                d2 += 1
+                            }
+                            TokKind::Punct(')') | TokKind::Punct(']') => d2 -= 1,
+                            TokKind::Punct('}') => {
+                                if d2 == 0 {
+                                    depth -= 1;
+                                    break;
+                                }
+                                d2 -= 1;
+                            }
+                            TokKind::Punct(',') if d2 == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    out
+}
+
+/// First type identifier at or after `i`, skipping `&`, `mut`, `dyn`,
+/// lifetimes, and leading path-qualifier segments are *not* collapsed — the
+/// head segment is returned (`std::sync::Mutex<..>` → `std` is wrong, so
+/// path chains return their last segment before `<`/end).
+fn first_type_ident(toks: &[Tok], mut i: usize) -> Option<String> {
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('&') | TokKind::Punct('*') => i += 1,
+            TokKind::Lifetime => i += 1,
+            TokKind::Ident(id) if id == "mut" || id == "dyn" => i += 1,
+            TokKind::Ident(id) => {
+                // Follow `A::B::C` chains to the last segment.
+                let mut last = id.clone();
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                {
+                    if let Some(seg) = toks.get(j + 2).and_then(|t| t.ident()) {
+                        last = seg.to_string();
+                        j += 3;
+                    } else {
+                        break;
+                    }
+                }
+                return Some(last);
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// `impl` block target types with their body token spans. Handles
+/// `impl<..> Type`, `impl Trait for Type`, and path-qualified targets; the
+/// recorded name is the last path segment at angle-depth 0.
+fn impl_spans(toks: &[Tok]) -> Vec<(String, Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut name: Option<String> = None;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') => angle -= 1,
+                TokKind::Punct('{') if angle <= 0 => break,
+                TokKind::Punct(';') => break, // `impl Trait` in return pos etc.
+                TokKind::Ident(id) if angle == 0 => {
+                    if id == "for" {
+                        name = None; // trait impl: the target follows `for`
+                    } else if id == "where" {
+                        // where-clause: stop collecting names.
+                        while j < toks.len() && !toks[j].is_punct('{') {
+                            j += 1;
+                        }
+                        continue;
+                    } else if id != "mut" && id != "dyn" {
+                        name = Some(id.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct('{') {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Balanced body span.
+        let open = j;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if let Some(name) = name {
+            out.push((name, open..(j + 1).min(toks.len())));
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Type names the file defines: `struct`/`enum` declarations plus `impl`
+/// targets, sorted and deduplicated. Receiver resolution treats these as
+/// "workspace types" (a typed call that misses every impl stays
+/// unresolved) and everything else as foreign (`Vec`, `HashMap`, …).
+fn find_type_defs(toks: &[Tok], impls: &[(String, Range<usize>)]) -> Vec<String> {
+    let mut out: Vec<String> = impls.iter().map(|(n, _)| n.clone()).collect();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("struct") || toks[i].is_ident("enum") {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Syntactically recoverable local types of one function: typed params
+/// (`x: Type`), `let` ascriptions (`let x: Type`), and constructor bindings
+/// (`let x = path::Type::ctor(..)` — the second-to-last path segment when
+/// it is capitalized). First binding of a name wins.
+fn local_types(toks: &[Tok], sig: &Range<usize>, body: &Range<usize>) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let put = |name: String, ty: String, out: &mut Vec<(String, String)>| {
+        if !out.iter().any(|(n, _)| *n == name) {
+            out.push((name, ty));
+        }
+    };
+    // Params: `name :` at paren depth 1 of the signature.
+    let mut depth = 0i32;
+    for i in sig.clone() {
+        match &toks[i].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Ident(id)
+                if depth == 1
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && id != "mut"
+                    && id != "ref" =>
+            {
+                if let Some(ty) = first_type_ident(toks, i + 2) {
+                    put(id.clone(), ty, &mut out);
+                }
+            }
+            _ => {}
+        }
+    }
+    // `let` bindings in the body.
+    let mut i = body.start;
+    while i < body.end {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while toks
+            .get(j)
+            .is_some_and(|t| t.is_ident("mut") || t.is_ident("ref"))
+        {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).and_then(|t| t.ident().map(String::from)) else {
+            i += 1;
+            continue;
+        };
+        // `let x : Type = …`.
+        if toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(ty) = first_type_ident(toks, j + 2) {
+                put(name, ty, &mut out);
+            }
+            i = j + 2;
+            continue;
+        }
+        // `let x = [path::]Type::ctor(` — the capitalized segment before the
+        // final `::ctor(` names the type.
+        if toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+            let mut k = j + 2;
+            let mut prev: Option<String> = None;
+            while let Some(id) = toks.get(k).and_then(|t| t.ident()) {
+                let sep = toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(k + 2).is_some_and(|t| t.is_punct(':'));
+                if sep {
+                    prev = Some(id.to_string());
+                    k += 3;
+                    continue;
+                }
+                if toks.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+                    if let Some(ty) = prev {
+                        if ty.starts_with(|c: char| c.is_ascii_uppercase()) {
+                            put(name, ty, &mut out);
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Adapter methods that unwrap a lock `Result` without ending the guard's
+/// life (`m.lock().unwrap_or_else(PoisonError::into_inner)` still yields
+/// the guard).
+const GUARD_ADAPTERS: [&str; 5] = [
+    "unwrap",
+    "expect",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "unwrap_or",
+];
+
+/// From an opening delimiter at `open`, returns the index of its balanced
+/// close (or `toks.len()` when unbalanced).
+fn skip_group_fwd(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct(open_c) {
+            depth += 1;
+        } else if toks[j].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index just past the acquisition expression: the lock call's argument
+/// list, a trailing `?`, and any `unwrap*` adapter chain.
+fn adapter_chain_end(toks: &[Tok], lock_tok: usize) -> usize {
+    let mut j = lock_tok + 1;
+    // Turbofish between the name and `(`.
+    if !toks.get(j).is_some_and(|t| t.is_punct('(')) {
+        while j < toks.len() && !toks[j].is_punct('(') && j < lock_tok + 64 {
+            j += 1;
+        }
+    }
+    if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+        j = skip_group_fwd(toks, j, '(', ')') + 1;
+    }
+    loop {
+        if toks.get(j).is_some_and(|t| t.is_punct('?')) {
+            j += 1;
+            continue;
+        }
+        let is_adapter = toks.get(j).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(j + 1)
+                .and_then(|t| t.ident())
+                .is_some_and(|id| GUARD_ADAPTERS.contains(&id))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('('));
+        if !is_adapter {
+            return j;
+        }
+        j = skip_group_fwd(toks, j + 2, '(', ')') + 1;
+    }
+}
+
+/// Computes the live range of every lock acquisition in one function. See
+/// [`GuardRegion`] for the range rules; validity (is the receiver actually
+/// a `Mutex`/`RwLock`?) is decided later by `crate::guards` with crate-wide
+/// context, so this records every candidate.
+fn guard_regions(toks: &[Tok], f: &FnDef) -> Vec<GuardRegion> {
+    let mut out = Vec::new();
+    for ls in &f.locks {
+        let chain_end = adapter_chain_end(toks, ls.tok).min(f.body.end);
+        // Statement start: walk back to the nearest top-level `;`, `{`, or
+        // group opener.
+        let mut b = ls.tok;
+        let mut depth = 0i32;
+        while b > f.body.start {
+            b -= 1;
+            match &toks[b].kind {
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth += 1,
+                TokKind::Punct('(') | TokKind::Punct('[') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                TokKind::Punct('{') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+        }
+        let head = b + 1;
+        let nested_in_group = depth < 0;
+        let let_pos = (!nested_in_group)
+            .then(|| {
+                let mut d = 0i32;
+                (head..ls.tok).find(|&k| {
+                    match &toks[k].kind {
+                        TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => d += 1,
+                        TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => d -= 1,
+                        _ => {}
+                    }
+                    d == 0 && toks[k].is_ident("let")
+                })
+            })
+            .flatten();
+        let conditional = let_pos.is_some_and(|lp| {
+            (head..lp).any(|k| toks[k].is_ident("if") || toks[k].is_ident("while"))
+        });
+        let binding = let_pos.and_then(|lp| {
+            // Last pattern identifier before the `=` (skipping mut/ref and
+            // constructor-ish segments: `Ok(mut g)` → `g`).
+            let mut d = 0i32;
+            let mut last = None;
+            for t in toks.iter().take(ls.tok).skip(lp + 1) {
+                match &t.kind {
+                    TokKind::Punct('=') if d == 0 => break,
+                    TokKind::Punct('(') | TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => d -= 1,
+                    TokKind::Ident(id) if id != "mut" && id != "ref" => {
+                        last = Some(id.clone());
+                    }
+                    _ => {}
+                }
+            }
+            last
+        });
+
+        let span = if conditional && toks.get(chain_end).is_some_and(|t| t.is_punct('{')) {
+            // `if let`/`while let` guard: live for the conditional's body.
+            let close = skip_group_fwd(toks, chain_end, '{', '}');
+            chain_end + 1..close.min(f.body.end)
+        } else if let_pos.is_some()
+            && !conditional
+            && toks.get(chain_end).is_some_and(|t| t.is_punct(';'))
+        {
+            // Plain let-bound guard: rest of the enclosing block, truncated
+            // at an explicit `drop(binding)`.
+            let mut d = 0i32;
+            let mut end = f.body.end.saturating_sub(1);
+            let mut j = chain_end + 1;
+            while j < f.body.end {
+                match &toks[j].kind {
+                    TokKind::Punct('{') => d += 1,
+                    TokKind::Punct('}') => {
+                        if d == 0 {
+                            end = j;
+                            break;
+                        }
+                        d -= 1;
+                    }
+                    TokKind::Ident(id) if id == "drop" => {
+                        let dropped = toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+                            && toks.get(j + 2).and_then(|t| t.ident()) == binding.as_deref()
+                            && toks.get(j + 3).is_some_and(|t| t.is_punct(')'));
+                        if dropped && binding.is_some() {
+                            end = j;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            chain_end + 1..end
+        } else {
+            // Temporary guard (match scrutinee, mid-chain lock): rest of
+            // the statement — through a trailing brace group (match arms)
+            // or up to the `;`/block close.
+            let mut d = 0i32;
+            let mut end = chain_end;
+            let mut j = chain_end;
+            while j < f.body.end {
+                match &toks[j].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => {
+                        d -= 1;
+                        if d < 0 {
+                            end = j;
+                            break;
+                        }
+                    }
+                    TokKind::Punct('{') if d == 0 => {
+                        // A statement-level brace group (match arms / if
+                        // body using the temporary): the temp lives through
+                        // it, then dies.
+                        end = skip_group_fwd(toks, j, '{', '}') + 1;
+                        break;
+                    }
+                    TokKind::Punct('{') => d += 1,
+                    TokKind::Punct('}') => {
+                        if d == 0 {
+                            end = j;
+                            break;
+                        }
+                        d -= 1;
+                    }
+                    TokKind::Punct(';') if d <= 0 => {
+                        end = j;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            chain_end..end.min(f.body.end)
+        };
+        let span = span.start.min(f.body.end)..span.end.min(f.body.end);
+        let end_line = if span.end > span.start {
+            toks[span.end - 1].line
+        } else {
+            ls.line
+        };
+        out.push(GuardRegion {
+            target: ls.target.clone(),
+            via_method: ls.via_method,
+            method: ls.method.clone(),
+            binding: if let_pos.is_some() && !nested_in_group {
+                binding
+            } else {
+                None
+            },
+            line: ls.line,
+            span,
+            end_line,
+        });
     }
     out
 }

@@ -1,9 +1,11 @@
-//! The twelve ultra-lint rules.
+//! The fifteen ultra-lint rules.
 //!
 //! L1–L6 are pure functions over a single file's token stream (plus its
 //! test-code mask); L7–L9 are interprocedural and live in
 //! [`crate::callgraph`]; L10–L12 run over the determinism-taint dataflow
-//! pass in [`crate::dataflow`]. All share the [`Rule`]/[`Diagnostic`]
+//! pass in [`crate::dataflow`]; L13/L14 run over lock-guard live ranges
+//! ([`crate::guards`]) and L15 over writer/reader byte-sequence pairs
+//! ([`crate::symmetry`]). All share the [`Rule`]/[`Diagnostic`]
 //! vocabulary defined here. Rules are heuristic by design: they
 //! over-approximate slightly and rely on the allowlist / inline directives
 //! for audited exceptions, which keeps every waiver visible and justified
@@ -42,11 +44,20 @@ pub enum Rule {
     /// L12: float accumulation inside a loop over a hash-ordered
     /// collection.
     OrderedFloatReduction,
+    /// L13: a blocking operation (or another lock acquisition) reachable
+    /// from inside a lock-guard live range.
+    NoBlockingUnderLock,
+    /// L14: a guard whose live range spans an entire hot-marked loop,
+    /// serializing the parallel region.
+    NoGuardAcrossHotLoop,
+    /// L15: a writer/reader serialization pair whose primitive byte
+    /// sequences diverge (width mismatch, reorder, unread field).
+    SerdeSymmetry,
 }
 
 impl Rule {
     /// Every rule, in documentation order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 15] = [
         Rule::NoUnseededRng,
         Rule::NoHashIterationOrder,
         Rule::NoNanUnwrapSort,
@@ -59,6 +70,9 @@ impl Rule {
         Rule::NoTaintedRanking,
         Rule::SeededRngOnly,
         Rule::OrderedFloatReduction,
+        Rule::NoBlockingUnderLock,
+        Rule::NoGuardAcrossHotLoop,
+        Rule::SerdeSymmetry,
     ];
 
     /// The kebab-case name used in configuration and output.
@@ -76,6 +90,9 @@ impl Rule {
             Rule::NoTaintedRanking => "no-tainted-ranking",
             Rule::SeededRngOnly => "seeded-rng-only",
             Rule::OrderedFloatReduction => "ordered-float-reduction",
+            Rule::NoBlockingUnderLock => "no-blocking-under-lock",
+            Rule::NoGuardAcrossHotLoop => "no-guard-across-hot-loop",
+            Rule::SerdeSymmetry => "serde-symmetry",
         }
     }
 
@@ -84,7 +101,7 @@ impl Rule {
         Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 
-    /// Stable short id (`L1`…`L12`), used by `--list-rules` and the docs.
+    /// Stable short id (`L1`…`L15`), used by `--list-rules` and the docs.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoUnseededRng => "L1",
@@ -99,6 +116,9 @@ impl Rule {
             Rule::NoTaintedRanking => "L10",
             Rule::SeededRngOnly => "L11",
             Rule::OrderedFloatReduction => "L12",
+            Rule::NoBlockingUnderLock => "L13",
+            Rule::NoGuardAcrossHotLoop => "L14",
+            Rule::SerdeSymmetry => "L15",
         }
     }
 
@@ -122,6 +142,11 @@ impl Rule {
             Rule::OrderedFloatReduction => {
                 "float accumulation in a loop over a hash-ordered collection"
             }
+            Rule::NoBlockingUnderLock => {
+                "blocking call or nested lock reachable while a guard is held"
+            }
+            Rule::NoGuardAcrossHotLoop => "lock guard held across an entire `hot` loop",
+            Rule::SerdeSymmetry => "writer/reader byte sequences of a serialization pair diverge",
         }
     }
 
@@ -137,21 +162,26 @@ impl Rule {
             | Rule::NoAllocInHotLoop
             | Rule::NoTaintedRanking
             | Rule::SeededRngOnly
-            | Rule::OrderedFloatReduction => "library crates",
+            | Rule::OrderedFloatReduction
+            | Rule::NoBlockingUnderLock
+            | Rule::NoGuardAcrossHotLoop
+            | Rule::SerdeSymmetry => "library crates",
             Rule::NoRawThreadSpawn => "library crates except par/serve",
         }
     }
 
-    /// Default severity. Everything is deny by default except L4, L7, and
-    /// L10, whose violations in practice include audited boundary cases
-    /// (e.g. modulo-bounded indexing, intentionally time-derived metrics);
-    /// they still fail the tier-1 gate unless allowlisted (the gate runs
-    /// with `--deny-warnings`), but read as "warn" semantics in docs.
+    /// Default severity. Everything is deny by default except L4, L7, L10,
+    /// and L14, whose violations in practice include audited boundary cases
+    /// (e.g. modulo-bounded indexing, intentionally time-derived metrics,
+    /// deliberately serialized hot sections); they still fail the tier-1
+    /// gate unless allowlisted (the gate runs with `--deny-warnings`), but
+    /// read as "warn" semantics in docs.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::NoPanicInLib | Rule::NoPanicReachableFromServe | Rule::NoTaintedRanking => {
-                Severity::Warn
-            }
+            Rule::NoPanicInLib
+            | Rule::NoPanicReachableFromServe
+            | Rule::NoTaintedRanking
+            | Rule::NoGuardAcrossHotLoop => Severity::Warn,
             _ => Severity::Error,
         }
     }
@@ -201,6 +231,21 @@ pub struct TaintOrigin {
     pub line: u32,
 }
 
+/// A contiguous source region attached to a finding: the live range of the
+/// offending guard (L13/L14) or the span of the paired counterpart function
+/// (L15). The diagnostic itself points at one line; this names the extent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionSpan {
+    /// Human label ("guard `queue`", "reader `from_bytes`").
+    pub label: String,
+    /// Workspace-relative path of the region.
+    pub path: String,
+    /// 1-based first line of the region.
+    pub start_line: u32,
+    /// 1-based last line of the region.
+    pub end_line: u32,
+}
+
 /// One finding: rule, location, message, and a suggested fix.
 #[derive(Clone, Debug)]
 pub struct Diagnostic {
@@ -220,9 +265,13 @@ pub struct Diagnostic {
     /// source function for L10) down to the function containing the finding
     /// site. Empty for every other rule.
     pub chain: Vec<ChainFrame>,
-    /// For L10: the nondeterminism source feeding the sink. `None` for
-    /// every other rule.
+    /// For L10: the nondeterminism source feeding the sink. For L13: the
+    /// guard acquisition site. For L15: the counterpart (reader) op site.
+    /// `None` for every other rule.
     pub origin: Option<TaintOrigin>,
+    /// For L13/L14: the guard live range (L14: the spanned loop). For L15:
+    /// the counterpart function's span. `None` for every other rule.
+    pub region: Option<RegionSpan>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -250,6 +299,13 @@ impl fmt::Display for Diagnostic {
                 .map(|c| format!("{} ({}:{})", c.function, c.path, c.line))
                 .collect();
             write!(f, "\n    chain: {}", rendered.join(" -> "))?;
+        }
+        if let Some(region) = &self.region {
+            write!(
+                f,
+                "\n    region: {} ({}:{}-{})",
+                region.label, region.path, region.start_line, region.end_line
+            )?;
         }
         write!(f, "\n    help: {}", self.suggestion)
     }
@@ -302,6 +358,7 @@ fn diag(
         suggestion,
         chain: Vec::new(),
         origin: None,
+        region: None,
     }
 }
 

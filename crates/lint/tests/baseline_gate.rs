@@ -93,7 +93,14 @@ fn baseline_round_trip_gates_only_new_findings() {
     let out = ws.lint(&["--format", "json"]);
     assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
     let v = parse(&out);
-    assert_eq!(v.get("version").and_then(Value::as_u64), Some(2));
+    assert_eq!(v.get("version").and_then(Value::as_u64), Some(3));
+    let timing = v.get("timing").expect("timing section");
+    for phase in ["lex_parse_ms", "analyze_ms", "total_ms"] {
+        assert!(
+            timing.get(phase).and_then(Value::as_u64).is_some(),
+            "{phase} in {timing:?}"
+        );
+    }
     let l10: Vec<&Value> = violations(&v)
         .into_iter()
         .filter(|d| str_field(d, "rule") == "no-tainted-ranking")
@@ -161,7 +168,8 @@ fn list_rules_prints_the_full_registry() {
     assert_eq!(out.status.code(), Some(0));
     let text = stdout(&out);
     for id in [
-        "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12",
+        "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "L13", "L14",
+        "L15",
     ] {
         assert!(
             text.lines()

@@ -1,0 +1,58 @@
+//! L13 fixture: blocking calls and nested acquisitions reachable while a
+//! guard is live; the early-drop and scope-exit twins must stay quiet.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Shared {
+    state: Mutex<u32>,
+    side: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn sleeps_under_guard(&self) -> u32 {
+        let g = self.state.lock().expect("state");
+        std::thread::sleep(Duration::from_millis(5));
+        *g
+    }
+
+    pub fn drops_before_sleeping(&self) -> u32 {
+        let g = self.state.lock().expect("state");
+        let v = *g;
+        drop(g);
+        std::thread::sleep(Duration::from_millis(5));
+        v
+    }
+
+    pub fn matches_on_temporary(&self) -> u32 {
+        match self.state.lock() {
+            Ok(g) => {
+                std::thread::sleep(Duration::from_millis(5));
+                *g
+            }
+            Err(_) => 0,
+        }
+    }
+
+    pub fn blocks_in_a_callee(&self) -> u32 {
+        let g = self.state.lock().expect("state");
+        slow_helper();
+        *g
+    }
+
+    pub fn nests_the_side_lock(&self) -> u32 {
+        let g = self.state.lock().expect("state");
+        let s = self.side.lock().expect("side");
+        *g + *s
+    }
+
+    pub fn sequential_locks(&self) -> u32 {
+        let a = { *self.state.lock().expect("state") };
+        let b = *self.side.lock().expect("side");
+        a + b
+    }
+}
+
+fn slow_helper() {
+    std::thread::sleep(Duration::from_millis(5));
+}

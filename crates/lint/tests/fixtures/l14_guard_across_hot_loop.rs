@@ -1,0 +1,30 @@
+//! L14 fixture: a guard held across an entire hot loop; the twin that
+//! acquires inside the loop body must stay quiet.
+
+use std::sync::Mutex;
+
+pub struct Stats {
+    totals: Mutex<Vec<f32>>,
+}
+
+impl Stats {
+    // ultra-lint: hot
+    pub fn accumulate_under_guard(&self, xs: &[f32]) -> f32 {
+        let g = self.totals.lock().expect("totals");
+        let mut sum = 0.0;
+        for &x in xs {
+            sum += x + g[0];
+        }
+        sum
+    }
+
+    // ultra-lint: hot
+    pub fn accumulate_inside_loop(&self, xs: &[f32]) -> f32 {
+        let mut sum = 0.0;
+        for &x in xs {
+            let g = self.totals.lock().expect("totals");
+            sum += x + g[0];
+        }
+        sum
+    }
+}

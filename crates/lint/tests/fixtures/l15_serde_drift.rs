@@ -1,0 +1,31 @@
+//! L15 fixture: the `Record` pair drifts (`u32` written, `u64` read);
+//! the header pair below is symmetric and must stay quiet.
+
+pub struct Record {
+    id: u32,
+    score: f32,
+}
+
+impl Record {
+    pub fn to_bytes(&self, w: &mut ByteWriter) {
+        w.u32(self.id);
+        w.f32(self.score);
+    }
+
+    pub fn from_bytes(r: &mut ByteReader) -> Record {
+        let id = r.u64()? as u32;
+        let score = r.f32()?;
+        Record { id, score }
+    }
+}
+
+pub fn write_header(w: &mut ByteWriter, count: u32, seed: u64) {
+    write_u32(w, count);
+    write_u64(w, seed);
+}
+
+pub fn read_header(r: &mut ByteReader) -> (u32, u64) {
+    let count = read_u32(r);
+    let seed = read_u64(r);
+    (count, seed)
+}

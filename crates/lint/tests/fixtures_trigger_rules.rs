@@ -218,6 +218,137 @@ fn l11_fixture_fires_on_underived_seeds_only() {
 }
 
 #[test]
+fn l13_fixture_flags_blocking_and_nesting_but_not_the_dropped_guard() {
+    let diags = check_source(
+        "crates/core/src/l13.rs",
+        &fixture("l13_blocking_under_lock.rs"),
+    );
+    let l13: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::NoBlockingUnderLock)
+        .collect();
+    let mut sinks: Vec<u32> = l13.iter().map(|d| d.line).collect();
+    sinks.sort_unstable();
+    assert_eq!(
+        sinks,
+        vec![15, 30, 45, 57],
+        "direct sleep, match-temporary sleep, nested `side` lock, callee sleep: {l13:#?}"
+    );
+    // The early-drop twin must NOT fire: no finding originates at its
+    // guard acquisition (line 20), because `drop(g)` ends the live range
+    // before the sleep.
+    assert!(
+        l13.iter()
+            .all(|d| d.origin.as_ref().is_some_and(|o| o.line != 20)),
+        "guard-dropped-early false positive: {l13:#?}"
+    );
+    // The match-temporary guard fires with its acquisition as origin and
+    // its arm braces as the live range.
+    let tmp = l13.iter().find(|d| d.line == 30).expect("match arm sink");
+    assert_eq!(tmp.origin.as_ref().expect("origin").line, 28);
+    let region = tmp.region.as_ref().expect("region");
+    assert!(region.label.contains("state"), "{}", region.label);
+    assert!(
+        region.start_line <= 29 && region.end_line >= 34,
+        "live range spans the match arms: {region:?}"
+    );
+    // The interprocedural case carries the caller→callee chain.
+    let deep = l13.iter().find(|d| d.line == 57).expect("callee sink");
+    let names: Vec<&str> = deep.chain.iter().map(|c| c.function.as_str()).collect();
+    assert_eq!(names, vec!["blocks_in_a_callee", "slow_helper"]);
+    // And the nested acquisition names both locks.
+    let nested = l13.iter().find(|d| d.line == 45).expect("nested lock");
+    assert!(
+        nested.message.contains("`side`") && nested.message.contains("`state`"),
+        "{}",
+        nested.message
+    );
+}
+
+#[test]
+fn l14_fixture_flags_the_guard_spanning_the_hot_loop_only() {
+    let diags = check_source(
+        "crates/core/src/l14.rs",
+        &fixture("l14_guard_across_hot_loop.rs"),
+    );
+    let l14: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::NoGuardAcrossHotLoop)
+        .collect();
+    assert_eq!(l14.len(), 1, "{diags:#?}");
+    let d = l14[0];
+    assert_eq!(d.line, 13, "fires at the guard acquisition");
+    let region = d.region.as_ref().expect("region is the spanned loop");
+    assert_eq!((region.start_line, region.end_line), (15, 17));
+    assert!(
+        d.message.contains("hot loop"),
+        "names the loop: {}",
+        d.message
+    );
+}
+
+#[test]
+fn l15_fixture_flags_the_drifted_pair_with_both_sites() {
+    let diags = check_source("crates/core/src/l15.rs", &fixture("l15_serde_drift.rs"));
+    let l15: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::SerdeSymmetry)
+        .collect();
+    assert_eq!(l15.len(), 1, "only the Record pair drifts: {diags:#?}");
+    let d = l15[0];
+    assert_eq!(d.line, 11, "writer op site");
+    assert!(
+        d.message.contains("`u32`") && d.message.contains("`u64`"),
+        "{}",
+        d.message
+    );
+    assert_eq!(
+        d.origin.as_ref().expect("reader site").line,
+        16,
+        "origin is the mismatched reader op"
+    );
+    let region = d.region.as_ref().expect("region is the reader fn");
+    assert!(region.label.contains("from_bytes"), "{}", region.label);
+    assert_eq!((region.start_line, region.end_line), (15, 19));
+}
+
+/// L15 mutation self-test: flip one `read_u32` to `read_u64` in the clean
+/// header pair and rerun in-process — exactly that pair must light up, and
+/// nothing else may change.
+#[test]
+fn l15_mutation_flips_exactly_the_mutated_pair() {
+    let clean = fixture("l15_serde_drift.rs");
+    let baseline: Vec<_> = check_source("crates/core/src/l15.rs", &clean)
+        .into_iter()
+        .filter(|d| d.rule == Rule::SerdeSymmetry)
+        .collect();
+    assert_eq!(baseline.len(), 1, "the seeded Record drift only");
+
+    let mutated = clean.replacen("read_u32", "read_u64", 1);
+    assert_ne!(mutated, clean, "mutation must land");
+    let after: Vec<_> = check_source("crates/core/src/l15.rs", &mutated)
+        .into_iter()
+        .filter(|d| d.rule == Rule::SerdeSymmetry)
+        .collect();
+    assert_eq!(after.len(), 2, "one new finding: {after:#?}");
+    let new: Vec<_> = after
+        .iter()
+        .filter(|d| baseline.iter().all(|b| b.line != d.line))
+        .collect();
+    assert_eq!(new.len(), 1, "{after:#?}");
+    assert!(
+        new[0].message.contains("`write_header`") && new[0].message.contains("`read_header`"),
+        "the mutated pair, not any other: {}",
+        new[0].message
+    );
+    assert!(
+        new[0].message.contains("`u32`") && new[0].message.contains("`u64`"),
+        "width drift named: {}",
+        new[0].message
+    );
+}
+
+#[test]
 fn l12_fixture_fires_on_the_hash_ordered_float_reduction_only() {
     let hits = check("l12_unordered_float_reduction.rs");
     let l12: Vec<u32> = hits

@@ -31,13 +31,15 @@ fn workspace_has_no_lint_violations() {
         report.stale_allows.join("\n")
     );
     // The call-graph resolver leaves method calls and std/vendored paths
-    // unresolved by design, but the count should stay the same order of
-    // magnitude as today (~3600 on this tree). A jump past this ceiling
-    // means name resolution regressed and the interprocedural rules
-    // (L7, L10-L12) are silently going blind.
+    // unresolved by design, but the count should stay close to today's
+    // measurement (~3930 on this tree; ceiling is measured + 10%). The
+    // typed-receiver resolution layer classifies foreign-type method calls
+    // as external rather than unresolved, so a jump past this ceiling means
+    // name resolution regressed and the interprocedural rules (L7, L10-L14)
+    // are silently going blind.
     assert!(
-        report.unresolved_calls < 5000,
-        "unresolved call count exploded: {} (was ~3600); \
+        report.unresolved_calls < 4325,
+        "unresolved call count exploded: {} (was ~3930); \
          did callgraph resolution regress?",
         report.unresolved_calls
     );
